@@ -1,0 +1,201 @@
+// pgridbench regenerates every table and figure of the paper's evaluation.
+//
+// By default it runs everything at the paper's parameters (the fig4/search/
+// fig5/table6 group builds the 20 000-peer grid — takes a few seconds with
+// the concurrent engine where the paper's Mathematica run took 10 hours).
+// Select subsets with -run.
+//
+//	pgridbench                 # everything, paper scale
+//	pgridbench -run table1,table3
+//	pgridbench -run fig4 -scale 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pgrid/internal/experiments"
+	"pgrid/internal/trie"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pgridbench: ")
+
+	var (
+		run    = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,fig4,search,fig5,table6,sec6,eq3,skew,maintain,join,convergence,churnbuild,load,antientropy")
+		seed   = flag.Int64("seed", 1, "random seed")
+		scale  = flag.Float64("scale", 1.0, "scale factor for the 20000-peer experiments (0 < scale ≤ 1)")
+		csvDir = flag.String("csv", "", "also write each experiment as CSV into this directory")
+	)
+	flag.Parse()
+	if *scale <= 0 || *scale > 1 {
+		log.Fatalf("-scale %v out of range (0,1]", *scale)
+	}
+
+	want := map[string]bool{}
+	for _, s := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(s)] = true
+	}
+	sel := func(name string) bool { return want["all"] || want[name] }
+	out := os.Stdout
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// csvOut opens <dir>/<name>.csv and hands it to write; no-op without -csv.
+	csvOut := func(name string, write func(w *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		check(err)
+		check(write(f))
+		check(f.Close())
+	}
+
+	if sel("table1") {
+		rows, err := experiments.Table1(*seed)
+		check(err)
+		experiments.RenderConstruction(out, "Table 1 — construction cost vs community size (maxl=6, refmax=1)", rows)
+		csvOut("table1", func(w *os.File) error { return experiments.ConstructionCSV(w, rows) })
+	}
+	if sel("table2") {
+		rows, err := experiments.Table2(*seed)
+		check(err)
+		experiments.RenderTable2(out, rows)
+		csvOut("table2", func(w *os.File) error { return experiments.Table2CSV(w, rows) })
+	}
+	if sel("table3") {
+		rows, err := experiments.Table3(*seed)
+		check(err)
+		experiments.RenderConstruction(out, "Table 3 — construction cost vs recursion bound (N=500, maxl=6)", rows)
+		csvOut("table3", func(w *os.File) error { return experiments.ConstructionCSV(w, rows) })
+	}
+	if sel("table4") {
+		rows, err := experiments.RefmaxSweep(*seed, 0)
+		check(err)
+		experiments.RenderConstruction(out, "Table 4 — refmax sweep, UNBOUNDED recursion fan-out (N=1000)", rows)
+		csvOut("table4", func(w *os.File) error { return experiments.ConstructionCSV(w, rows) })
+	}
+	if sel("table5") {
+		rows, err := experiments.RefmaxSweep(*seed, 2)
+		check(err)
+		experiments.RenderConstruction(out, "Table 5 — refmax sweep, fan-out limited to 2 (N=1000)", rows)
+		csvOut("table5", func(w *os.File) error { return experiments.ConstructionCSV(w, rows) })
+	}
+
+	// The Section 5.2 experiments share one big grid.
+	if sel("fig4") || sel("search") || sel("fig5") || sel("table6") {
+		p := experiments.PaperFig4Params()
+		p.Seed = *seed
+		p.N = int(float64(p.N) * *scale)
+		if p.N < 1<<uint(p.MaxL) {
+			log.Fatalf("-scale %v leaves too few peers (%d) for depth %d", *scale, p.N, p.MaxL)
+		}
+		fmt.Fprintf(out, "building the Section 5.2 grid (N=%d, maxl=%d, refmax=%d)...\n", p.N, p.MaxL, p.RefMax)
+		f4, err := experiments.Fig4(p)
+		check(err)
+		if sel("fig4") {
+			experiments.RenderFig4(out, f4)
+			csvOut("fig4", func(w *os.File) error { return experiments.Fig4CSV(w, f4) })
+		}
+		if sel("search") {
+			sr := experiments.SearchReliability(f4.Dir, 0.3, 10000, p.MaxL-1, p.RefMax, *seed+7)
+			experiments.RenderSearchReliability(out, sr)
+		}
+		if sel("fig5") {
+			// 30% online, as in the paper; curves up to 2000 messages.
+			f4.Dir.SampleOnline(rand.New(rand.NewSource(*seed+8)), 0.3)
+			curves := experiments.Fig5(f4.Dir, p.MaxL-1, 3, 20, 2000, *seed+8)
+			f4.Dir.SetAllOnline(true)
+			experiments.RenderFig5(out, curves)
+			csvOut("fig5", func(w *os.File) error { return experiments.Fig5CSV(w, curves) })
+		}
+		if sel("table6") {
+			t6 := experiments.PaperTable6Params()
+			t6.Seed = *seed + 9
+			t6.KeyLen = p.MaxL - 1
+			rows := experiments.Table6(f4.Dir, t6)
+			experiments.RenderTable6(out, rows)
+			csvOut("table6", func(w *os.File) error { return experiments.Table6CSV(w, rows) })
+		}
+	}
+
+	if sel("sec6") {
+		rows, err := experiments.Sec6(experiments.PaperSec6Params())
+		check(err)
+		experiments.RenderSec6(out, rows)
+		csvOut("sec6", func(w *os.File) error { return experiments.Sec6CSV(w, rows) })
+	}
+	if sel("eq3") {
+		rows := experiments.Eq3ModelVsSim(6, 2000, *seed+10)
+		experiments.RenderEq3(out, rows)
+		csvOut("eq3", func(w *os.File) error { return experiments.Eq3CSV(w, rows) })
+	}
+
+	// Extensions (the paper's Section 6 future-work list); included in
+	// "all" so the ablations regenerate alongside the paper results.
+	if sel("skew") {
+		p := experiments.DefaultSkewParams()
+		p.Seed = *seed + 11
+		rows := experiments.Skew(p)
+		experiments.RenderSkew(out, rows)
+		csvOut("skew", func(w *os.File) error { return experiments.SkewCSV(w, rows) })
+	}
+	if sel("maintain") {
+		without := experiments.Maintenance(960, 5, 6, 6, 0.12, false, *seed+12)
+		with := experiments.Maintenance(960, 5, 6, 6, 0.12, true, *seed+12)
+		experiments.RenderMaintenance(out, with, without)
+		csvOut("maintenance", func(w *os.File) error {
+			return experiments.MaintenanceCSV(w, append(append([]experiments.MaintenanceRow{}, without...), with...))
+		})
+	}
+	if sel("join") {
+		rows := experiments.JoinGrowth(512, 5, 128, 6, 5, *seed+13)
+		experiments.RenderJoin(out, rows)
+		csvOut("join", func(w *os.File) error { return experiments.JoinCSV(w, rows) })
+	}
+	if sel("convergence") {
+		curves := experiments.Convergence(500, 6, []int{0, 1, 2, 4}, 100, 1_000_000, *seed+14)
+		experiments.RenderConvergence(out, curves)
+		csvOut("convergence", func(w *os.File) error { return experiments.ConvergenceCSV(w, curves) })
+	}
+	if sel("load") {
+		rng := rand.New(rand.NewSource(*seed + 16))
+		d := trie.BuildIdeal(2048, 7, 5, rng)
+		r := experiments.RoutingLoad(d, 7, 20000, *seed+16)
+		experiments.RenderRoutingLoad(out, r)
+	}
+	if sel("antientropy") {
+		rows, err := experiments.AntiEntropy(400, 6, 30, 10, *seed+18)
+		check(err)
+		experiments.RenderAntiEntropy(out, rows)
+		csvOut("antientropy", func(w *os.File) error { return experiments.AntiEntropyCSV(w, rows) })
+	}
+	// "scale" is opt-in (not part of "all"): the 80k build takes minutes.
+	if want["scale"] {
+		rows, err := experiments.Scale([]int{5000, 20000, 80000}, 10, *seed+17)
+		check(err)
+		experiments.RenderScale(out, rows)
+		csvOut("scale", func(w *os.File) error { return experiments.ScaleCSV(w, rows) })
+	}
+	if sel("churnbuild") {
+		rows, err := experiments.ChurnBuild(400, 6, []float64{1.0, 0.7, 0.5, 0.3}, *seed+15)
+		check(err)
+		experiments.RenderChurnBuild(out, rows)
+		csvOut("churnbuild", func(w *os.File) error { return experiments.ChurnBuildCSV(w, rows) })
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

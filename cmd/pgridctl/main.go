@@ -1,0 +1,229 @@
+// pgridctl is the client for pgridnode communities: it publishes entries,
+// queries the distributed index, and inspects node state over the same
+// wire protocol the nodes speak among themselves.
+//
+//	pgridctl -peers 0=:7000,1=:7001 info 0
+//	pgridctl -peers 0=:7000,1=:7001 publish 0 song.mp3 1
+//	pgridctl -peers 0=:7000,1=:7001 lookup 1 song.mp3
+//	pgridctl -peers 0=:7000,1=:7001 query 0 010110
+//
+// Keys are derived from names by hashing (the same HashKey the library
+// uses) unless a raw binary key is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/node"
+	"pgrid/internal/store"
+	"pgrid/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pgridctl: ")
+
+	var (
+		peers   = flag.String("peers", "", "community endpoints: id=host:port,... (required)")
+		keybits = flag.Int("keybits", 8, "bits for keys hashed from names")
+		timeout = flag.Duration("timeout", 3*time.Second, "RPC timeout")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `usage: pgridctl -peers <endpoints> <command> [args]
+
+commands:
+  info <id>                     print a node's path, references, and entry count
+  query <id> <key>              route a search for a binary key, starting at node <id>
+  publish <id> <name> <holder>  index an item (key = hash of name) at one replica via node <id>
+  publishall <id> <name> <holder>  spread an item over all reachable replicas (BFS)
+  lookup <id> <name>            search for an item by name, starting at node <id>
+  mlookup <name>                majority read across the community (repetitive search)
+  replicas <id> <key>           list all reachable peers covering a binary key
+  scan <id> <key-prefix>        list all entries under a binary key prefix
+  audit                         fetch every node's state and verify the reference invariant
+`)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if *peers == "" || len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	tr := node.NewTCPTransport(*timeout)
+	var all []addr.Addr
+	for _, pair := range strings.Split(*peers, ",") {
+		id, ep, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			log.Fatalf("bad endpoint %q", pair)
+		}
+		v, err := strconv.Atoi(id)
+		if err != nil {
+			log.Fatalf("bad peer id %q", id)
+		}
+		tr.SetEndpoint(addr.Addr(v), ep)
+		all = append(all, addr.Addr(v))
+	}
+	client := node.NewClient(tr, time.Now().UnixNano())
+
+	cmd, args := args[0], args[1:]
+	switch cmd {
+	case "info":
+		id := mustID(args, 0)
+		resp := mustCall(tr, id, &wire.Message{Kind: wire.KindInfo, From: addr.Nil})
+		info := resp.InfoResp
+		fmt.Printf("node %v\n  path     %s\n  entries  %d\n  buddies  %v\n",
+			info.Addr, info.Path, info.Entries, info.Buddies.Addrs)
+		for i, rs := range info.Refs {
+			fmt.Printf("  level %2d %v\n", i+1, rs.Addrs)
+		}
+
+	case "query":
+		id := mustID(args, 0)
+		key, err := bitpath.Parse(arg(args, 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp := mustCall(tr, id, &wire.Message{Kind: wire.KindQuery, From: addr.Nil,
+			Query: &wire.QueryReq{Key: key}})
+		q := resp.QueryResp
+		if !q.Found {
+			log.Fatalf("no responsible peer reachable for %s (%d messages)", key, q.Messages)
+		}
+		fmt.Printf("responsible peer %v (path %s), %d messages\n", q.Peer, q.Path, q.Messages)
+
+	case "publish":
+		id := mustID(args, 0)
+		name := arg(args, 1)
+		holder := mustID(args, 2)
+		key := bitpath.HashKey(name, *keybits)
+		// Route to a responsible peer, then install the entry there.
+		resp := mustCall(tr, id, &wire.Message{Kind: wire.KindQuery, From: addr.Nil,
+			Query: &wire.QueryReq{Key: key}})
+		if !resp.QueryResp.Found {
+			log.Fatalf("no responsible peer reachable for key %s", key)
+		}
+		target := resp.QueryResp.Peer
+		entry := store.Entry{Key: key, Name: name, Holder: holder, Version: uint64(time.Now().UnixNano())}
+		mustCall(tr, target, &wire.Message{Kind: wire.KindApply, From: addr.Nil,
+			Apply: &wire.ApplyReq{Entry: entry}})
+		fmt.Printf("published %q (key %s) at peer %v\n", name, key, target)
+
+	case "lookup":
+		id := mustID(args, 0)
+		name := arg(args, 1)
+		key := bitpath.HashKey(name, *keybits)
+		resp := mustCall(tr, id, &wire.Message{Kind: wire.KindQuery, From: addr.Nil,
+			Query: &wire.QueryReq{Key: key}})
+		if !resp.QueryResp.Found {
+			log.Fatalf("no responsible peer reachable for %q", name)
+		}
+		got := mustCall(tr, resp.QueryResp.Peer, &wire.Message{Kind: wire.KindGet, From: addr.Nil,
+			Get: &wire.GetReq{Key: key, Name: name}})
+		if !got.GetResp.Found {
+			log.Fatalf("%q not indexed (asked peer %v)", name, resp.QueryResp.Peer)
+		}
+		e := got.GetResp.Entry
+		fmt.Printf("%q → hosted by peer %v (key %s, version %d), %d routing messages\n",
+			name, e.Holder, e.Key, e.Version, resp.QueryResp.Messages)
+
+	case "publishall":
+		id := mustID(args, 0)
+		name := arg(args, 1)
+		holder := mustID(args, 2)
+		key := bitpath.HashKey(name, *keybits)
+		entry := store.Entry{Key: key, Name: name, Holder: holder, Version: uint64(time.Now().UnixNano())}
+		replicas, msgs := client.Publish([]addr.Addr{id, all[len(all)-1]}, entry, 3, 2)
+		if replicas == 0 {
+			log.Fatalf("no replica reachable for key %s", key)
+		}
+		fmt.Printf("published %q (key %s) at %d replicas, %d messages\n", name, key, replicas, msgs)
+
+	case "mlookup":
+		name := arg(args, 0)
+		key := bitpath.HashKey(name, *keybits)
+		res := client.MajorityRead(all, key, name, 3, 64)
+		if !res.Found {
+			log.Fatalf("%q not found after %d queries", name, res.Queries)
+		}
+		e := res.Entry
+		fmt.Printf("%q → hosted by peer %v (version %d), decided after %d queries / %d messages\n",
+			name, e.Holder, e.Version, res.Queries, res.Messages)
+
+	case "replicas":
+		id := mustID(args, 0)
+		key, err := bitpath.Parse(arg(args, 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := client.ReplicaSearch(id, key, 3)
+		fmt.Printf("%d covering peers reachable for %s (%d messages):\n", len(res.Found), key, res.Messages)
+		for _, a := range res.Found {
+			fmt.Printf("  %v\n", a)
+		}
+
+	case "scan":
+		id := mustID(args, 0)
+		prefix, err := bitpath.Parse(arg(args, 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		entries, msgs := client.PrefixSearch(id, prefix, 3)
+		fmt.Printf("%d entries under %s (%d messages):\n", len(entries), prefix, msgs)
+		for _, e := range entries {
+			fmt.Printf("  %s\n", e)
+		}
+
+	case "audit":
+		rep := client.Audit(all)
+		fmt.Printf("reachable %d/%d peers, avg depth %.2f, %d index entries\n",
+			rep.Reachable, len(all), rep.AvgDepth, rep.Entries)
+		for _, a := range rep.Unreachable {
+			fmt.Printf("  unreachable: %v\n", a)
+		}
+		if len(rep.Violations) == 0 {
+			fmt.Println("reference invariant: ok")
+		} else {
+			for _, v := range rep.Violations {
+				fmt.Printf("  VIOLATION: %s\n", v)
+			}
+			os.Exit(1)
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func arg(args []string, i int) string {
+	if i >= len(args) {
+		log.Fatalf("missing argument %d", i+1)
+	}
+	return args[i]
+}
+
+func mustID(args []string, i int) addr.Addr {
+	v, err := strconv.Atoi(arg(args, i))
+	if err != nil || v < 0 {
+		log.Fatalf("bad peer id %q", arg(args, i))
+	}
+	return addr.Addr(v)
+}
+
+func mustCall(tr *node.TCPTransport, to addr.Addr, m *wire.Message) *wire.Message {
+	resp, err := tr.Call(to, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return resp
+}

@@ -1,0 +1,207 @@
+// pgridnode runs one networked P-Grid peer over TCP.
+//
+// Every node needs a logical id, a listen address, and the endpoint table
+// of the community (comma-separated id=host:port pairs, or a file with one
+// pair per line). With -meet > 0 the node actively gossips: every interval
+// it initiates an exchange with a random known peer, which is how the
+// access structure self-organizes.
+//
+// A three-node community on one machine:
+//
+//	pgridnode -id 0 -listen :7000 -peers 0=:7000,1=:7001,2=:7002 -meet 200ms
+//	pgridnode -id 1 -listen :7001 -peers 0=:7000,1=:7001,2=:7002 -meet 200ms
+//	pgridnode -id 2 -listen :7002 -peers 0=:7000,1=:7001,2=:7002 -meet 200ms
+//
+// Interrogate it with pgridctl.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/core"
+	"pgrid/internal/node"
+)
+
+func main() {
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	var (
+		id        = flag.Int("id", -1, "logical peer id (required, must appear in -peers)")
+		listen    = flag.String("listen", "", "listen address, e.g. :7000 (required)")
+		peers     = flag.String("peers", "", "community endpoints: id=host:port,... (required)")
+		peersFile = flag.String("peers-file", "", "file with one id=host:port per line (alternative to -peers)")
+		maxl      = flag.Int("maxl", 8, "maximal path length")
+		refmax    = flag.Int("refmax", 5, "maximal references per level")
+		recmax    = flag.Int("recmax", 2, "exchange recursion bound")
+		fanout    = flag.Int("fanout", 2, "recursion fan-out bound")
+		meet      = flag.Duration("meet", 500*time.Millisecond, "interval between initiated exchanges (0 = passive)")
+		seed      = flag.Int64("seed", 0, "random seed (0 = derived from id and time)")
+		status    = flag.Duration("status", 5*time.Second, "interval between status log lines (0 = quiet)")
+		stateFile = flag.String("state", "", "persist node state to this file (load at boot, save periodically and on shutdown)")
+		saveEvery = flag.Duration("save-every", 30*time.Second, "state checkpoint interval when -state is set")
+		maintain  = flag.Duration("maintain", 0, "interval between reference-maintenance rounds (0 = off)")
+	)
+	flag.Parse()
+
+	if *id < 0 || *listen == "" || (*peers == "" && *peersFile == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	endpoints, err := parseEndpoints(*peers, *peersFile)
+	if err != nil {
+		log.Fatalf("pgridnode: %v", err)
+	}
+	if _, ok := endpoints[addr.Addr(*id)]; !ok {
+		log.Fatalf("pgridnode: own id %d not present in the endpoint table", *id)
+	}
+	if *seed == 0 {
+		*seed = time.Now().UnixNano() ^ int64(*id)<<32
+	}
+	log.SetPrefix(fmt.Sprintf("node %d: ", *id))
+
+	tr := node.NewTCPTransport(3 * time.Second)
+	var others []addr.Addr
+	for a, ep := range endpoints {
+		tr.SetEndpoint(a, ep)
+		if a != addr.Addr(*id) {
+			others = append(others, a)
+		}
+	}
+	cfg := core.Config{MaxL: *maxl, RefMax: *refmax, RecMax: *recmax, RecFanout: *fanout}
+	if err := cfg.Validate(); err != nil {
+		log.Fatalf("pgridnode: %v", err)
+	}
+	n := node.New(addr.Addr(*id), cfg, tr, *seed)
+
+	if *stateFile != "" {
+		loaded, err := n.LoadStateFile(*stateFile)
+		if err != nil {
+			log.Fatalf("pgridnode: %v", err)
+		}
+		if loaded {
+			log.Printf("restored state from %s: path %s, %d entries", *stateFile, n.Path(), n.Store().Len())
+		}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("pgridnode: %v", err)
+	}
+	srv := node.NewServer(n, ln)
+	log.Printf("listening on %s, %d known peers", ln.Addr(), len(others))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *meet > 0 && len(others) > 0 {
+		go node.NewGossiper(n, others, *meet, *seed+1).Run(ctx)
+	}
+	if *status > 0 {
+		go statusLoop(ctx, n, *status)
+	}
+	if *stateFile != "" {
+		go checkpointLoop(ctx, n, *stateFile, *saveEvery)
+	}
+	if *maintain > 0 {
+		go maintainLoop(ctx, n, *maintain)
+	}
+
+	if err := srv.Serve(ctx); err != nil {
+		log.Fatalf("pgridnode: %v", err)
+	}
+	if *stateFile != "" {
+		if err := n.SaveStateFile(*stateFile); err != nil {
+			log.Printf("final checkpoint failed: %v", err)
+		}
+	}
+	log.Printf("shut down; final path %s", n.Path())
+}
+
+func statusLoop(ctx context.Context, n *node.Node, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			log.Printf("path=%s entries=%d", n.Path(), n.Store().Len())
+		}
+	}
+}
+
+func maintainLoop(ctx context.Context, n *node.Node, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if !n.Online() {
+				continue
+			}
+			if res := n.Maintain(3); res.Dropped > 0 || res.Added > 0 {
+				log.Printf("maintenance: dropped %d, learned %d (%d messages)",
+					res.Dropped, res.Added, res.Messages)
+			}
+		}
+	}
+}
+
+func checkpointLoop(ctx context.Context, n *node.Node, path string, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := n.SaveStateFile(path); err != nil {
+				log.Printf("checkpoint failed: %v", err)
+			}
+		}
+	}
+}
+
+func parseEndpoints(inline, file string) (map[addr.Addr]string, error) {
+	raw := inline
+	if file != "" {
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		raw = strings.ReplaceAll(strings.TrimSpace(string(b)), "\n", ",")
+	}
+	out := make(map[addr.Addr]string)
+	for _, pair := range strings.Split(raw, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		id, ep, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad endpoint %q (want id=host:port)", pair)
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(id))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad peer id %q", id)
+		}
+		out[addr.Addr(v)] = strings.TrimSpace(ep)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no endpoints given")
+	}
+	return out, nil
+}

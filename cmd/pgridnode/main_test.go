@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseEndpointsInline(t *testing.T) {
+	got, err := parseEndpoints("0=127.0.0.1:7000, 1=127.0.0.1:7001 ,2=host:99", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "127.0.0.1:7000" || got[2] != "host:99" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestParseEndpointsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "peers")
+	if err := os.WriteFile(path, []byte("0=:7000\n1=:7001\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseEndpoints("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != ":7001" {
+		t.Errorf("got %v", got)
+	}
+	if _, err := parseEndpoints("", filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseEndpointsErrors(t *testing.T) {
+	for _, bad := range []string{"", "noequals", "x=:7000", "-1=:7000"} {
+		if _, err := parseEndpoints(bad, ""); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

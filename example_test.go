@@ -1,0 +1,115 @@
+package pgrid_test
+
+import (
+	"fmt"
+
+	"pgrid"
+)
+
+// The examples below use BuildIdeal (a fabricated, perfectly balanced
+// grid) so their output is deterministic; applications normally use
+// pgrid.Build, which runs the randomized construction process.
+
+func ExampleBuildIdeal() {
+	g := pgrid.BuildIdeal(256, 4, 8, 1)
+	s := g.Stats()
+	fmt.Println(s.Peers, "peers at depth", s.MaxPathLen, "with", s.ReplicaMean, "replicas per path")
+	// Output: 256 peers at depth 4 with 16 replicas per path
+}
+
+func ExampleGrid_Publish() {
+	g := pgrid.BuildIdeal(256, 4, 8, 1)
+	key := pgrid.HashKey("song.mp3", 4)
+	cost, err := g.Publish(pgrid.Entry{Key: key, Name: "song.mp3", Holder: 42})
+	if err != nil {
+		fmt.Println("publish failed:", err)
+		return
+	}
+	fmt.Println("replicated:", cost.Replicas > 1)
+	// Output: replicated: true
+}
+
+func ExampleGrid_Lookup() {
+	g := pgrid.BuildIdeal(256, 4, 8, 1)
+	key := pgrid.HashKey("song.mp3", 4)
+	g.Publish(pgrid.Entry{Key: key, Name: "song.mp3", Holder: 42})
+
+	entry, _, err := g.Lookup(key, "song.mp3")
+	if err != nil {
+		fmt.Println("lookup failed:", err)
+		return
+	}
+	fmt.Println("hosted by peer", entry.Holder)
+	// Output: hosted by peer 42
+}
+
+func ExampleGrid_MajorityLookup() {
+	g := pgrid.BuildIdeal(256, 4, 8, 1)
+	key := pgrid.HashKey("doc", 4)
+	g.SeedIndex(pgrid.Entry{Key: key, Name: "doc", Holder: 1, Version: 1})
+	// A partial update leaves some replicas stale; the majority read
+	// still returns the freshest well-supported version.
+	g.Update(pgrid.Entry{Key: key, Name: "doc", Holder: 2, Version: 2}, 4, 2)
+
+	entry, _, _ := g.MajorityLookup(key, "doc", 3)
+	fmt.Println("version", entry.Version)
+	// Output: version 2
+}
+
+func ExampleGrid_PrefixSearch() {
+	g := pgrid.BuildIdeal(512, 5, 8, 2)
+	for i, w := range []string{"alpha", "alpine", "beta"} {
+		g.SeedIndex(pgrid.Entry{Key: pgrid.TextKey(w, 24), Name: w, Holder: i + 1})
+	}
+	hits, _, _ := g.PrefixSearch(pgrid.TextKey("al", 16))
+	for _, h := range hits {
+		fmt.Println(h.Name)
+	}
+	// Output:
+	// alpha
+	// alpine
+}
+
+func ExampleHashKey() {
+	fmt.Println(pgrid.HashKey("song.mp3", 8))
+	// Output: 10100111
+}
+
+func ExampleGrid_RangeSearch() {
+	g := pgrid.BuildIdeal(256, 4, 8, 1)
+	for v := 0; v < 16; v++ {
+		key := fmt.Sprintf("%04b", v)
+		g.SeedIndex(pgrid.Entry{Key: key, Name: fmt.Sprintf("block-%02d", v), Holder: v})
+	}
+	// An inclusive key range becomes a handful of prefix fan-outs.
+	hits, _, _ := g.RangeSearch("0101", "0111")
+	for _, h := range hits {
+		fmt.Println(h.Name)
+	}
+	// Output:
+	// block-05
+	// block-06
+	// block-07
+}
+
+func ExampleGrid_Trace() {
+	g := pgrid.BuildIdeal(256, 4, 8, 1)
+	hops, res, err := g.Trace("0110")
+	if err != nil {
+		fmt.Println("unreachable:", err)
+		return
+	}
+	fmt.Println("hops:", len(hops) > 0, "— responsible path:", res.Path)
+	// Output: hops: true — responsible path: 0110
+}
+
+func ExampleGrid_Join() {
+	g := pgrid.BuildIdeal(256, 4, 8, 1)
+	st, err := g.Join()
+	if err != nil {
+		fmt.Println("join failed:", err)
+		return
+	}
+	fmt.Println("newcomer", st.Peer, "settled at depth", st.Depth)
+	// Output: newcomer 256 settled at depth 4
+}

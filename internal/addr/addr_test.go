@@ -1,0 +1,188 @@
+package addr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	var s Set
+	if s.Len() != 0 || s.Contains(0) {
+		t.Fatal("zero set not empty")
+	}
+	if !s.Add(3) || !s.Add(1) || !s.Add(2) {
+		t.Fatal("Add of fresh addrs returned false")
+	}
+	if s.Add(3) {
+		t.Error("Add of duplicate returned true")
+	}
+	if s.Add(Nil) {
+		t.Error("Add of Nil returned true")
+	}
+	if s.Len() != 3 || !s.Contains(1) || !s.Contains(2) || !s.Contains(3) {
+		t.Fatalf("set contents wrong: %v", s.String())
+	}
+	if !s.Remove(1) || s.Remove(1) {
+		t.Error("Remove semantics wrong")
+	}
+	if s.Contains(1) || s.Len() != 2 {
+		t.Error("Remove did not delete")
+	}
+}
+
+func TestSetSortedAndSlice(t *testing.T) {
+	s := NewSet(5, 2, 9, 2)
+	sorted := s.Sorted()
+	want := []Addr{2, 5, 9}
+	if len(sorted) != 3 {
+		t.Fatalf("dedup failed: %v", sorted)
+	}
+	for i := range want {
+		if sorted[i] != want[i] {
+			t.Errorf("Sorted[%d] = %v, want %v", i, sorted[i], want[i])
+		}
+	}
+	sl := s.Slice()
+	sl[0] = 99 // must not alias internal storage
+	if s.Contains(99) {
+		t.Error("Slice aliases internal storage")
+	}
+}
+
+func TestUnionAndClone(t *testing.T) {
+	a := NewSet(1, 2)
+	b := NewSet(2, 3)
+	u := Union(a, b)
+	if u.Len() != 3 {
+		t.Fatalf("Union size = %d", u.Len())
+	}
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Error("Union mutated its inputs")
+	}
+	c := a.Clone()
+	c.Add(42)
+	if a.Contains(42) {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestRandomSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSet(1, 2, 3, 4, 5)
+	sub := s.RandomSubset(rng, 3)
+	if sub.Len() != 3 {
+		t.Fatalf("subset size = %d", sub.Len())
+	}
+	for _, a := range sub.Slice() {
+		if !s.Contains(a) {
+			t.Errorf("subset element %v not in source", a)
+		}
+	}
+	if got := s.RandomSubset(rng, 10).Len(); got != 5 {
+		t.Errorf("oversized subset len = %d, want 5", got)
+	}
+	if got := s.RandomSubset(rng, 0).Len(); got != 0 {
+		t.Errorf("zero subset len = %d", got)
+	}
+	if got := s.RandomSubset(rng, -1).Len(); got != 0 {
+		t.Errorf("negative subset len = %d", got)
+	}
+	if s.Len() != 5 {
+		t.Error("RandomSubset mutated source")
+	}
+}
+
+func TestPopRandomDrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewSet(1, 2, 3)
+	seen := map[Addr]bool{}
+	for i := 0; i < 3; i++ {
+		a := s.PopRandom(rng)
+		if a == Nil || seen[a] {
+			t.Fatalf("PopRandom returned %v (seen=%v)", a, seen[a])
+		}
+		seen[a] = true
+	}
+	if s.Len() != 0 {
+		t.Error("set not drained")
+	}
+	if s.PopRandom(rng) != Nil {
+		t.Error("PopRandom on empty must return Nil")
+	}
+}
+
+func TestShuffledIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewSet(1, 2, 3, 4, 5, 6, 7, 8)
+	out := s.Shuffled(rng)
+	if len(out) != 8 {
+		t.Fatalf("Shuffled len = %d", len(out))
+	}
+	seen := map[Addr]bool{}
+	for _, a := range out {
+		if !s.Contains(a) || seen[a] {
+			t.Fatalf("Shuffled is not a permutation: %v", out)
+		}
+		seen[a] = true
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if Nil.String() != "addr(nil)" {
+		t.Errorf("Nil renders as %q", Nil.String())
+	}
+	if Addr(7).String() != "addr(7)" {
+		t.Errorf("Addr(7) renders as %q", Addr(7).String())
+	}
+	if Nil.Valid() || !Addr(0).Valid() {
+		t.Error("Valid wrong")
+	}
+}
+
+func TestPropUnionContainsBoth(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		var a, b Set
+		for _, x := range xs {
+			a.Add(Addr(x))
+		}
+		for _, y := range ys {
+			b.Add(Addr(y))
+		}
+		u := Union(a, b)
+		for _, x := range a.Slice() {
+			if !u.Contains(x) {
+				return false
+			}
+		}
+		for _, y := range b.Slice() {
+			if !u.Contains(y) {
+				return false
+			}
+		}
+		return u.Len() <= a.Len()+b.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAddRemoveInverse(t *testing.T) {
+	f := func(xs []uint16, y uint16) bool {
+		var s Set
+		for _, x := range xs {
+			s.Add(Addr(x))
+		}
+		n := s.Len()
+		a := Addr(y)
+		if s.Contains(a) {
+			return true // nothing to test
+		}
+		s.Add(a)
+		s.Remove(a)
+		return s.Len() == n && !s.Contains(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import "testing"
+
+func TestCompareCostsShape(t *testing.T) {
+	rows, err := CompareCosts([]int{1000, 2000, 4000, 8000}, 10, 100, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	g := Growth(rows)
+	if g.Scale != 8 {
+		t.Fatalf("scale = %v", g.Scale)
+	}
+	// Linear quantities track the scale exactly.
+	if g.ServerStorage != 8 || g.ServerLoad != 8 || g.FloodMsgs != 8 {
+		t.Errorf("linear growths: %+v", g)
+	}
+	// Logarithmic quantities grow far slower than the scale.
+	if g.PGridStorage > 2 || g.PGridQueryMsgs > 2 {
+		t.Errorf("log growths too fast: %+v", g)
+	}
+	if g.PGridStorage < 1 || g.PGridQueryMsgs < 1 {
+		t.Errorf("log growths shrank: %+v", g)
+	}
+}
+
+func TestCompareCostsMatchesPaperExample(t *testing.T) {
+	// At the Section 4 example parameters (D=1e7, iLeaf=9800, refmax=20)
+	// the routing table is k·refmax = 200 references.
+	rows, err := CompareCosts([]int{20409}, 1e7/20409, 9800, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].PGridStorage != 200 {
+		t.Errorf("routing table = %v refs, want 200", rows[0].PGridStorage)
+	}
+	if rows[0].ServerStorage < 0.99e7 {
+		t.Errorf("server storage = %v", rows[0].ServerStorage)
+	}
+}
+
+func TestCompareCostsValidation(t *testing.T) {
+	if _, err := CompareCosts([]int{10}, 0, 1, 1, 1); err == nil {
+		t.Error("bad itemsPerPeer accepted")
+	}
+	if _, err := CompareCosts([]int{10}, 1, 0, 1, 1); err == nil {
+		t.Error("bad iLeaf accepted")
+	}
+	if _, err := CompareCosts([]int{10}, 1, 1, 0, 1); err == nil {
+		t.Error("bad refmax accepted")
+	}
+	if _, err := CompareCosts([]int{10}, 1, 1, 1, 0); err == nil {
+		t.Error("bad degree accepted")
+	}
+}
+
+func TestGrowthPanicsOnShortInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Growth([]CostRow{{N: 1}})
+}

@@ -1,0 +1,63 @@
+package bitpath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPaths(n, bits int) []Path {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]Path, n)
+	for i := range out {
+		out[i] = Random(rng, bits)
+	}
+	return out
+}
+
+func BenchmarkCommonPrefix(b *testing.B) {
+	ps := benchPaths(1024, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CommonPrefix(ps[i%1024], ps[(i+1)%1024])
+	}
+}
+
+func BenchmarkVal(b *testing.B) {
+	ps := benchPaths(1024, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ps[i%1024].Val()
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	ps := benchPaths(1024, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compare(ps[i%1024], ps[(i+7)%1024])
+	}
+}
+
+func BenchmarkHashKey(b *testing.B) {
+	names := make([]string, 256)
+	rng := rand.New(rand.NewSource(2))
+	for i := range names {
+		names[i] = randName(rng)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HashKey(names[i%256], 20)
+	}
+}
+
+func BenchmarkPrefixKey(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PrefixKey("some-file-name.mp3", 64)
+	}
+}

@@ -1,0 +1,78 @@
+package bitpath
+
+import "testing"
+
+// FuzzParse checks that Parse never accepts junk and never rejects valid
+// bit strings, and that accepted paths round-trip through the accessors
+// without panicking.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"", "0", "1", "0101", "2", "01x", "0000000000000000000001"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		valid := true
+		for i := 0; i < len(s); i++ {
+			if s[i] != '0' && s[i] != '1' {
+				valid = false
+				break
+			}
+		}
+		if valid != (err == nil) {
+			t.Fatalf("Parse(%q) err=%v, validity=%v", s, err, valid)
+		}
+		if err != nil {
+			return
+		}
+		// Exercising the algebra must never panic on a valid path.
+		_ = p.Len()
+		_ = p.Val()
+		_, _ = p.Interval()
+		_ = p.String()
+		if p.Len() > 0 {
+			_ = p.Sibling()
+			_ = p.Parent()
+			_ = p.Bit(1)
+			_ = p.Bit(p.Len())
+		}
+		if c := CommonPrefix(p, p); c != p {
+			t.Fatalf("CommonPrefix(p,p) = %q", c)
+		}
+		if !p.HasPrefix(p.Prefix(p.Len() / 2)) {
+			t.Fatal("own prefix rejected")
+		}
+	})
+}
+
+// FuzzDecodePrefixKey checks PrefixKey/DecodePrefixKey agreement on
+// arbitrary text.
+func FuzzDecodePrefixKey(f *testing.F) {
+	for _, seed := range []string{"", "a", "hello", "P-Grid", "\x00x", "日本"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		bits := (len(s) + 1) * 8
+		if bits > 512 {
+			return
+		}
+		p := PrefixKey(s, bits)
+		if p.Len() != bits || !p.Valid() {
+			t.Fatalf("PrefixKey(%q) = %q", s, p)
+		}
+		got, err := DecodePrefixKey(p)
+		if err != nil {
+			t.Fatalf("DecodePrefixKey: %v", err)
+		}
+		// Decoding stops at the first NUL; the original matches up to it.
+		want := s
+		for i := 0; i < len(s); i++ {
+			if s[i] == 0 {
+				want = s[:i]
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("round trip %q → %q (want %q)", s, got, want)
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package bitpath
+
+import "fmt"
+
+// CoverRange decomposes the inclusive key range [lo, hi] into the minimal
+// set of prefixes whose leaves are exactly the keys in the range, in val()
+// order. lo and hi must have the same length (≤ 62 bits) with lo ≤ hi.
+//
+// This is what makes an order-preserving access structure answer range
+// queries: a range over ℓ-bit keys becomes at most 2ℓ prefix searches.
+// (Hash-partitioned DHTs cannot do this — P-Grid's trie can, which the
+// paper leverages for its "prefix search on text" extension.)
+func CoverRange(lo, hi Path) ([]Path, error) {
+	if lo.Len() != hi.Len() {
+		return nil, fmt.Errorf("bitpath: CoverRange: lengths differ (%d vs %d)", lo.Len(), hi.Len())
+	}
+	n := lo.Len()
+	if n == 0 {
+		return []Path{Empty}, nil
+	}
+	if n > 62 {
+		return nil, fmt.Errorf("bitpath: CoverRange: length %d exceeds 62 bits", n)
+	}
+	l, h := lo.Uint(), hi.Uint()
+	if l > h {
+		return nil, fmt.Errorf("bitpath: CoverRange: lo %s > hi %s", lo, hi)
+	}
+	var out []Path
+	for l <= h {
+		// Grow the aligned block starting at l while it stays within [l,h].
+		size := uint64(1)
+		bits := 0
+		for l%(size*2) == 0 && l+(size*2)-1 <= h && bits < n {
+			size *= 2
+			bits++
+		}
+		out = append(out, FromUint(l>>uint(bits), n-bits))
+		if l+size-1 == ^uint64(0) {
+			break // would overflow; only possible at n=64, excluded above
+		}
+		l += size
+	}
+	return out, nil
+}
+
+// RangeContains reports whether key (of the same length as lo/hi) lies in
+// the inclusive range [lo, hi]. It panics if the lengths differ.
+func RangeContains(lo, hi, key Path) bool {
+	if lo.Len() != hi.Len() || key.Len() != lo.Len() {
+		panic(fmt.Sprintf("bitpath: RangeContains: mixed lengths %d/%d/%d", lo.Len(), hi.Len(), key.Len()))
+	}
+	return Compare(lo, key) <= 0 && Compare(key, hi) <= 0
+}

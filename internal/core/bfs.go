@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/directory"
+	"pgrid/internal/peer"
+)
+
+// ReplicaResult reports the outcome of a breadth-first replica search.
+type ReplicaResult struct {
+	// Found holds the addresses of peers covering the key (peers whose path
+	// is in a prefix relationship with the key), in discovery order.
+	Found []addr.Addr
+	// Messages is the number of peers contacted.
+	Messages int
+}
+
+// ReplicaSearch performs the breadth-first search used by the update
+// strategies of Section 5.2: unlike Query, which stops at the first
+// responsible peer, it follows up to recbreadth references at every level —
+// both while routing towards the key's region and, once inside it, across
+// every deeper level — collecting all covering peers it can reach.
+//
+// Only online peers are contacted. The starting peer costs no message.
+func ReplicaSearch(d *directory.Directory, start *peer.Peer, key bitpath.Path, recbreadth int, rng *rand.Rand) ReplicaResult {
+	var res ReplicaResult
+	if start == nil {
+		return res
+	}
+	visited := map[addr.Addr]bool{start.Addr(): true}
+	queue := []*peer.Peer{start}
+
+	contact := func(refs addr.Set) {
+		// Follow up to recbreadth fresh online references from this set.
+		followed := 0
+		for _, r := range refs.Shuffled(rng) {
+			if followed >= recbreadth {
+				break
+			}
+			if visited[r] {
+				continue
+			}
+			q := d.Peer(r)
+			if q == nil || !q.Online() {
+				continue
+			}
+			visited[r] = true
+			res.Messages++
+			queue = append(queue, q)
+			followed++
+		}
+	}
+
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		path := a.Path()
+		c := bitpath.CommonPrefixLen(path, key)
+		if c == path.Len() || c == key.Len() {
+			// a covers the key. Peers responsible for sibling regions under
+			// the key are reachable through a's references at every level
+			// below the key's length.
+			res.Found = append(res.Found, a.Addr())
+			for level := key.Len() + 1; level <= path.Len(); level++ {
+				contact(a.RefsAt(level))
+			}
+		} else {
+			// Route towards the key's region: references at the level of
+			// the first diverging bit agree with the key there.
+			contact(a.RefsAt(c + 1))
+		}
+	}
+	return res
+}

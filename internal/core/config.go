@@ -1,0 +1,80 @@
+// Package core implements the P-Grid algorithms of the paper: the
+// randomized construction by pairwise exchanges (Fig. 3), the depth-first
+// search (Fig. 2), the breadth-first replica search, the three update
+// propagation strategies of Section 5.2, and the repeated-query majority
+// read protocol.
+//
+// The algorithms operate on peers resolved through a directory and take an
+// explicit *rand.Rand, so every run is reproducible from a seed. They are
+// safe to drive from multiple goroutines: cross-peer decisions are applied
+// under pair locks (peer.EditPair), and single-peer mutations use
+// compare-and-swap semantics that abort on stale state, exactly as a real
+// networked peer discards a decision based on an outdated snapshot.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config carries the P-Grid parameters named in the paper.
+type Config struct {
+	// MaxL bounds the maximal path length (maxl). It prevents
+	// overspecialization and guarantees replication at the leaf level
+	// (Section 3).
+	MaxL int
+
+	// RefMax bounds the number of references stored per level (refmax).
+	RefMax int
+
+	// RecMax bounds the recursion depth of the exchange algorithm (recmax).
+	// 0 disables recursive exchanges entirely.
+	RecMax int
+
+	// RecFanout bounds how many referenced peers each side forwards to in
+	// the recursive case of the exchange (the fix discussed at the end of
+	// Section 5.1: "recursive calls are only made to 2 randomly selected
+	// referenced peers"). 0 means unbounded, the paper's original — and
+	// exponentially expensive — behaviour.
+	RecFanout int
+
+	// SplitMinItems, when > 0, makes splitting data-aware: a region is
+	// only split while the meeting peers together index at least this
+	// many items under it. This is the paper's own suggestion for
+	// adapting to skewed distributions ("one possible indication that a
+	// path has reached maxl could be that the number of data items
+	// belonging to the key is falling below a certain threshold",
+	// Section 3) and the basis of the skew extension experiments.
+	// 0 disables the gate: depth is bounded by MaxL alone.
+	SplitMinItems int
+}
+
+// DefaultConfig returns the parameters of the Section 5.1 baseline
+// simulations: maxl=6, refmax=1, recmax=2, bounded fan-out 2.
+func DefaultConfig() Config {
+	return Config{MaxL: 6, RefMax: 1, RecMax: 2, RecFanout: 2}
+}
+
+// GnutellaConfig returns the parameters of the Section 4 example and the
+// Section 5.2 experiments: keys of maximal length 10, refmax=20.
+func GnutellaConfig() Config {
+	return Config{MaxL: 10, RefMax: 20, RecMax: 2, RecFanout: 2}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	var errs []error
+	if c.MaxL < 1 {
+		errs = append(errs, fmt.Errorf("MaxL = %d, must be >= 1", c.MaxL))
+	}
+	if c.RefMax < 1 {
+		errs = append(errs, fmt.Errorf("RefMax = %d, must be >= 1", c.RefMax))
+	}
+	if c.RecMax < 0 {
+		errs = append(errs, fmt.Errorf("RecMax = %d, must be >= 0", c.RecMax))
+	}
+	if c.RecFanout < 0 {
+		errs = append(errs, fmt.Errorf("RecFanout = %d, must be >= 0", c.RecFanout))
+	}
+	return errors.Join(errs...)
+}

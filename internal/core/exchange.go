@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/directory"
+	"pgrid/internal/peer"
+)
+
+// Exchange executes the P-Grid construction algorithm of Fig. 3 for a
+// meeting of peers a1 and a2. Both peers' state may change: reference sets
+// at the common level are mixed, paths may specialize (cases 1–3), and the
+// meeting may recursively trigger exchanges with referenced peers (case 4),
+// bounded by cfg.RecMax and cfg.RecFanout.
+//
+// Every invocation, including recursive ones, increments m.Exchanges — the
+// construction-cost metric e of Section 5.1.
+func Exchange(d *directory.Directory, cfg Config, m *Metrics, a1, a2 *peer.Peer, rng *rand.Rand) {
+	exchange(d, cfg, m, a1, a2, 0, rng)
+}
+
+// followup is a recursive exchange scheduled by case 4: peer `fwd` is
+// forwarded to the referenced peer at `to`.
+type followup struct {
+	fwd *peer.Peer
+	to  addr.Addr
+}
+
+func exchange(d *directory.Directory, cfg Config, m *Metrics, a1, a2 *peer.Peer, r int, rng *rand.Rand) {
+	if a1 == nil || a2 == nil || a1 == a2 {
+		return
+	}
+	m.Exchanges.Add(1)
+
+	var followups []followup
+	// Data handed over when a peer specializes: entries that fell outside
+	// the narrowed responsibility, to be applied at the partner. Collected
+	// under the pair lock, applied after (stores are independently locked).
+	type migration struct {
+		from, to *peer.Peer
+		keep     bitpath.Path
+	}
+	var migrations []migration
+
+	// Data-aware split gate (Section 3's threshold suggestion): count the
+	// items the two peers index under their regions before taking locks;
+	// stores are independently synchronized, and a slightly stale count
+	// only delays or hastens one split.
+	splitOK := true
+	if cfg.SplitMinItems > 0 {
+		splitOK = a1.Store().Len()+a2.Store().Len() >= cfg.SplitMinItems
+	}
+	antiEntropy := false
+
+	peer.EditPair(a1, a2, func(e1, e2 peer.Editor) {
+		p1, p2 := e1.Path(), e2.Path()
+		lc := bitpath.CommonPrefixLen(p1, p2)
+
+		// Mix references at the deepest level where the paths agree. Any
+		// reference either peer holds at level lc is valid for both (it
+		// agrees with the shared prefix of length lc-1 and differs at bit
+		// lc), so they pool them and each keeps a random refmax-subset.
+		if lc > 0 {
+			commonrefs := addr.Union(e1.RefsAt(lc), e2.RefsAt(lc))
+			e1.SetRefsAt(lc, commonrefs.RandomSubset(rng, cfg.RefMax))
+			e2.SetRefsAt(lc, commonrefs.RandomSubset(rng, cfg.RefMax))
+		}
+
+		l1 := p1.Len() - lc
+		l2 := p2.Len() - lc
+		switch {
+		case l1 == 0 && l2 == 0 && lc < cfg.MaxL && splitOK:
+			// Case 1: identical paths with room to grow — introduce a new
+			// level. The peers split the interval and reference each other.
+			e1.Extend(0, addr.NewSet(e2.Addr()))
+			e2.Extend(1, addr.NewSet(e1.Addr()))
+			migrations = append(migrations,
+				migration{a1, a2, p1.Append(0)},
+				migration{a2, a1, p2.Append(1)})
+
+		case l1 == 0 && l2 > 0 && lc < cfg.MaxL && splitOK:
+			// Case 2: a1's path is a proper prefix of a2's — a1 specializes
+			// opposite to a2's next bit, keeping the grid balanced; a2 adds
+			// a1 to its references at the new level.
+			b := p2.Bit(lc + 1)
+			e1.Extend(1-b, addr.NewSet(e2.Addr()))
+			refs2 := addr.Union(addr.NewSet(e1.Addr()), e2.RefsAt(lc+1))
+			e2.SetRefsAt(lc+1, refs2.RandomSubset(rng, cfg.RefMax))
+			migrations = append(migrations, migration{a1, a2, p1.AppendFlip(b)})
+
+		case l1 > 0 && l2 == 0 && lc < cfg.MaxL && splitOK:
+			// Case 3: mirror image of case 2.
+			b := p1.Bit(lc + 1)
+			e2.Extend(1-b, addr.NewSet(e1.Addr()))
+			refs1 := addr.Union(addr.NewSet(e2.Addr()), e1.RefsAt(lc+1))
+			e1.SetRefsAt(lc+1, refs1.RandomSubset(rng, cfg.RefMax))
+			migrations = append(migrations, migration{a2, a1, p2.AppendFlip(b)})
+
+		case l1 > 0 && l2 > 0 && r < cfg.RecMax:
+			// Case 4: the paths diverge below the common prefix. Neither
+			// peer can specialize against the other, but each can forward
+			// the other to peers it references at level lc+1 — those share
+			// one more bit with the forwarded peer, so the recursive
+			// meeting is more likely to specialize.
+			refs1 := e1.RefsAt(lc + 1)
+			refs1.Remove(e2.Addr())
+			refs2 := e2.RefsAt(lc + 1)
+			refs2.Remove(e1.Addr())
+			if cfg.RecFanout > 0 {
+				refs1 = refs1.RandomSubset(rng, cfg.RecFanout)
+				refs2 = refs2.RandomSubset(rng, cfg.RecFanout)
+			}
+			for _, r1 := range refs1.Slice() {
+				followups = append(followups, followup{fwd: a2, to: r1})
+			}
+			for _, r2 := range refs2.Slice() {
+				followups = append(followups, followup{fwd: a1, to: r2})
+			}
+
+		case l1 == 0 && l2 == 0:
+			// Identical paths that cannot (or should not) split further:
+			// the peers are replicas of the same region. The paper's update
+			// strategies rely on buddy lists "identified throughout index
+			// construction"; this is where replicas identify each other.
+			e1.AddBuddy(e2.Addr())
+			e2.AddBuddy(e1.Addr())
+			antiEntropy = true
+		}
+	})
+
+	// Replicas reconcile their indexes when they meet (anti-entropy):
+	// both end up with the freshest version of every entry either knew.
+	// This is how replica indexes converge without explicit updates.
+	if antiEntropy {
+		for _, e := range a1.Store().Entries() {
+			a2.Store().Apply(e)
+		}
+		for _, e := range a2.Store().Entries() {
+			a1.Store().Apply(e)
+		}
+	}
+
+	// Hand over data items that fell outside a narrowed responsibility.
+	// Best-effort, like a real network: the partner covers the vacated
+	// region at the common level (it may itself be deeper; entries then
+	// migrate onward during its own future splits or via explicit inserts).
+	for _, mg := range migrations {
+		for _, entry := range mg.from.Store().Evict(mg.keep) {
+			mg.to.Store().Apply(entry)
+		}
+	}
+
+	// Recursive exchanges run outside any peer lock; a forwarded peer may
+	// have moved on concurrently, which is fine — the recursive exchange
+	// will just see its new state.
+	for _, f := range followups {
+		q := d.Peer(f.to)
+		if q != nil && q.Online() {
+			exchange(d, cfg, m, f.fwd, q, r+1, rng)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/directory"
+	"pgrid/internal/store"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestExchangeCase1SplitsFreshPeers(t *testing.T) {
+	d := directory.New(2)
+	var m Metrics
+	Exchange(d, DefaultConfig(), &m, d.Peer(0), d.Peer(1), newRng(1))
+
+	p0, p1 := d.Peer(0), d.Peer(1)
+	if p0.Path() != "0" || p1.Path() != "1" {
+		t.Fatalf("paths after split: %q, %q", p0.Path(), p1.Path())
+	}
+	if rs := p0.RefsAt(1); rs.Len() != 1 || !rs.Contains(1) {
+		t.Errorf("peer 0 refs = %v", rs.String())
+	}
+	if rs := p1.RefsAt(1); rs.Len() != 1 || !rs.Contains(0) {
+		t.Errorf("peer 1 refs = %v", rs.String())
+	}
+	if got := m.Exchanges.Load(); got != 1 {
+		t.Errorf("exchanges = %d", got)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeCase1RespectsMaxl(t *testing.T) {
+	d := directory.New(2)
+	cfg := Config{MaxL: 1, RefMax: 1, RecMax: 0}
+	var m Metrics
+	rng := newRng(2)
+	Exchange(d, cfg, &m, d.Peer(0), d.Peer(1), rng)
+	if d.Peer(0).Path() != "0" || d.Peer(1).Path() != "1" {
+		t.Fatal("first split failed")
+	}
+	// Make both responsible for "0" and try to meet again: same path at
+	// maxl must NOT split further; it records buddies instead.
+	d2 := directory.New(2)
+	d2.Peer(0).ExtendFrom(bitpath.Empty, 0, addr.NewSet(1))
+	d2.Peer(1).ExtendFrom(bitpath.Empty, 0, addr.NewSet(0))
+	Exchange(d2, cfg, &m, d2.Peer(0), d2.Peer(1), rng)
+	if d2.Peer(0).PathLen() != 1 || d2.Peer(1).PathLen() != 1 {
+		t.Errorf("peers specialized beyond maxl: %q, %q", d2.Peer(0).Path(), d2.Peer(1).Path())
+	}
+	if !d2.Peer(0).Buddies().Contains(1) || !d2.Peer(1).Buddies().Contains(0) {
+		t.Error("replicas at maxl did not record each other as buddies")
+	}
+}
+
+func TestExchangeCase2ShorterPeerSpecializesOpposite(t *testing.T) {
+	// a1 at "0", a2 at "01": common prefix "0", l1=0, l2=1.
+	// a1 must extend opposite to a2's next bit (1) → "00".
+	d := directory.New(3)
+	d.Peer(0).ExtendFrom(bitpath.Empty, 0, addr.NewSet(2))
+	d.Peer(1).ExtendFrom(bitpath.Empty, 0, addr.NewSet(2))
+	d.Peer(1).ExtendFrom(bitpath.MustParse("0"), 1, addr.NewSet(2))
+	d.Peer(2).ExtendFrom(bitpath.Empty, 1, addr.NewSet(0))
+
+	var m Metrics
+	Exchange(d, DefaultConfig(), &m, d.Peer(0), d.Peer(1), newRng(3))
+
+	if got := d.Peer(0).Path(); got != "00" {
+		t.Fatalf("a1 path = %q, want 00", got)
+	}
+	if got := d.Peer(1).Path(); got != "01" {
+		t.Fatalf("a2 path = %q (must not change)", got)
+	}
+	// a1 references a2 at level 2, a2 references a1 at level 2.
+	if rs := d.Peer(0).RefsAt(2); !rs.Contains(1) {
+		t.Errorf("a1 level-2 refs = %v", rs.String())
+	}
+	if rs := d.Peer(1).RefsAt(2); !rs.Contains(0) {
+		t.Errorf("a2 level-2 refs = %v", rs.String())
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeCase3MirrorsCase2(t *testing.T) {
+	// a1 at "01", a2 at "0": a2 must extend to "00".
+	d := directory.New(3)
+	d.Peer(0).ExtendFrom(bitpath.Empty, 0, addr.NewSet(2))
+	d.Peer(0).ExtendFrom(bitpath.MustParse("0"), 1, addr.Set{})
+	d.Peer(1).ExtendFrom(bitpath.Empty, 0, addr.NewSet(2))
+	d.Peer(2).ExtendFrom(bitpath.Empty, 1, addr.NewSet(0))
+
+	var m Metrics
+	Exchange(d, DefaultConfig(), &m, d.Peer(0), d.Peer(1), newRng(4))
+
+	if got := d.Peer(1).Path(); got != "00" {
+		t.Fatalf("a2 path = %q, want 00", got)
+	}
+	if got := d.Peer(0).Path(); got != "01" {
+		t.Fatalf("a1 path = %q (must not change)", got)
+	}
+	if rs := d.Peer(1).RefsAt(2); !rs.Contains(0) {
+		t.Errorf("a2 level-2 refs = %v, must reference a1", rs.String())
+	}
+	if rs := d.Peer(0).RefsAt(2); !rs.Contains(1) {
+		t.Errorf("a1 level-2 refs = %v, must reference a2", rs.String())
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeMixesRefsAtCommonLevel(t *testing.T) {
+	// Two peers on path "0" each referencing a different peer on side "1".
+	// After meeting, their level-1 reference pools are drawn from the union.
+	d := directory.New(4)
+	d.Peer(0).ExtendFrom(bitpath.Empty, 0, addr.NewSet(2))
+	d.Peer(1).ExtendFrom(bitpath.Empty, 0, addr.NewSet(3))
+	d.Peer(2).ExtendFrom(bitpath.Empty, 1, addr.NewSet(0))
+	d.Peer(3).ExtendFrom(bitpath.Empty, 1, addr.NewSet(1))
+
+	cfg := Config{MaxL: 2, RefMax: 2, RecMax: 0}
+	var m Metrics
+	Exchange(d, cfg, &m, d.Peer(0), d.Peer(1), newRng(5))
+
+	// Both split to level 2 (case 1) but their level-1 refs must now be
+	// the union {2,3} (refmax=2 keeps both).
+	for _, a := range []addr.Addr{0, 1} {
+		rs := d.Peer(a).RefsAt(1)
+		if rs.Len() != 2 || !rs.Contains(2) || !rs.Contains(3) {
+			t.Errorf("peer %v level-1 refs = %v, want {2,3}", a, rs.String())
+		}
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeRefmaxBoundsRefSets(t *testing.T) {
+	// Union of 4 distinct refs with refmax=2 must trim to 2.
+	d := directory.New(6)
+	d.Peer(0).ExtendFrom(bitpath.Empty, 0, addr.NewSet(2, 3))
+	d.Peer(1).ExtendFrom(bitpath.Empty, 0, addr.NewSet(4, 5))
+	for _, a := range []addr.Addr{2, 3, 4, 5} {
+		d.Peer(a).ExtendFrom(bitpath.Empty, 1, addr.NewSet(0))
+	}
+	cfg := Config{MaxL: 1, RefMax: 2, RecMax: 0}
+	var m Metrics
+	Exchange(d, cfg, &m, d.Peer(0), d.Peer(1), newRng(6))
+	for _, a := range []addr.Addr{0, 1} {
+		if got := d.Peer(a).RefsAt(1).Len(); got != 2 {
+			t.Errorf("peer %v kept %d refs, want refmax=2", a, got)
+		}
+	}
+}
+
+func TestExchangeCase4RecursionSpecializesViaReferences(t *testing.T) {
+	// a1="00", a2="01": diverge below common prefix "0" (l1,l2>0).
+	// a1 references peer 2 ("01") at level 2; with recursion enabled, a2 is
+	// forwarded to... peer 2, which has a2's own path — they're replicas at
+	// maxl... use maxl=3 so the recursive meeting splits them deeper.
+	d := directory.New(4)
+	d.Peer(0).ExtendFrom(bitpath.Empty, 0, addr.NewSet(3))
+	d.Peer(0).ExtendFrom(bitpath.MustParse("0"), 0, addr.NewSet(2))
+	d.Peer(1).ExtendFrom(bitpath.Empty, 0, addr.NewSet(3))
+	d.Peer(1).ExtendFrom(bitpath.MustParse("0"), 1, addr.NewSet(0))
+	d.Peer(2).ExtendFrom(bitpath.Empty, 0, addr.NewSet(3))
+	d.Peer(2).ExtendFrom(bitpath.MustParse("0"), 1, addr.NewSet(0))
+	d.Peer(3).ExtendFrom(bitpath.Empty, 1, addr.NewSet(0))
+
+	cfg := Config{MaxL: 3, RefMax: 2, RecMax: 1, RecFanout: 0}
+	var m Metrics
+	Exchange(d, cfg, &m, d.Peer(0), d.Peer(1), newRng(7))
+
+	if got := m.Exchanges.Load(); got < 2 {
+		t.Fatalf("exchanges = %d, recursion did not fire", got)
+	}
+	// The recursive meeting of a2 (01) with peer 2 (01) is a case-1 split:
+	// they must now sit at depth 3 on opposite sides.
+	p1, p2 := d.Peer(1).Path(), d.Peer(2).Path()
+	if p1.Len() != 3 || p2.Len() != 3 || p1 == p2 {
+		t.Errorf("recursive split failed: %q, %q", p1, p2)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeRecmaxZeroNeverRecurses(t *testing.T) {
+	d := directory.New(4)
+	d.Peer(0).ExtendFrom(bitpath.Empty, 0, addr.NewSet(3))
+	d.Peer(0).ExtendFrom(bitpath.MustParse("0"), 0, addr.NewSet(2))
+	d.Peer(1).ExtendFrom(bitpath.Empty, 0, addr.NewSet(3))
+	d.Peer(1).ExtendFrom(bitpath.MustParse("0"), 1, addr.NewSet(0))
+	d.Peer(2).ExtendFrom(bitpath.Empty, 0, addr.NewSet(3))
+	d.Peer(2).ExtendFrom(bitpath.MustParse("0"), 1, addr.NewSet(0))
+	d.Peer(3).ExtendFrom(bitpath.Empty, 1, addr.NewSet(0))
+
+	cfg := Config{MaxL: 6, RefMax: 2, RecMax: 0}
+	var m Metrics
+	Exchange(d, cfg, &m, d.Peer(0), d.Peer(1), newRng(8))
+	if got := m.Exchanges.Load(); got != 1 {
+		t.Errorf("exchanges = %d, want exactly 1 with recmax=0", got)
+	}
+}
+
+func TestExchangeSkipsOfflineRecursionTargets(t *testing.T) {
+	d := directory.New(4)
+	d.Peer(0).ExtendFrom(bitpath.Empty, 0, addr.NewSet(3))
+	d.Peer(0).ExtendFrom(bitpath.MustParse("0"), 0, addr.NewSet(2))
+	d.Peer(1).ExtendFrom(bitpath.Empty, 0, addr.NewSet(3))
+	d.Peer(1).ExtendFrom(bitpath.MustParse("0"), 1, addr.NewSet(0))
+	d.Peer(2).ExtendFrom(bitpath.Empty, 0, addr.NewSet(3))
+	d.Peer(2).ExtendFrom(bitpath.MustParse("0"), 1, addr.NewSet(0))
+	d.Peer(3).ExtendFrom(bitpath.Empty, 1, addr.NewSet(0))
+	d.Peer(2).SetOnline(false)
+	d.Peer(3).SetOnline(false)
+
+	cfg := Config{MaxL: 6, RefMax: 2, RecMax: 2, RecFanout: 0}
+	var m Metrics
+	Exchange(d, cfg, &m, d.Peer(0), d.Peer(1), newRng(9))
+	if got := m.Exchanges.Load(); got != 1 {
+		t.Errorf("exchanges = %d: recursed into offline peers", got)
+	}
+}
+
+func TestExchangeRecFanoutBoundsRecursion(t *testing.T) {
+	// a1 diverges from a2 and holds 4 refs at the diverging level; with
+	// RecFanout=1 only one recursive exchange per side may fire.
+	d := directory.New(7)
+	// a1 = 0 → "00", refs level 2 = {2,3,4,5} all at "01".
+	d.Peer(0).ExtendFrom(bitpath.Empty, 0, addr.NewSet(6))
+	d.Peer(0).ExtendFrom(bitpath.MustParse("0"), 0, addr.NewSet(2, 3, 4, 5))
+	// a2 = 1 at "01" with no level-2 refs of its own.
+	d.Peer(1).ExtendFrom(bitpath.Empty, 0, addr.NewSet(6))
+	d.Peer(1).ExtendFrom(bitpath.MustParse("0"), 1, addr.NewSet(0))
+	for _, a := range []addr.Addr{2, 3, 4, 5} {
+		d.Peer(a).ExtendFrom(bitpath.Empty, 0, addr.NewSet(6))
+		d.Peer(a).ExtendFrom(bitpath.MustParse("0"), 1, addr.NewSet(0))
+	}
+	d.Peer(6).ExtendFrom(bitpath.Empty, 1, addr.NewSet(0))
+
+	cfg := Config{MaxL: 2, RefMax: 4, RecMax: 1, RecFanout: 1}
+	var m Metrics
+	Exchange(d, cfg, &m, d.Peer(0), d.Peer(1), newRng(10))
+	// 1 top-level + at most 1 recursive per side; a2 has only {0} at level
+	// 2 (removed as the partner), so only a1's side can recurse: ≤ 2 total.
+	if got := m.Exchanges.Load(); got != 2 {
+		t.Errorf("exchanges = %d, want 2 with fanout 1", got)
+	}
+}
+
+func TestExchangeMigratesDataOnSplit(t *testing.T) {
+	d := directory.New(2)
+	e0 := store.Entry{Key: bitpath.MustParse("00"), Name: "left", Holder: 0, Version: 1}
+	e1 := store.Entry{Key: bitpath.MustParse("10"), Name: "right", Holder: 0, Version: 1}
+	d.Peer(0).Store().Apply(e0)
+	d.Peer(0).Store().Apply(e1)
+
+	var m Metrics
+	Exchange(d, DefaultConfig(), &m, d.Peer(0), d.Peer(1), newRng(11))
+	// Peer 0 took side "0": it keeps e0, hands e1 to peer 1 ("1").
+	if _, ok := d.Peer(0).Store().Get(e0.Key, e0.Name); !ok {
+		t.Error("peer 0 lost its own-side entry")
+	}
+	if _, ok := d.Peer(0).Store().Get(e1.Key, e1.Name); ok {
+		t.Error("peer 0 kept an entry outside its region")
+	}
+	if _, ok := d.Peer(1).Store().Get(e1.Key, e1.Name); !ok {
+		t.Error("peer 1 did not receive the migrated entry")
+	}
+}
+
+func TestExchangeSelfAndNilAreNoOps(t *testing.T) {
+	d := directory.New(2)
+	var m Metrics
+	Exchange(d, DefaultConfig(), &m, d.Peer(0), d.Peer(0), newRng(12))
+	Exchange(d, DefaultConfig(), &m, nil, d.Peer(0), newRng(12))
+	Exchange(d, DefaultConfig(), &m, d.Peer(0), nil, newRng(12))
+	if m.Exchanges.Load() != 0 {
+		t.Errorf("no-op meetings counted: %d", m.Exchanges.Load())
+	}
+	if d.Peer(0).PathLen() != 0 {
+		t.Error("no-op meeting mutated state")
+	}
+}
+
+// TestExchangeRandomRunPreservesInvariants drives many random meetings and
+// asserts the reference invariant continuously — the core safety property.
+func TestExchangeRandomRunPreservesInvariants(t *testing.T) {
+	rng := newRng(13)
+	d := directory.New(40)
+	cfg := Config{MaxL: 4, RefMax: 3, RecMax: 2, RecFanout: 2}
+	var m Metrics
+	for i := 0; i < 3000; i++ {
+		a1, a2 := d.RandomPair(rng)
+		Exchange(d, cfg, &m, a1, a2, rng)
+		if i%100 == 0 {
+			if err := d.CheckInvariants(); err != nil {
+				t.Fatalf("after %d meetings: %v", i, err)
+			}
+		}
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxRefsPerLevel() > cfg.RefMax {
+		t.Errorf("refmax exceeded: %d", d.MaxRefsPerLevel())
+	}
+	for _, p := range d.All() {
+		if p.PathLen() > cfg.MaxL {
+			t.Errorf("peer %v exceeded maxl: %q", p.Addr(), p.Path())
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"pgrid/internal/bitpath"
+	"pgrid/internal/trie"
+)
+
+func TestJoinNewcomerSpecializesToFullDepth(t *testing.T) {
+	rng := newRng(1)
+	cfg := Config{MaxL: 4, RefMax: 4, RecMax: 2, RecFanout: 2}
+	d := trie.BuildIdeal(128, 4, 4, rng)
+	var m Metrics
+
+	p := d.AddPeer()
+	res := Join(d, cfg, &m, p, cfg.MaxL, 500, rng)
+	if !res.Settled || res.Depth != 4 {
+		t.Fatalf("join did not settle: %+v (path %q)", res, p.Path())
+	}
+	if res.Meetings == 0 || res.Exchanges < int64(res.Meetings) {
+		t.Errorf("counters: %+v", res)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatalf("join broke invariants: %v", err)
+	}
+	// The newcomer must be routable: searches for keys under its path
+	// can end at it, and searches from it succeed.
+	for i := 0; i < 50; i++ {
+		key := bitpath.Random(rng, 4)
+		if !Query(d, p, key, rng).Found {
+			t.Fatalf("query %s from newcomer failed", key)
+		}
+	}
+}
+
+func TestJoinCostStaysFlatAsCommunityGrows(t *testing.T) {
+	rng := newRng(2)
+	cfg := Config{MaxL: 4, RefMax: 4, RecMax: 2, RecFanout: 2}
+	d := trie.BuildIdeal(64, 4, 4, rng)
+	var m Metrics
+
+	results := Grow(d, cfg, &m, 64, 500, rng)
+	if len(results) != 64 {
+		t.Fatalf("results = %d", len(results))
+	}
+	settled := 0
+	firstHalf, secondHalf := 0, 0
+	for i, r := range results {
+		if r.Settled {
+			settled++
+		}
+		if i < 32 {
+			firstHalf += r.Meetings
+		} else {
+			secondHalf += r.Meetings
+		}
+	}
+	if settled < 60 {
+		t.Fatalf("only %d/64 joins settled", settled)
+	}
+	// Doubling the community must not inflate per-join cost: O(depth)
+	// targeted meetings either way. Allow generous noise.
+	if float64(secondHalf) > 3*float64(firstHalf) {
+		t.Errorf("join cost exploded as community grew: %d → %d meetings per 32 joins",
+			firstHalf, secondHalf)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinWithNoOnlinePeers(t *testing.T) {
+	rng := newRng(3)
+	cfg := Config{MaxL: 3, RefMax: 2, RecMax: 2, RecFanout: 2}
+	d := trie.BuildIdeal(16, 3, 2, rng)
+	d.SetAllOnline(false)
+	var m Metrics
+	p := d.AddPeer()
+	p.SetOnline(true)
+	res := Join(d, cfg, &m, p, cfg.MaxL, 100, rng)
+	// The only online peer is the newcomer itself: no progress, no panic.
+	if res.Settled || res.Depth != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestJoinBudgetExhaustion(t *testing.T) {
+	rng := newRng(4)
+	cfg := Config{MaxL: 10, RefMax: 2, RecMax: 0} // no recursion: slow
+	d := trie.BuildIdeal(8, 1, 2, rng)            // depth-1 community, target 10
+	var m Metrics
+	p := d.AddPeer()
+	res := Join(d, cfg, &m, p, 10, 5, rng)
+	if res.Settled {
+		t.Errorf("settled to depth 10 in 5 meetings against a depth-1 grid: %+v", res)
+	}
+	if res.Meetings != 5 {
+		t.Errorf("meetings = %d", res.Meetings)
+	}
+}

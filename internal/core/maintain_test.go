@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/trie"
+)
+
+func addrOfInt(i int) addr.Addr { return addr.Addr(i) }
+
+func refsFrom(addrs ...addr.Addr) addr.Set { return addr.NewSet(addrs...) }
+
+func TestMaintainDropsDeadReferences(t *testing.T) {
+	rng := newRng(1)
+	d := trie.BuildIdeal(64, 3, 4, rng)
+	cfg := Config{MaxL: 3, RefMax: 4, RecMax: 2, RecFanout: 2}
+	a := d.Peer(0)
+	// Kill every reference of peer 0.
+	for level := 1; level <= 3; level++ {
+		for _, r := range a.RefsAt(level).Slice() {
+			d.Peer(r).SetOnline(false)
+		}
+	}
+	res := Maintain(d, cfg, a, MaintainOptions{DropOffline: true}, rng)
+	if res.Dropped == 0 {
+		t.Fatalf("nothing dropped: %+v", res)
+	}
+	for level := 1; level <= 3; level++ {
+		for _, r := range a.RefsAt(level).Slice() {
+			if !d.Online(r) {
+				t.Errorf("dead reference %v survived at level %d", r, level)
+			}
+		}
+	}
+	if res.Probed != 12 || res.Messages < res.Probed {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestMaintainRefillsFromBuddies(t *testing.T) {
+	rng := newRng(2)
+	// 64 peers, depth 2, refmax 8: every leaf has 16 replicas, buddies
+	// fully populated, but BuildIdeal stores all 8 refs. Shrink peer 0's
+	// level-1 set to one live reference, then let refill restore it.
+	d := trie.BuildIdeal(64, 2, 8, rng)
+	cfg := Config{MaxL: 2, RefMax: 8, RecMax: 2, RecFanout: 2}
+	a := d.Peer(0)
+	refs := a.RefsAt(1)
+	one := refs.Slice()[:1]
+	a.SetRefsAt(1, refsFrom(one...))
+
+	res := Maintain(d, cfg, a, MaintainOptions{Fetch: 2}, rng)
+	if res.Added == 0 {
+		t.Fatalf("refill added nothing: %+v", res)
+	}
+	got := a.RefsAt(1)
+	if got.Len() <= 1 {
+		t.Fatalf("level 1 not refilled: %d refs", got.Len())
+	}
+	// Everything refilled must satisfy the reference invariant.
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaintainRespectsRefmax(t *testing.T) {
+	rng := newRng(3)
+	d := trie.BuildIdeal(64, 2, 4, rng)
+	cfg := Config{MaxL: 2, RefMax: 4, RecMax: 2, RecFanout: 2}
+	MaintainAll(d, cfg, MaintainOptions{DropOffline: true, Fetch: 4}, rng)
+	if got := d.MaxRefsPerLevel(); got > 4 {
+		t.Errorf("refmax exceeded after maintenance: %d", got)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaintainRepairsAfterDepartureWave(t *testing.T) {
+	// The headline extension scenario: a third of the community departs
+	// permanently. Without maintenance the reference fabric decays; with
+	// maintenance (drop + buddy refill) health recovers.
+	rng := newRng(4)
+	cfg := Config{MaxL: 3, RefMax: 6, RecMax: 2, RecFanout: 2}
+	d := trie.BuildIdeal(240, 3, 6, rng)
+
+	for i := 0; i < 80; i++ {
+		d.Peer(addrOfInt(i * 3)).SetOnline(false)
+	}
+	before := MeasureRefHealth(d, cfg)
+	if before.AliveFraction > 0.8 {
+		t.Fatalf("departure wave too weak: %+v", before)
+	}
+
+	for round := 0; round < 3; round++ {
+		MaintainAll(d, cfg, MaintainOptions{DropOffline: true, Fetch: 3}, rng)
+	}
+	after := MeasureRefHealth(d, cfg)
+	if after.AliveFraction < 0.99 {
+		t.Errorf("maintenance did not restore liveness: %+v → %+v", before, after)
+	}
+	if after.Fill < before.Fill*0.8 {
+		t.Errorf("maintenance drained reference sets: fill %v → %v", before.Fill, after.Fill)
+	}
+}
+
+func TestMaintainImprovesSearchAfterChurn(t *testing.T) {
+	cfg := Config{MaxL: 3, RefMax: 4, RecMax: 2, RecFanout: 2}
+	run := func(maintain bool) int {
+		rng := newRng(5)
+		d := trie.BuildIdeal(240, 3, 4, rng)
+		// Permanent departures with replacement: half the community.
+		for i := 0; i < 120; i++ {
+			ReplaceDeparted(d, addrOfInt(i*2))
+		}
+		if maintain {
+			for round := 0; round < 3; round++ {
+				MaintainAll(d, cfg, MaintainOptions{DropOffline: true, Fetch: 3}, rng)
+			}
+		}
+		succ := 0
+		for i := 0; i < 300; i++ {
+			key := bitpath.Random(rng, 3)
+			start := d.RandomOnlinePeer(rng)
+			// Survivors only: fresh replacements have empty paths and
+			// would trivially "cover" everything.
+			for start.PathLen() == 0 {
+				start = d.RandomOnlinePeer(rng)
+			}
+			res := Query(d, start, key, rng)
+			if res.Found && d.Peer(res.Peer).PathLen() > 0 {
+				succ++
+			}
+		}
+		return succ
+	}
+	plain := run(false)
+	repaired := run(true)
+	if repaired < plain {
+		t.Errorf("maintenance reduced search success: %d vs %d", repaired, plain)
+	}
+}
+
+func TestProbeDetectsReplacedPeers(t *testing.T) {
+	rng := newRng(6)
+	d := trie.BuildIdeal(16, 2, 4, rng)
+	a := d.Peer(0)
+	self := a.Path()
+	r := a.RefsAt(1).Slice()[0]
+	if !Probe(d, self, 1, r) {
+		t.Fatal("live valid reference failed probe")
+	}
+	// Replace the referenced peer: address resolves, state is gone.
+	ReplaceDeparted(d, r)
+	if Probe(d, self, 1, r) {
+		t.Error("replaced peer passed probe")
+	}
+	d.Peer(r).SetOnline(false)
+	if Probe(d, self, 1, r) {
+		t.Error("offline peer passed probe")
+	}
+	if Probe(d, self, 1, 9999) {
+		t.Error("dangling address passed probe")
+	}
+}
+
+func TestMeasureRefHealth(t *testing.T) {
+	rng := newRng(7)
+	cfg := Config{MaxL: 2, RefMax: 4, RecMax: 2, RecFanout: 2}
+	d := trie.BuildIdeal(32, 2, 4, rng)
+	h := MeasureRefHealth(d, cfg)
+	if h.AliveFraction != 1 || h.Fill != 1 || h.Refs != 32*2*4 {
+		t.Fatalf("fresh grid health = %+v", h)
+	}
+	d.SetAllOnline(false)
+	h = MeasureRefHealth(d, cfg)
+	if h.AliveFraction != 0 {
+		t.Errorf("all-offline alive fraction = %v", h.AliveFraction)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/directory"
+	"pgrid/internal/peer"
+)
+
+// QueryResult reports the outcome of a depth-first search.
+type QueryResult struct {
+	// Found reports whether a responsible peer was reached.
+	Found bool
+	// Peer is the address of the responsible peer when Found.
+	Peer addr.Addr
+	// Messages is the number of successful query calls to other peers —
+	// the cost metric of Section 5.2. A query answered locally costs 0.
+	Messages int
+}
+
+// Query performs the randomized depth-first search of Fig. 2: starting at
+// peer a, it routes the request for key p across the peers' references,
+// backtracking through alternative references when a contacted subtree
+// fails (offline peers). A peer is responsible for p when its remaining
+// path and the remaining query are in a prefix relationship.
+//
+// The search only ever contacts online peers; the starting peer itself is
+// used as-is (the caller decides whether offline peers may issue queries).
+func Query(d *directory.Directory, a *peer.Peer, p bitpath.Path, rng *rand.Rand) QueryResult {
+	var res QueryResult
+	res.Found = query(d, a, p, 0, rng, &res)
+	return res
+}
+
+// query mirrors the paper's query(a, p, l): l is the number of leading path
+// bits already consumed by routing, p is the remaining query suffix.
+func query(d *directory.Directory, a *peer.Peer, p bitpath.Path, l int, rng *rand.Rand, res *QueryResult) bool {
+	path := a.Path()
+	rempath := path.Suffix(min(l, path.Len()))
+	compath := bitpath.CommonPrefix(p, rempath)
+
+	if compath.Len() == p.Len() || compath.Len() == rempath.Len() {
+		// Either the query is exhausted within the peer's path (the peer's
+		// region lies inside the query interval) or the peer's path is a
+		// prefix of the query (its leaf index covers the key): responsible.
+		res.Peer = a.Addr()
+		return true
+	}
+
+	if path.Len() > l+compath.Len() {
+		querypath := p.Suffix(compath.Len())
+		refs := a.RefsAt(l + compath.Len() + 1)
+		for refs.Len() > 0 {
+			r := refs.PopRandom(rng)
+			q := d.Peer(r)
+			if q == nil || !q.Online() {
+				continue
+			}
+			res.Messages++
+			if query(d, q, querypath, l+compath.Len(), rng, res) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/directory"
+	"pgrid/internal/peer"
+)
+
+// Hop records one step of a traced search.
+type Hop struct {
+	// Peer is the peer visited.
+	Peer addr.Addr
+	// Path is its responsibility path at visit time.
+	Path bitpath.Path
+	// Level is the absolute number of key bits resolved on arrival.
+	Level int
+	// Matched reports whether the search terminated here.
+	Matched bool
+	// Backtracked reports that the subtree under this peer failed and the
+	// search returned to try an alternative reference.
+	Backtracked bool
+}
+
+// Trace is the full route of one search.
+type Trace struct {
+	Key    bitpath.Path
+	Hops   []Hop
+	Result QueryResult
+}
+
+// String renders the route like
+//
+//	key 0110: addr(3)[ε/0] → addr(17)[01/1] → addr(9)[0110/2] ✓ (2 msgs)
+func (t Trace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "key %s: ", t.Key)
+	for i, h := range t.Hops {
+		if i > 0 {
+			sb.WriteString(" → ")
+		}
+		fmt.Fprintf(&sb, "%v[%s/%d]", h.Peer, h.Path, h.Level)
+		if h.Backtracked {
+			sb.WriteString("↩")
+		}
+	}
+	if t.Result.Found {
+		fmt.Fprintf(&sb, " ✓ (%d msgs)", t.Result.Messages)
+	} else {
+		fmt.Fprintf(&sb, " ✗ (%d msgs)", t.Result.Messages)
+	}
+	return sb.String()
+}
+
+// QueryTraced runs the Fig. 2 search like Query but records every hop,
+// including backtracking — the route-inspection tool behind pgridsim's
+// -trace flag and the routing tests.
+func QueryTraced(d *directory.Directory, a *peer.Peer, p bitpath.Path, rng *rand.Rand) Trace {
+	t := Trace{Key: p}
+	t.Result.Found = queryTraced(d, a, p, 0, rng, &t)
+	return t
+}
+
+func queryTraced(d *directory.Directory, a *peer.Peer, p bitpath.Path, l int, rng *rand.Rand, t *Trace) bool {
+	path := a.Path()
+	hop := Hop{Peer: a.Addr(), Path: path, Level: l}
+	t.Hops = append(t.Hops, hop)
+	idx := len(t.Hops) - 1
+
+	rempath := path.Suffix(min(l, path.Len()))
+	compath := bitpath.CommonPrefix(p, rempath)
+	if compath.Len() == p.Len() || compath.Len() == rempath.Len() {
+		t.Hops[idx].Matched = true
+		t.Result.Peer = a.Addr()
+		return true
+	}
+
+	if path.Len() > l+compath.Len() {
+		querypath := p.Suffix(compath.Len())
+		refs := a.RefsAt(l + compath.Len() + 1)
+		for refs.Len() > 0 {
+			r := refs.PopRandom(rng)
+			q := d.Peer(r)
+			if q == nil || !q.Online() {
+				continue
+			}
+			t.Result.Messages++
+			if queryTraced(d, q, querypath, l+compath.Len(), rng, t) {
+				return true
+			}
+			t.Hops[idx].Backtracked = true
+		}
+	}
+	return false
+}

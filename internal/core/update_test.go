@@ -1,0 +1,262 @@
+package core
+
+import (
+	"testing"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/store"
+	"pgrid/internal/trie"
+)
+
+func TestFindRoundStrategies(t *testing.T) {
+	rng := newRng(1)
+	d := trie.BuildIdeal(64, 3, 8, rng)
+	key := bitpath.MustParse("101")
+
+	for _, s := range []Strategy{RepeatedDFS, RepeatedDFSBuddies, BreadthFirst} {
+		acc := make(map[addr.Addr]bool)
+		msgs := FindRound(d, s, key, 3, acc, rng)
+		if len(acc) == 0 {
+			t.Errorf("%v: found nothing", s)
+		}
+		if msgs < 0 {
+			t.Errorf("%v: negative messages", s)
+		}
+		for a := range acc {
+			if !bitpath.Comparable(d.Peer(a).Path(), key) {
+				t.Errorf("%v: non-covering peer %v", s, a)
+			}
+		}
+	}
+}
+
+func TestFindRoundDFSFindsAtMostOne(t *testing.T) {
+	rng := newRng(2)
+	d := trie.BuildIdeal(64, 3, 8, rng)
+	acc := make(map[addr.Addr]bool)
+	FindRound(d, RepeatedDFS, bitpath.MustParse("000"), 0, acc, rng)
+	if len(acc) > 1 {
+		t.Errorf("plain DFS found %d replicas in one round", len(acc))
+	}
+}
+
+func TestFindRoundBuddiesExpandCoverage(t *testing.T) {
+	// On the ideal grid buddies are fully populated, so one DFS+buddies
+	// round must find the entire replica group of an exact-depth key.
+	rng := newRng(3)
+	d := trie.BuildIdeal(64, 3, 8, rng)
+	key := bitpath.MustParse("110")
+	group := d.Covering(key)
+	acc := make(map[addr.Addr]bool)
+	FindRound(d, RepeatedDFSBuddies, key, 0, acc, rng)
+	if len(acc) != len(group) {
+		t.Errorf("found %d of %d with buddies", len(acc), len(group))
+	}
+}
+
+func TestFindRoundBuddySkipsOffline(t *testing.T) {
+	rng := newRng(4)
+	d := trie.BuildIdeal(16, 1, 8, rng)
+	key := bitpath.MustParse("1")
+	group := d.Covering(key)
+	for i, a := range group {
+		if i >= len(group)/2 {
+			d.Peer(a).SetOnline(false)
+		}
+	}
+	acc := make(map[addr.Addr]bool)
+	FindRound(d, RepeatedDFSBuddies, key, 0, acc, rng)
+	for a := range acc {
+		if !d.Peer(a).Online() {
+			t.Errorf("offline buddy %v updated", a)
+		}
+	}
+}
+
+func TestFindRoundNoOnlinePeers(t *testing.T) {
+	rng := newRng(5)
+	d := trie.BuildIdeal(8, 1, 4, rng)
+	d.SetAllOnline(false)
+	acc := make(map[addr.Addr]bool)
+	if msgs := FindRound(d, BreadthFirst, bitpath.MustParse("0"), 2, acc, rng); msgs != 0 || len(acc) != 0 {
+		t.Errorf("msgs=%d acc=%v with everyone offline", msgs, acc)
+	}
+}
+
+func TestUpdatePropagatesVersion(t *testing.T) {
+	rng := newRng(6)
+	d := trie.BuildIdeal(64, 3, 8, rng)
+	key := bitpath.MustParse("01") // shorter than depth → BFS can fan out
+	entry := store.Entry{Key: key, Name: "doc", Holder: 1, Version: 7}
+	res := Update(d, entry, 8, 3, rng)
+	if res.Replicas == 0 {
+		t.Fatal("update reached no replicas")
+	}
+	fresh := 0
+	for _, a := range d.Covering(key) {
+		if e, ok := d.Peer(a).Store().Get(key, "doc"); ok && e.Version == 7 {
+			fresh++
+		}
+	}
+	if fresh != res.Replicas {
+		t.Errorf("reported %d replicas, %d actually fresh", res.Replicas, fresh)
+	}
+	if fresh < len(d.Covering(key))/2 {
+		t.Errorf("update reached only %d of %d covering peers", fresh, len(d.Covering(key)))
+	}
+}
+
+func TestUpdateDoesNotRegressVersions(t *testing.T) {
+	rng := newRng(7)
+	d := trie.BuildIdeal(16, 2, 4, rng)
+	key := bitpath.MustParse("0")
+	PopulateIndex(d, store.Entry{Key: key, Name: "x", Holder: 1, Version: 10})
+	Update(d, store.Entry{Key: key, Name: "x", Holder: 2, Version: 3}, 4, 2, rng)
+	for _, a := range d.Covering(key) {
+		if e, ok := d.Peer(a).Store().Get(key, "x"); ok && e.Version != 10 {
+			t.Fatalf("stale update regressed peer %v to version %d", a, e.Version)
+		}
+	}
+}
+
+func TestReadOnceReturnsStoredEntry(t *testing.T) {
+	rng := newRng(8)
+	d := trie.BuildIdeal(16, 2, 4, rng)
+	key := bitpath.MustParse("11")
+	PopulateIndex(d, store.Entry{Key: key, Name: "f", Holder: 3, Version: 2})
+	res := ReadOnce(d, d.RandomPeer(rng), key, "f", rng)
+	if !res.Found || res.Entry.Version != 2 || res.Entry.Holder != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Queries != 1 {
+		t.Errorf("Queries = %d", res.Queries)
+	}
+}
+
+func TestReadOnceMissingName(t *testing.T) {
+	rng := newRng(9)
+	d := trie.BuildIdeal(16, 2, 4, rng)
+	res := ReadOnce(d, d.RandomPeer(rng), bitpath.MustParse("00"), "absent", rng)
+	if res.Found {
+		t.Fatalf("res = %+v, want not found", res)
+	}
+}
+
+func TestMajorityReadAllFresh(t *testing.T) {
+	rng := newRng(10)
+	d := trie.BuildIdeal(64, 2, 8, rng)
+	key := bitpath.MustParse("10")
+	PopulateIndex(d, store.Entry{Key: key, Name: "f", Holder: 1, Version: 5})
+	res := MajorityRead(d, key, "f", MajorityOptions{Margin: 3}, rng)
+	if !res.Found || res.Entry.Version != 5 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Queries < 3 {
+		t.Errorf("decided after %d queries, margin is 3", res.Queries)
+	}
+}
+
+func TestMajorityReadOutvotesStaleMinority(t *testing.T) {
+	rng := newRng(11)
+	d := trie.BuildIdeal(64, 2, 8, rng)
+	key := bitpath.MustParse("10")
+	group := d.Covering(key)
+	// All replicas hold v1; a minority (3 of 16) additionally got v2...
+	// rather: majority at v2, minority stale at v1.
+	for i, a := range group {
+		v := uint64(2)
+		if i < len(group)/4 {
+			v = 1
+		}
+		d.Peer(a).Store().Apply(store.Entry{Key: key, Name: "f", Holder: 1, Version: v})
+	}
+	for trial := 0; trial < 10; trial++ {
+		res := MajorityRead(d, key, "f", MajorityOptions{Margin: 4}, rng)
+		if !res.Found {
+			t.Fatal("majority read found nothing")
+		}
+		if res.Entry.Version != 2 {
+			t.Fatalf("trial %d: majority read returned stale version %d", trial, res.Entry.Version)
+		}
+	}
+}
+
+func TestMajorityReadBudgetExhaustedReturnsBestEffort(t *testing.T) {
+	rng := newRng(12)
+	d := trie.BuildIdeal(16, 2, 4, rng)
+	key := bitpath.MustParse("01")
+	PopulateIndex(d, store.Entry{Key: key, Name: "f", Holder: 1, Version: 9})
+	// Margin larger than the replica group: can never decide, must fall
+	// back to the best-supported version.
+	res := MajorityRead(d, key, "f", MajorityOptions{Margin: 50, MaxQueries: 30}, rng)
+	if !res.Found || res.Entry.Version != 9 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Queries != 30 {
+		t.Errorf("Queries = %d, want full budget", res.Queries)
+	}
+}
+
+func TestMajorityReadNothingStored(t *testing.T) {
+	rng := newRng(13)
+	d := trie.BuildIdeal(16, 2, 4, rng)
+	res := MajorityRead(d, bitpath.MustParse("01"), "ghost", MajorityOptions{MaxQueries: 10}, rng)
+	if res.Found {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestMajorityReadNoOnlinePeers(t *testing.T) {
+	rng := newRng(14)
+	d := trie.BuildIdeal(16, 2, 4, rng)
+	d.SetAllOnline(false)
+	res := MajorityRead(d, bitpath.MustParse("01"), "f", MajorityOptions{}, rng)
+	if res.Found || res.Queries != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestPopulateIndexInstallsAtAllCoveringPeers(t *testing.T) {
+	rng := newRng(15)
+	d := trie.BuildIdeal(32, 2, 4, rng)
+	key := bitpath.MustParse("110") // deeper than grid: covered by leaf 11
+	n := PopulateIndex(d, store.Entry{Key: key, Name: "f", Holder: 1, Version: 1})
+	want := d.Covering(key)
+	if n != len(want) {
+		t.Fatalf("populated %d, covering set is %d", n, len(want))
+	}
+	for _, a := range want {
+		if _, ok := d.Peer(a).Store().Get(key, "f"); !ok {
+			t.Errorf("covering peer %v missing entry", a)
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if RepeatedDFS.String() != "repeated-dfs" ||
+		RepeatedDFSBuddies.String() != "repeated-dfs+buddies" ||
+		BreadthFirst.String() != "breadth-first" ||
+		Strategy(99).String() != "unknown-strategy" {
+		t.Error("Strategy.String wrong")
+	}
+}
+
+func TestInsertReachesReplicas(t *testing.T) {
+	rng := newRng(16)
+	d := trie.BuildIdeal(64, 3, 8, rng)
+	entry := store.Entry{Key: bitpath.MustParse("10"), Name: "new", Holder: 5, Version: 1}
+	res := Insert(d, entry, 8, rng)
+	if res.Replicas == 0 {
+		t.Fatal("insert reached nobody")
+	}
+	found := 0
+	for _, a := range d.Covering(entry.Key) {
+		if _, ok := d.Peer(a).Store().Get(entry.Key, "new"); ok {
+			found++
+		}
+	}
+	if found != res.Replicas {
+		t.Errorf("reported %d, stored at %d", res.Replicas, found)
+	}
+}

@@ -1,0 +1,122 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 5) plus the Section 6 comparison, as parameterized,
+// seeded functions returning structured rows. cmd/pgridbench prints them in
+// the paper's layout; the repository-level benchmarks wrap them; tests
+// assert the qualitative shape of each result.
+package experiments
+
+import (
+	"fmt"
+
+	"pgrid/internal/core"
+	"pgrid/internal/sim"
+)
+
+// ConstructionRow is one measurement of the construction cost e.
+type ConstructionRow struct {
+	N         int     // community size
+	MaxL      int     // maximal path length
+	RefMax    int     // reference multiplicity
+	RecMax    int     // recursion depth bound
+	RecFanout int     // recursion fan-out bound (0 = unbounded)
+	Exchanges int64   // e — calls to the exchange function
+	EPerN     float64 // e / N
+	Converged bool
+}
+
+func buildRow(n int, cfg core.Config, seed int64) (ConstructionRow, error) {
+	res, err := sim.Build(sim.Options{N: n, Config: cfg, Seed: seed})
+	if err != nil {
+		return ConstructionRow{}, err
+	}
+	return ConstructionRow{
+		N: n, MaxL: cfg.MaxL, RefMax: cfg.RefMax, RecMax: cfg.RecMax, RecFanout: cfg.RecFanout,
+		Exchanges: res.Exchanges,
+		EPerN:     float64(res.Exchanges) / float64(n),
+		Converged: res.Converged,
+	}, nil
+}
+
+// Table1 reproduces the first Section 5.1 table: construction cost vs
+// community size N ∈ {200,400,…,1000} for recmax ∈ {0,2}, maxl=6,
+// refmax=1. The paper's finding: e grows linearly in N, i.e. e/N is
+// (practically) constant.
+func Table1(seed int64) ([]ConstructionRow, error) {
+	var rows []ConstructionRow
+	for _, recmax := range []int{0, 2} {
+		for n := 200; n <= 1000; n += 200 {
+			cfg := core.Config{MaxL: 6, RefMax: 1, RecMax: recmax, RecFanout: 2}
+			row, err := buildRow(n, cfg, seed+int64(n)+int64(recmax))
+			if err != nil {
+				return nil, fmt.Errorf("table1(N=%d, recmax=%d): %w", n, recmax, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Table2Row extends ConstructionRow with the growth ratio e_maxl/e_{maxl-1}.
+type Table2Row struct {
+	ConstructionRow
+	Ratio float64 // e_maxl / e_{maxl-1}; 0 for the first row of a series
+}
+
+// Table2 reproduces the second Section 5.1 table: construction cost vs
+// maximal path length maxl ∈ {2,…,7} at N=500, for recmax ∈ {0,2}. The
+// paper's finding: without recursion the cost doubles per level
+// (ratio ≈ 2); with recursion the growth is strongly damped.
+func Table2(seed int64) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, recmax := range []int{0, 2} {
+		var prev int64
+		for maxl := 2; maxl <= 7; maxl++ {
+			cfg := core.Config{MaxL: maxl, RefMax: 1, RecMax: recmax, RecFanout: 2}
+			row, err := buildRow(500, cfg, seed+int64(maxl)*10+int64(recmax))
+			if err != nil {
+				return nil, fmt.Errorf("table2(maxl=%d, recmax=%d): %w", maxl, recmax, err)
+			}
+			r := Table2Row{ConstructionRow: row}
+			if prev > 0 {
+				r.Ratio = float64(row.Exchanges) / float64(prev)
+			}
+			prev = row.Exchanges
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// Table3 reproduces the third Section 5.1 table: construction cost vs
+// recursion bound recmax ∈ {0,…,6} at N=500, maxl=6, refmax=1. The paper's
+// finding: a pronounced optimum at recmax=2.
+func Table3(seed int64) ([]ConstructionRow, error) {
+	var rows []ConstructionRow
+	for recmax := 0; recmax <= 6; recmax++ {
+		cfg := core.Config{MaxL: 6, RefMax: 1, RecMax: recmax, RecFanout: 2}
+		row, err := buildRow(500, cfg, seed+int64(recmax))
+		if err != nil {
+			return nil, fmt.Errorf("table3(recmax=%d): %w", recmax, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RefmaxSweep reproduces the fourth (fanout = 0, unbounded recursion
+// fan-out) and fifth (fanout = 2, the paper's fix) Section 5.1 tables:
+// construction cost vs refmax ∈ {1,…,4} at N=1000, recmax=2. The findings:
+// unbounded fan-out makes the cost grow exponentially in refmax; limiting
+// recursive calls to 2 referenced peers keeps it nearly flat.
+func RefmaxSweep(seed int64, fanout int) ([]ConstructionRow, error) {
+	var rows []ConstructionRow
+	for refmax := 1; refmax <= 4; refmax++ {
+		cfg := core.Config{MaxL: 6, RefMax: refmax, RecMax: 2, RecFanout: fanout}
+		row, err := buildRow(1000, cfg, seed+int64(refmax))
+		if err != nil {
+			return nil, fmt.Errorf("refmaxsweep(refmax=%d, fanout=%d): %w", refmax, fanout, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

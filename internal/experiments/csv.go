@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV export: every experiment's rows as machine-readable series, so the
+// paper's figures can be re-plotted with any tool. pgridbench -csv writes
+// one file per experiment.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv: %w", err)
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return fmt.Errorf("experiments: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+func i(v int) string     { return strconv.Itoa(v) }
+func i64(v int64) string { return strconv.FormatInt(v, 10) }
+func b(v bool) string    { return strconv.FormatBool(v) }
+
+// ConstructionCSV writes construction rows (tables 1, 3, 4, 5).
+func ConstructionCSV(w io.Writer, rows []ConstructionRow) error {
+	out := make([][]string, len(rows))
+	for k, r := range rows {
+		out[k] = []string{i(r.N), i(r.MaxL), i(r.RefMax), i(r.RecMax), i(r.RecFanout),
+			i64(r.Exchanges), f(r.EPerN), b(r.Converged)}
+	}
+	return writeCSV(w, []string{"n", "maxl", "refmax", "recmax", "fanout", "e", "e_per_n", "converged"}, out)
+}
+
+// Table2CSV writes the maxl sweep with growth ratios.
+func Table2CSV(w io.Writer, rows []Table2Row) error {
+	out := make([][]string, len(rows))
+	for k, r := range rows {
+		out[k] = []string{i(r.RecMax), i(r.MaxL), i64(r.Exchanges), f(r.EPerN), f(r.Ratio)}
+	}
+	return writeCSV(w, []string{"recmax", "maxl", "e", "e_per_n", "ratio"}, out)
+}
+
+// Fig4CSV writes the replica histogram.
+func Fig4CSV(w io.Writer, r Fig4Result) error {
+	var out [][]string
+	for _, bkt := range r.Histogram.Buckets() {
+		out = append(out, []string{i(bkt.Value), i(bkt.Count)})
+	}
+	return writeCSV(w, []string{"replicas", "peers"}, out)
+}
+
+// Fig5CSV writes the find-all-replicas curves, one column per strategy.
+func Fig5CSV(w io.Writer, curves []Fig5Curve) error {
+	header := []string{"messages"}
+	for _, c := range curves {
+		header = append(header, c.Strategy.String())
+	}
+	var out [][]string
+	if len(curves) > 0 {
+		for idx := range curves[0].Curve.Points {
+			row := []string{f(curves[0].Curve.Points[idx].X)}
+			for _, c := range curves {
+				row = append(row, f(c.Curve.Points[idx].Y))
+			}
+			out = append(out, row)
+		}
+	}
+	return writeCSV(w, header, out)
+}
+
+// Table6CSV writes the update/query tradeoff.
+func Table6CSV(w io.Writer, rows []Table6Row) error {
+	out := make([][]string, len(rows))
+	for k, r := range rows {
+		out[k] = []string{b(r.Repetitive), i(r.RecBreadth), i(r.Repetition),
+			f(r.SuccessRate), f(r.QueryCost), f(r.InsertionCost)}
+	}
+	return writeCSV(w, []string{"repetitive", "recbreadth", "repetition", "successrate", "query_cost", "insertion_cost"}, out)
+}
+
+// Sec6CSV writes the architecture comparison.
+func Sec6CSV(w io.Writer, rows []Sec6Row) error {
+	out := make([][]string, len(rows))
+	for k, r := range rows {
+		out[k] = []string{i(r.N), i(r.D), f(r.PGridStoragePerPeer), f(r.PGridMsgsPerQuery), f(r.PGridSuccess),
+			i(r.CentralStorage), i64(r.CentralMaxLoad), f(r.FloodMsgsPerQuery), f(r.FloodSuccess)}
+	}
+	return writeCSV(w, []string{"n", "d", "pgrid_store", "pgrid_msgs", "pgrid_ok",
+		"central_store", "central_load", "flood_msgs", "flood_ok"}, out)
+}
+
+// Eq3CSV writes the model-vs-simulation validation.
+func Eq3CSV(w io.Writer, rows []Eq3Row) error {
+	out := make([][]string, len(rows))
+	for k, r := range rows {
+		out[k] = []string{f(r.OnlineProb), i(r.RefMax), i(r.Depth), f(r.Analytic), f(r.Measured)}
+	}
+	return writeCSV(w, []string{"p", "refmax", "depth", "analytic", "measured"}, out)
+}
+
+// SkewCSV writes the skew ablation.
+func SkewCSV(w io.Writer, rows []SkewRow) error {
+	out := make([][]string, len(rows))
+	for k, r := range rows {
+		out[k] = []string{r.Distribution, b(r.DataAware), f(r.AvgDepth), f(r.LoadGini), f(r.MaxLoadRatio), f(r.Success)}
+	}
+	return writeCSV(w, []string{"distribution", "data_aware", "avg_depth", "load_gini", "max_mean_ratio", "success"}, out)
+}
+
+// MaintenanceCSV writes the churn-repair series.
+func MaintenanceCSV(w io.Writer, rows []MaintenanceRow) error {
+	out := make([][]string, len(rows))
+	for k, r := range rows {
+		out[k] = []string{i(r.Epoch), b(r.Maintained), f(r.Alive), f(r.Fill), f(r.Success)}
+	}
+	return writeCSV(w, []string{"epoch", "maintained", "alive", "fill", "success"}, out)
+}
+
+// JoinCSV writes the incremental-growth measurement.
+func JoinCSV(w io.Writer, rows []JoinRow) error {
+	out := make([][]string, len(rows))
+	for k, r := range rows {
+		out[k] = []string{i(r.CommunityBefore), i(r.Joins), f(r.MeanMeetings), f(r.MeanExchanges), f(r.Settled)}
+	}
+	return writeCSV(w, []string{"n_before", "joins", "meetings_per_join", "exchanges_per_join", "settled"}, out)
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"pgrid/internal/core"
+	"pgrid/internal/stats"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid csv: %v\n%s", err, buf.String())
+	}
+	return rows
+}
+
+func TestConstructionCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := ConstructionCSV(&buf, []ConstructionRow{
+		{N: 200, MaxL: 6, RefMax: 1, RecMax: 0, RecFanout: 2, Exchanges: 17150, EPerN: 85.75, Converged: true},
+		{N: 400, MaxL: 6, RefMax: 1, RecMax: 2, RecFanout: 2, Exchanges: 9045, EPerN: 22.61, Converged: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 3 || rows[0][0] != "n" || rows[1][0] != "200" || rows[2][5] != "9045" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestTable2AndTable6CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2CSV(&buf, []Table2Row{{ConstructionRow: ConstructionRow{RecMax: 0, MaxL: 3, Exchanges: 9780, EPerN: 19.56}, Ratio: 1.998}}); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if rows[1][4] != "1.998" {
+		t.Errorf("ratio cell = %v", rows[1])
+	}
+
+	buf.Reset()
+	if err := Table6CSV(&buf, []Table6Row{{Repetitive: true, RecBreadth: 2, Repetition: 3, SuccessRate: 1, QueryCost: 17, InsertionCost: 224}}); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, &buf)
+	if rows[1][0] != "true" || rows[1][5] != "224" {
+		t.Errorf("table6 = %v", rows[1])
+	}
+}
+
+func TestFigCSVs(t *testing.T) {
+	h := stats.NewHistogram()
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(7)
+	var buf bytes.Buffer
+	if err := Fig4CSV(&buf, Fig4Result{Histogram: h}); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 3 || rows[1][0] != "5" || rows[1][1] != "2" {
+		t.Errorf("fig4 = %v", rows)
+	}
+
+	var c1, c2 stats.Curve
+	c1.Add(10, 0.5)
+	c2.Add(10, 0.7)
+	buf.Reset()
+	err := Fig5CSV(&buf, []Fig5Curve{
+		{Strategy: core.RepeatedDFS, Curve: c1},
+		{Strategy: core.BreadthFirst, Curve: c2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, &buf)
+	if rows[0][1] != "repeated-dfs" || rows[1][2] != "0.7" {
+		t.Errorf("fig5 = %v", rows)
+	}
+	// Empty curves: header only.
+	buf.Reset()
+	if err := Fig5CSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "messages" {
+		t.Errorf("empty fig5 = %q", got)
+	}
+}
+
+func TestRemainingCSVs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Sec6CSV(&buf, []Sec6Row{{N: 256, D: 256, CentralMaxLoad: 256}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Eq3CSV(&buf, []Eq3Row{{OnlineProb: 0.3, RefMax: 20, Depth: 10, Analytic: 0.995, Measured: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SkewCSV(&buf, []SkewRow{{Distribution: "zipf", DataAware: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := MaintenanceCSV(&buf, []MaintenanceRow{{Epoch: 1, Alive: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := JoinCSV(&buf, []JoinRow{{CommunityBefore: 512, Joins: 128}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"central_load", "analytic", "data_aware", "maintained", "meetings_per_join"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing header %q", want)
+		}
+	}
+}

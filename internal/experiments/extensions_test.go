@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSkewDataAwareFlattensLoad(t *testing.T) {
+	p := SkewParams{Peers: 200, Items: 2000, MaxL: 10, MinItems: 10, Meetings: 50000, Seed: 3}
+	rows := Skew(p)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(dist string, aware bool) SkewRow {
+		for _, r := range rows {
+			if r.Distribution == dist && r.DataAware == aware {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%v missing", dist, aware)
+		return SkewRow{}
+	}
+	// The headline: data-aware splitting reduces load imbalance under
+	// region skew.
+	hp, ha := get("hotspot", false), get("hotspot", true)
+	if ha.LoadGini >= hp.LoadGini {
+		t.Errorf("data-aware gini %.3f not below plain %.3f under hotspot", ha.LoadGini, hp.LoadGini)
+	}
+	// Searches stay reliable in every configuration.
+	for _, r := range rows {
+		if r.Success < 0.9 {
+			t.Errorf("%s/aware=%v success = %v", r.Distribution, r.DataAware, r.Success)
+		}
+	}
+	// Uniform keys are the control: both modes behave comparably.
+	up, ua := get("uniform", false), get("uniform", true)
+	if ua.LoadGini > up.LoadGini+0.15 {
+		t.Errorf("data-aware hurt the uniform control: %.3f vs %.3f", ua.LoadGini, up.LoadGini)
+	}
+}
+
+func TestMaintenanceAblation(t *testing.T) {
+	without := Maintenance(240, 3, 6, 4, 0.15, false, 5)
+	with := Maintenance(240, 3, 6, 4, 0.15, true, 5)
+	if len(without) != 4 || len(with) != 4 {
+		t.Fatalf("rows: %d/%d", len(without), len(with))
+	}
+	// By the last epoch, maintained references are much healthier and
+	// searches succeed more often.
+	lw, lm := without[3], with[3]
+	if lm.Alive <= lw.Alive {
+		t.Errorf("maintenance did not improve liveness: %.3f vs %.3f", lm.Alive, lw.Alive)
+	}
+	if lm.Success < lw.Success-0.02 {
+		t.Errorf("maintenance reduced search success: %.3f vs %.3f", lm.Success, lw.Success)
+	}
+	if lm.Alive < 0.95 {
+		t.Errorf("maintained liveness = %.3f, want near 1", lm.Alive)
+	}
+}
+
+func TestJoinGrowthFlatCost(t *testing.T) {
+	rows := JoinGrowth(128, 4, 32, 4, 4, 6)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Settled < 0.9 {
+			t.Errorf("batch at N=%d settled only %.2f", r.CommunityBefore, r.Settled)
+		}
+	}
+	if rows[3].MeanMeetings > 3*rows[0].MeanMeetings+5 {
+		t.Errorf("join cost grew with N: %.1f → %.1f", rows[0].MeanMeetings, rows[3].MeanMeetings)
+	}
+	if rows[3].CommunityBefore != 128+3*32 {
+		t.Errorf("community growth wrong: %+v", rows[3])
+	}
+}
+
+func TestExtensionRenderers(t *testing.T) {
+	var buf bytes.Buffer
+	RenderSkew(&buf, []SkewRow{{Distribution: "zipf", DataAware: true, AvgDepth: 5, LoadGini: 0.3, MaxLoadRatio: 4, Success: 0.99}})
+	RenderMaintenance(&buf,
+		[]MaintenanceRow{{Epoch: 1, Maintained: true, Alive: 1, Fill: 1, Success: 1}},
+		[]MaintenanceRow{{Epoch: 1, Alive: 0.5, Fill: 1, Success: 0.8}})
+	RenderJoin(&buf, []JoinRow{{CommunityBefore: 128, Joins: 32, MeanMeetings: 9, MeanExchanges: 30, Settled: 1}})
+	for _, want := range []string{"data-aware", "maintenance", "meetings/join"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pgrid/internal/trie"
+)
+
+func TestRoutingLoadIsBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := trie.BuildIdeal(512, 5, 4, rng)
+	r := RoutingLoad(d, 5, 4000, 2)
+	if r.Queries != 4000 {
+		t.Fatalf("queries = %d", r.Queries)
+	}
+	// The paper's claim: work spreads "equally for all peers". On an ideal
+	// grid with uniform keys the imbalance should be mild.
+	if r.Gini > 0.4 {
+		t.Errorf("routing load gini = %.3f, not balanced", r.Gini)
+	}
+	if r.MaxMeanRatio > 5 {
+		t.Errorf("max/mean = %.1f", r.MaxMeanRatio)
+	}
+	// Contrast with a central server, where the top 1% (the server) does
+	// 100% of the work.
+	if r.TopShare > 0.2 {
+		t.Errorf("busiest 1%% handle %.2f of work", r.TopShare)
+	}
+	if r.Summary.Mean <= 0 {
+		t.Errorf("summary = %+v", r.Summary)
+	}
+}
+
+func TestRoutingLoadRender(t *testing.T) {
+	var buf bytes.Buffer
+	RenderRoutingLoad(&buf, RoutingLoadResult{Queries: 10, Gini: 0.2, MaxMeanRatio: 2, TopShare: 0.05})
+	if !strings.Contains(buf.String(), "gini 0.200") {
+		t.Errorf("render = %q", buf.String())
+	}
+}
+
+func TestRoutingLoadDeadCommunity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := trie.BuildIdeal(32, 3, 2, rng)
+	d.SetAllOnline(false)
+	r := RoutingLoad(d, 3, 100, 4)
+	if r.Gini != 0 || r.TopShare != 0 {
+		t.Errorf("dead community load = %+v", r)
+	}
+}

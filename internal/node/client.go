@@ -1,0 +1,325 @@
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/store"
+	"pgrid/internal/wire"
+)
+
+// Client drives the multi-peer protocols — breadth-first replica search,
+// update propagation, majority reads, prefix search — from outside the
+// community, over any Transport. A client is what pgridctl is, and what an
+// application embedding a peer uses for operations that span replicas.
+// Unlike the single-peer request handlers in Node, these walks are
+// client-driven: the client fetches routing state (Info) and decides where
+// to go next, which is how a P2P client without its own grid position
+// naturally behaves.
+type Client struct {
+	tr  Transport
+	rng *rand.Rand
+}
+
+// NewClient returns a client over the given transport, seeded for
+// reproducible walks.
+func NewClient(tr Transport, seed int64) *Client {
+	return &Client{tr: tr, rng: rand.New(rand.NewSource(seed))}
+}
+
+// nodeInfo fetches a peer's path and reference table; nil on failure.
+func (c *Client) nodeInfo(a addr.Addr) *wire.InfoResp {
+	resp, err := c.tr.Call(a, &wire.Message{Kind: wire.KindInfo, From: addr.Nil})
+	if err != nil || resp.InfoResp == nil {
+		return nil
+	}
+	return resp.InfoResp
+}
+
+// ReplicaResult mirrors core.ReplicaResult for the networked client.
+type ReplicaResult struct {
+	Found    []addr.Addr
+	Messages int
+}
+
+// ReplicaSearch performs the breadth-first replica search of Section 5.2
+// over the network, starting from the peer at start: it fetches each
+// visited peer's routing state and follows up to recbreadth references per
+// level, collecting every reachable peer whose path covers key.
+func (c *Client) ReplicaSearch(start addr.Addr, key bitpath.Path, recbreadth int) ReplicaResult {
+	var res ReplicaResult
+	visited := map[addr.Addr]bool{start: true}
+	queue := []addr.Addr{start}
+
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		info := c.nodeInfo(a)
+		res.Messages++ // the info fetch (counts even if it fails: it was sent)
+		if info == nil {
+			continue
+		}
+		path := info.Path
+		cl := bitpath.CommonPrefixLen(path, key)
+
+		follow := func(level int) {
+			if level < 1 || level > len(info.Refs) {
+				return
+			}
+			followed := 0
+			refs := info.Refs[level-1].ToSet()
+			for _, r := range refs.Shuffled(c.rng) {
+				if followed >= recbreadth {
+					break
+				}
+				if visited[r] {
+					continue
+				}
+				visited[r] = true
+				queue = append(queue, r)
+				followed++
+			}
+		}
+
+		if cl == path.Len() || cl == key.Len() {
+			res.Found = append(res.Found, a)
+			for level := key.Len() + 1; level <= path.Len(); level++ {
+				follow(level)
+			}
+		} else {
+			follow(cl + 1)
+		}
+	}
+	return res
+}
+
+// Publish spreads an entry over the replicas of its key with `repetition`
+// breadth-first passes from the given entry points (cycled as needed) and
+// returns how many replicas applied it and the message cost.
+func (c *Client) Publish(entries []addr.Addr, e store.Entry, recbreadth, repetition int) (replicas, messages int) {
+	if len(entries) == 0 {
+		return 0, 0
+	}
+	found := map[addr.Addr]bool{}
+	for i := 0; i < repetition; i++ {
+		start := entries[i%len(entries)]
+		res := c.ReplicaSearch(start, e.Key, recbreadth)
+		messages += res.Messages
+		for _, a := range res.Found {
+			found[a] = true
+		}
+	}
+	for a := range found {
+		if _, err := c.tr.Call(a, &wire.Message{Kind: wire.KindApply, From: addr.Nil,
+			Apply: &wire.ApplyReq{Entry: e}}); err == nil {
+			replicas++
+			messages++
+		}
+	}
+	return replicas, messages
+}
+
+// ReadResult mirrors core.ReadResult for the networked client.
+type ReadResult struct {
+	Entry    store.Entry
+	Found    bool
+	Messages int
+	Queries  int
+}
+
+// readOnce routes a query via the peer at start and fetches the entry from
+// the responsible peer found.
+func (c *Client) readOnce(start addr.Addr, key bitpath.Path, name string) (ReadResult, addr.Addr) {
+	var out ReadResult
+	out.Queries = 1
+	resp, err := c.tr.Call(start, &wire.Message{Kind: wire.KindQuery, From: addr.Nil,
+		Query: &wire.QueryReq{Key: key}})
+	if err != nil || resp.QueryResp == nil {
+		return out, addr.Nil
+	}
+	out.Messages += 1 + resp.QueryResp.Messages
+	if !resp.QueryResp.Found {
+		return out, addr.Nil
+	}
+	replica := resp.QueryResp.Peer
+	got, err := c.tr.Call(replica, &wire.Message{Kind: wire.KindGet, From: addr.Nil,
+		Get: &wire.GetReq{Key: key, Name: name}})
+	if err != nil || got.GetResp == nil {
+		return out, addr.Nil
+	}
+	out.Messages++
+	if !got.GetResp.Found {
+		return out, replica
+	}
+	out.Entry = got.GetResp.Entry
+	out.Found = true
+	return out, replica
+}
+
+// Lookup reads (key, name) once via the peer at start — the non-repetitive
+// read.
+func (c *Client) Lookup(start addr.Addr, key bitpath.Path, name string) ReadResult {
+	res, _ := c.readOnce(start, key, name)
+	return res
+}
+
+// MajorityRead implements the repetitive-search read over the network:
+// repeated routed reads through random entry points until one version
+// leads by margin distinct replicas (budget maxQueries), falling back to
+// the best-supported version.
+func (c *Client) MajorityRead(entries []addr.Addr, key bitpath.Path, name string, margin, maxQueries int) ReadResult {
+	if margin <= 0 {
+		margin = 3
+	}
+	if maxQueries <= 0 {
+		maxQueries = 64
+	}
+	votes := map[uint64]int{}
+	byVersion := map[uint64]store.Entry{}
+	seen := map[addr.Addr]bool{}
+	var out ReadResult
+	for out.Queries < maxQueries && len(entries) > 0 {
+		start := entries[c.rng.Intn(len(entries))]
+		r, replica := c.readOnce(start, key, name)
+		out.Queries++
+		out.Messages += r.Messages
+		if !r.Found || replica == addr.Nil || seen[replica] {
+			continue
+		}
+		seen[replica] = true
+		votes[r.Entry.Version]++
+		byVersion[r.Entry.Version] = r.Entry
+		if lead, second := topTwo(votes); lead.c-second >= margin {
+			out.Entry = byVersion[lead.v]
+			out.Found = true
+			return out
+		}
+	}
+	if lead, _ := topTwo(votes); lead.c > 0 {
+		out.Entry = byVersion[lead.v]
+		out.Found = true
+	}
+	return out
+}
+
+type versionCount struct {
+	v uint64
+	c int
+}
+
+func topTwo(votes map[uint64]int) (lead versionCount, second int) {
+	vcs := make([]versionCount, 0, len(votes))
+	for v, c := range votes {
+		vcs = append(vcs, versionCount{v, c})
+	}
+	sort.Slice(vcs, func(i, j int) bool {
+		if vcs[i].c != vcs[j].c {
+			return vcs[i].c > vcs[j].c
+		}
+		return vcs[i].v > vcs[j].v
+	})
+	if len(vcs) == 0 {
+		return versionCount{}, 0
+	}
+	lead = vcs[0]
+	if len(vcs) > 1 {
+		second = vcs[1].c
+	}
+	return lead, second
+}
+
+// AuditReport summarizes a community-wide structural audit.
+type AuditReport struct {
+	// Reachable is the number of peers that answered the Info request.
+	Reachable int
+	// Unreachable lists peers that did not answer.
+	Unreachable []addr.Addr
+	// Violations lists references that break the Section 2 property
+	// (judged against the answering peers' current paths).
+	Violations []string
+	// AvgDepth is the mean path length over reachable peers.
+	AvgDepth float64
+	// Entries is the total index entries over reachable peers.
+	Entries int
+}
+
+// Audit fetches every peer's state and verifies the reference invariant
+// across the community — the operational health check behind
+// `pgridctl audit`. Peers that do not answer are reported, not treated as
+// violations (they may simply be offline).
+func (c *Client) Audit(all []addr.Addr) AuditReport {
+	var rep AuditReport
+	infos := make(map[addr.Addr]*wire.InfoResp)
+	for _, a := range all {
+		if info := c.nodeInfo(a); info != nil {
+			infos[a] = info
+		} else {
+			rep.Unreachable = append(rep.Unreachable, a)
+		}
+	}
+	rep.Reachable = len(infos)
+	depthSum := 0
+	for a, info := range infos {
+		depthSum += info.Path.Len()
+		rep.Entries += info.Entries
+		for i, rs := range info.Refs {
+			level := i + 1
+			for _, r := range rs.ToSet().Slice() {
+				q, ok := infos[r]
+				if !ok {
+					continue // unreachable target: cannot judge
+				}
+				switch {
+				case q.Path.Len() < level:
+					rep.Violations = append(rep.Violations, fmt.Sprintf(
+						"%v level %d → %v: target path %s shorter than level", a, level, r, q.Path))
+				case q.Path.Prefix(level-1) != info.Path.Prefix(level-1):
+					rep.Violations = append(rep.Violations, fmt.Sprintf(
+						"%v level %d → %v: prefixes diverge (%s vs %s)", a, level, r, info.Path, q.Path))
+				case q.Path.Bit(level) == info.Path.Bit(level):
+					rep.Violations = append(rep.Violations, fmt.Sprintf(
+						"%v level %d → %v: same bit at level", a, level, r))
+				}
+			}
+		}
+	}
+	if rep.Reachable > 0 {
+		rep.AvgDepth = float64(depthSum) / float64(rep.Reachable)
+	}
+	return rep
+}
+
+// PrefixSearch fans out over the covering replicas of prefix and merges
+// their scans, freshest version per name winning.
+func (c *Client) PrefixSearch(start addr.Addr, prefix bitpath.Path, recbreadth int) ([]store.Entry, int) {
+	res := c.ReplicaSearch(start, prefix, recbreadth)
+	messages := res.Messages
+	best := map[string]store.Entry{}
+	for _, a := range res.Found {
+		resp, err := c.tr.Call(a, &wire.Message{Kind: wire.KindScan, From: addr.Nil,
+			Scan: &wire.ScanReq{Prefix: prefix}})
+		if err != nil || resp.ScanResp == nil {
+			continue
+		}
+		messages++
+		for _, e := range resp.ScanResp.Entries {
+			if old, ok := best[e.Name]; !ok || e.Version > old.Version {
+				best[e.Name] = e
+			}
+		}
+	}
+	out := make([]store.Entry, 0, len(best))
+	for _, e := range best {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := bitpath.Compare(out[i].Key, out[j].Key); c != 0 {
+			return c < 0
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, messages
+}

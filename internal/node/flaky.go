@@ -1,0 +1,56 @@
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/wire"
+)
+
+// FlakyTransport wraps a Transport and drops a fraction of calls — the
+// failure-injection harness for the networked protocols. A dropped call
+// surfaces as an unreachable peer, exactly like a lost datagram or a
+// connection reset, so every protocol must already tolerate it: queries
+// backtrack, exchanges abort cleanly, publishes under-replicate (and
+// majority reads absorb that).
+type FlakyTransport struct {
+	inner Transport
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	drop    float64
+	dropped int64
+	total   int64
+}
+
+// NewFlakyTransport wraps inner, dropping each call with probability drop.
+func NewFlakyTransport(inner Transport, drop float64, seed int64) *FlakyTransport {
+	if drop < 0 || drop >= 1 {
+		panic(fmt.Sprintf("node: NewFlakyTransport(drop=%v) out of [0,1)", drop))
+	}
+	return &FlakyTransport{inner: inner, rng: rand.New(rand.NewSource(seed)), drop: drop}
+}
+
+// Call implements Transport.
+func (t *FlakyTransport) Call(to addr.Addr, msg *wire.Message) (*wire.Message, error) {
+	t.mu.Lock()
+	t.total++
+	lost := t.rng.Float64() < t.drop
+	if lost {
+		t.dropped++
+	}
+	t.mu.Unlock()
+	if lost {
+		return nil, fmt.Errorf("%w: message to %v lost", ErrOffline, to)
+	}
+	return t.inner.Call(to, msg)
+}
+
+// Stats returns dropped and total call counts.
+func (t *FlakyTransport) Stats() (dropped, total int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped, t.total
+}

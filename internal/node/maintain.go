@@ -1,0 +1,81 @@
+package node
+
+import (
+	"pgrid/internal/addr"
+	"pgrid/internal/wire"
+)
+
+// MaintainResult reports one self-maintenance round of a networked node.
+type MaintainResult struct {
+	Probed   int // references probed over the wire
+	Dropped  int // dead or invalid references removed
+	Added    int // fresh references learned from live buddies
+	Messages int // wire messages spent
+}
+
+// Maintain runs one reference-maintenance round over the transport — the
+// networked counterpart of core.Maintain: for every level, fetch each
+// referenced peer's Info, drop references that are unreachable or whose
+// path no longer satisfies the Section 2 property (the peer may have been
+// replaced), and refill the level toward refmax from live references'
+// buddies (validated the same way). pgridnode runs this periodically with
+// -maintain.
+func (n *Node) Maintain(fetch int) MaintainResult {
+	var res MaintainResult
+	path := n.self.Path()
+
+	valid := func(level int, info *wire.InfoResp) bool {
+		return info != nil &&
+			info.Path.Len() >= level &&
+			info.Path.Prefix(level-1) == path.Prefix(level-1) &&
+			info.Path.Bit(level) != path.Bit(level)
+	}
+	fetchInfo := func(a addr.Addr) *wire.InfoResp {
+		res.Messages++
+		resp, err := n.tr.Call(a, &wire.Message{Kind: wire.KindInfo, From: n.Addr()})
+		if err != nil || resp.InfoResp == nil {
+			return nil
+		}
+		return resp.InfoResp
+	}
+
+	for level := 1; level <= path.Len(); level++ {
+		refs := n.self.RefsAt(level)
+		kept := addr.Set{}
+		var liveInfos []*wire.InfoResp
+		for _, r := range refs.Slice() {
+			res.Probed++
+			info := fetchInfo(r)
+			if valid(level, info) {
+				kept.Add(r)
+				liveInfos = append(liveInfos, info)
+			} else {
+				res.Dropped++
+			}
+		}
+
+		// Refill from live references' buddies: a valid buddy shares the
+		// full path of the reference, hence its first `level` bits.
+		fetched := 0
+		for _, info := range liveInfos {
+			if kept.Len() >= n.cfg.RefMax || fetched >= fetch {
+				break
+			}
+			fetched++
+			for _, b := range info.Buddies.ToSet().Slice() {
+				if kept.Len() >= n.cfg.RefMax {
+					break
+				}
+				if b == n.Addr() || kept.Contains(b) {
+					continue
+				}
+				if bi := fetchInfo(b); valid(level, bi) {
+					kept.Add(b)
+					res.Added++
+				}
+			}
+		}
+		n.self.SetRefsAt(level, kept)
+	}
+	return res
+}

@@ -1,0 +1,109 @@
+package node
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+)
+
+func TestNodeMaintainDropsUnreachableRefs(t *testing.T) {
+	c := NewCluster(64, smallCfg(), 21)
+	rng := rand.New(rand.NewSource(21))
+	buildCluster(t, c, 0.99*4, 80000, rng)
+
+	n := c.Nodes[0]
+	// Take one referenced peer per level offline.
+	var killed []addr.Addr
+	for level := 1; level <= n.Path().Len(); level++ {
+		refs := n.Peer().RefsAt(level).Slice()
+		if len(refs) > 0 {
+			killed = append(killed, refs[0])
+		}
+	}
+	for _, a := range killed {
+		for _, cand := range c.Nodes {
+			if cand.Addr() == a {
+				cand.SetOnline(false)
+			}
+		}
+	}
+	res := n.Maintain(2)
+	if res.Dropped == 0 {
+		t.Fatalf("nothing dropped: %+v", res)
+	}
+	for level := 1; level <= n.Path().Len(); level++ {
+		for _, r := range n.Peer().RefsAt(level).Slice() {
+			for _, a := range killed {
+				if r == a {
+					t.Errorf("dead reference %v survived at level %d", r, level)
+				}
+			}
+		}
+	}
+	if res.Messages < res.Probed {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestNodeMaintainRefillsFromBuddies(t *testing.T) {
+	// Hand-build a 6-node cluster where buddies exist: nodes 0,1,2 at path
+	// "0" (buddies), nodes 3,4,5 at "1" (buddies). Node 0 keeps only one
+	// level-1 reference; maintenance must refill from that reference's
+	// buddies.
+	cfg := smallCfg()
+	cfg.MaxL = 1
+	c := NewCluster(6, cfg, 22)
+	for i, n := range c.Nodes {
+		bit := byte(0)
+		if i >= 3 {
+			bit = 1
+		}
+		if !n.Peer().ExtendFrom(bitpath.Empty, bit, addr.NewSet()) {
+			t.Fatal("fixture extend failed")
+		}
+	}
+	for i, n := range c.Nodes {
+		for j := range c.Nodes {
+			if (i < 3) == (j < 3) && i != j {
+				n.Peer().AddBuddy(addr.Addr(j))
+			}
+		}
+	}
+	n0 := c.Nodes[0]
+	n0.Peer().SetRefsAt(1, addr.NewSet(3))
+
+	res := n0.Maintain(2)
+	if res.Added == 0 {
+		t.Fatalf("refill added nothing: %+v", res)
+	}
+	refs := n0.Peer().RefsAt(1)
+	if refs.Len() < 3 || !refs.Contains(4) || !refs.Contains(5) {
+		t.Errorf("refs after refill = %v", refs.String())
+	}
+	if refs.Len() > cfg.RefMax {
+		t.Errorf("refmax exceeded: %d", refs.Len())
+	}
+}
+
+func TestNodeMaintainDetectsReplacedPeer(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MaxL = 1
+	c := NewCluster(2, cfg, 23)
+	c.Nodes[0].Exchange(1)
+	if !c.Nodes[0].Peer().RefsAt(1).Contains(1) {
+		t.Fatal("fixture: no reference")
+	}
+	// "Replace" node 1: a blank node takes over the address.
+	replacement := New(1, cfg, c.Transport, 99)
+	c.Transport.Register(replacement)
+
+	res := c.Nodes[0].Maintain(2)
+	if res.Dropped != 1 {
+		t.Fatalf("replaced peer not dropped: %+v", res)
+	}
+	if c.Nodes[0].Peer().RefsAt(1).Contains(1) {
+		t.Error("stale reference to replaced peer survived")
+	}
+}

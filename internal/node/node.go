@@ -1,0 +1,330 @@
+// Package node implements a real, message-passing P-Grid node: the same
+// algorithms as internal/core, but executed over a Transport, so the system
+// runs as actual communicating processes — in-process over channels for the
+// concurrent examples and tests, or across machines over TCP
+// (cmd/pgridnode). The simulator validates the algorithms; this package
+// validates that they survive being distributed.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/core"
+	"pgrid/internal/peer"
+	"pgrid/internal/store"
+	"pgrid/internal/wire"
+)
+
+// Transport delivers a request to another node and returns its response.
+// Implementations must be safe for concurrent use. Errors mean the target
+// is unreachable (offline, crashed, unknown) — the algorithms treat that
+// exactly like the paper's online(peer(r)) = false.
+type Transport interface {
+	Call(to addr.Addr, msg *wire.Message) (*wire.Message, error)
+}
+
+// ErrOffline reports a call to a node that is not reachable.
+var ErrOffline = errors.New("node: peer offline")
+
+// Node is one networked P-Grid peer.
+type Node struct {
+	self *peer.Peer
+	cfg  core.Config
+	tr   Transport
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New creates a node with the given address, configuration, transport and
+// seed. The node starts with the empty path (whole key space).
+func New(a addr.Addr, cfg core.Config, tr Transport, seed int64) *Node {
+	return &Node{
+		self: peer.New(a),
+		cfg:  cfg,
+		tr:   tr,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Addr returns the node's address.
+func (n *Node) Addr() addr.Addr { return n.self.Addr() }
+
+// Path returns the node's current responsibility path.
+func (n *Node) Path() bitpath.Path { return n.self.Path() }
+
+// Peer exposes the underlying peer state for assertions in tests.
+func (n *Node) Peer() *peer.Peer { return n.self }
+
+// Store returns the node's data layer.
+func (n *Node) Store() *store.Store { return n.self.Store() }
+
+// SetOnline flips the node's availability; transports consult it.
+func (n *Node) SetOnline(v bool) { n.self.SetOnline(v) }
+
+// Online reports availability.
+func (n *Node) Online() bool { return n.self.Online() }
+
+// Handle dispatches one incoming request and returns the response message.
+// Transports call this on the receiving side.
+func (n *Node) Handle(m *wire.Message) *wire.Message {
+	switch m.Kind {
+	case wire.KindQuery:
+		resp := n.handleQuery(m.Query)
+		return &wire.Message{Kind: wire.KindQueryResp, From: n.Addr(), QueryResp: resp}
+	case wire.KindExchange:
+		resp := n.handleExchange(m.From, m.Exchange)
+		return &wire.Message{Kind: wire.KindExchangeResp, From: n.Addr(), ExchangeResp: resp}
+	case wire.KindApply:
+		changed := n.Store().Apply(m.Apply.Entry)
+		return &wire.Message{Kind: wire.KindApplyResp, From: n.Addr(), ApplyResp: &wire.ApplyResp{Changed: changed}}
+	case wire.KindGet:
+		e, ok := n.Store().Get(m.Get.Key, m.Get.Name)
+		return &wire.Message{Kind: wire.KindGetResp, From: n.Addr(), GetResp: &wire.GetResp{Entry: e, Found: ok}}
+	case wire.KindInfo:
+		return &wire.Message{Kind: wire.KindInfoResp, From: n.Addr(), InfoResp: n.info()}
+	case wire.KindScan:
+		return &wire.Message{Kind: wire.KindScanResp, From: n.Addr(),
+			ScanResp: &wire.ScanResp{Entries: n.Store().PrefixScan(m.Scan.Prefix)}}
+	default:
+		return &wire.Message{Kind: wire.KindError, From: n.Addr(),
+			Error: fmt.Sprintf("unexpected message kind %v", m.Kind)}
+	}
+}
+
+func (n *Node) info() *wire.InfoResp {
+	s := n.self.Snapshot()
+	refs := make([]wire.RefSet, len(s.Refs))
+	for i, r := range s.Refs {
+		refs[i] = wire.FromSet(r)
+	}
+	return &wire.InfoResp{
+		Addr:    s.Addr,
+		Path:    s.Path,
+		Refs:    refs,
+		Buddies: wire.FromSet(s.Buddies),
+		Entries: n.Store().Len(),
+	}
+}
+
+// --- query ----------------------------------------------------------------
+
+// Query starts the Fig. 2 depth-first search at this node.
+func (n *Node) Query(key bitpath.Path) core.QueryResult {
+	resp := n.handleQuery(&wire.QueryReq{Key: key, Level: 0})
+	return core.QueryResult{Found: resp.Found, Peer: resp.Peer, Messages: resp.Messages}
+}
+
+// handleQuery is query(a, p, l) with remote recursion: references are
+// contacted through the transport and each successful downstream call
+// contributes to the message count.
+func (n *Node) handleQuery(q *wire.QueryReq) *wire.QueryResp {
+	path := n.self.Path()
+	l := q.Level
+	if l > path.Len() {
+		l = path.Len()
+	}
+	rempath := path.Suffix(l)
+	compath := bitpath.CommonPrefix(q.Key, rempath)
+
+	if compath.Len() == q.Key.Len() || compath.Len() == rempath.Len() {
+		return &wire.QueryResp{Found: true, Peer: n.Addr(), Path: path}
+	}
+
+	resp := &wire.QueryResp{}
+	if path.Len() > l+compath.Len() {
+		querypath := q.Key.Suffix(compath.Len())
+		refs := n.self.RefsAt(l + compath.Len() + 1)
+		for refs.Len() > 0 {
+			var r addr.Addr
+			n.mu.Lock()
+			r = refs.PopRandom(n.rng)
+			n.mu.Unlock()
+			down, err := n.tr.Call(r, &wire.Message{
+				Kind: wire.KindQuery, From: n.Addr(),
+				Query: &wire.QueryReq{Key: querypath, Level: l + compath.Len()},
+			})
+			if err != nil || down.QueryResp == nil {
+				continue // unreachable reference: try the next one
+			}
+			resp.Messages += 1 + down.QueryResp.Messages
+			if down.QueryResp.Found {
+				resp.Found = true
+				resp.Peer = down.QueryResp.Peer
+				resp.Path = down.QueryResp.Path
+				return resp
+			}
+		}
+	}
+	return resp
+}
+
+// --- exchange --------------------------------------------------------------
+
+// Exchange initiates the Fig. 3 construction interaction with the peer at
+// `to`. It sends this node's snapshot; the responder computes the joint
+// decision, applies its own half, and returns ours, which we apply only if
+// our path is unchanged since the snapshot (stale replies are dropped, as a
+// real peer would). Recursive exchanges (case 4) run from both sides.
+func (n *Node) Exchange(to addr.Addr) error {
+	return n.exchange(to, 0)
+}
+
+func (n *Node) exchange(to addr.Addr, depth int) error {
+	if to == n.Addr() {
+		return nil
+	}
+	s := n.self.Snapshot()
+	req := &wire.ExchangeReq{Path: s.Path, Refs: make([]wire.RefSet, len(s.Refs)), Depth: depth}
+	for i, r := range s.Refs {
+		req.Refs[i] = wire.FromSet(r)
+	}
+	resp, err := n.tr.Call(to, &wire.Message{Kind: wire.KindExchange, From: n.Addr(), Exchange: req})
+	if err != nil {
+		return err
+	}
+	if resp.ExchangeResp == nil {
+		return fmt.Errorf("node: exchange with %v: bad response kind %v", to, resp.Kind)
+	}
+	n.applyExchange(to, resp.ExchangeResp, depth)
+	return nil
+}
+
+// applyExchange installs the responder's decision on the initiator side.
+func (n *Node) applyExchange(from addr.Addr, r *wire.ExchangeResp, depth int) {
+	stale := false
+	peer.Edit(n.self, func(e peer.Editor) {
+		if e.Path() != r.BasePath {
+			stale = true
+			return
+		}
+		for level, rs := range r.SetRefs {
+			if level >= 1 && level <= e.Path().Len() {
+				e.SetRefsAt(level, rs.ToSet())
+			}
+		}
+		if r.Extend {
+			e.Extend(r.ExtendBit, r.ExtendRefs.ToSet())
+		}
+		if r.AddBuddy {
+			e.AddBuddy(from)
+		}
+	})
+	if stale {
+		return
+	}
+	// Hand over entries that left our narrowed region, and install the
+	// responder's handover.
+	if r.Extend {
+		keep := r.BasePath.Append(r.ExtendBit)
+		for _, entry := range n.Store().Evict(keep) {
+			// Best-effort: the responder covers the vacated side.
+			n.tr.Call(from, &wire.Message{Kind: wire.KindApply, From: n.Addr(),
+				Apply: &wire.ApplyReq{Entry: entry}})
+		}
+	}
+	for _, entry := range r.Handover {
+		n.Store().Apply(entry)
+	}
+	for _, fwd := range r.ForwardTo {
+		n.exchange(fwd, depth+1) // unreachable targets just fail silently
+	}
+}
+
+// handleExchange is the responder's half: given the initiator's snapshot,
+// compute the Fig. 3 decision, apply this node's side, and describe the
+// initiator's side in the response.
+func (n *Node) handleExchange(from addr.Addr, req *wire.ExchangeReq) *wire.ExchangeResp {
+	resp := &wire.ExchangeResp{BasePath: req.Path, SetRefs: map[int]wire.RefSet{}}
+	var initiatorForwards []addr.Addr
+	var myForwards []addr.Addr
+
+	peer.Edit(n.self, func(e peer.Editor) {
+		p1 := req.Path // initiator = a1 role
+		p2 := e.Path() // this node = a2 role
+		lc := bitpath.CommonPrefixLen(p1, p2)
+
+		refsOf := func(level int) addr.Set {
+			if level >= 1 && level <= len(req.Refs) {
+				return req.Refs[level-1].ToSet()
+			}
+			return addr.Set{}
+		}
+
+		n.mu.Lock()
+		defer n.mu.Unlock()
+
+		if lc > 0 {
+			commonrefs := addr.Union(refsOf(lc), e.RefsAt(lc))
+			mine := commonrefs.RandomSubset(n.rng, n.cfg.RefMax)
+			theirs := commonrefs.RandomSubset(n.rng, n.cfg.RefMax)
+			mine.Remove(e.Addr())
+			theirs.Remove(from)
+			e.SetRefsAt(lc, mine)
+			resp.SetRefs[lc] = wire.FromSet(theirs)
+		}
+
+		l1 := p1.Len() - lc
+		l2 := p2.Len() - lc
+		switch {
+		case l1 == 0 && l2 == 0 && lc < n.cfg.MaxL:
+			// Case 1: initiator takes 0, we take 1.
+			resp.Extend = true
+			resp.ExtendBit = 0
+			resp.ExtendRefs = wire.FromSet(addr.NewSet(e.Addr()))
+			e.Extend(1, addr.NewSet(from))
+
+		case l1 == 0 && l2 > 0 && lc < n.cfg.MaxL:
+			// Case 2: initiator (shorter) specializes opposite our bit.
+			b := p2.Bit(lc + 1)
+			resp.Extend = true
+			resp.ExtendBit = 1 - b
+			resp.ExtendRefs = wire.FromSet(addr.NewSet(e.Addr()))
+			mine := addr.Union(addr.NewSet(from), e.RefsAt(lc+1))
+			e.SetRefsAt(lc+1, mine.RandomSubset(n.rng, n.cfg.RefMax))
+
+		case l1 > 0 && l2 == 0 && lc < n.cfg.MaxL:
+			// Case 3: we specialize opposite the initiator's bit.
+			b := p1.Bit(lc + 1)
+			e.Extend(1-b, addr.NewSet(from))
+			theirs := addr.Union(addr.NewSet(e.Addr()), refsOf(lc+1))
+			theirs.Remove(from)
+			resp.SetRefs[lc+1] = wire.FromSet(theirs.RandomSubset(n.rng, n.cfg.RefMax))
+
+		case l1 > 0 && l2 > 0 && req.Depth < n.cfg.RecMax:
+			// Case 4: cross-forward through level lc+1 references.
+			refs1 := refsOf(lc + 1)
+			refs1.Remove(e.Addr())
+			refs2 := e.RefsAt(lc + 1)
+			refs2.Remove(from)
+			if n.cfg.RecFanout > 0 {
+				refs1 = refs1.RandomSubset(n.rng, n.cfg.RecFanout)
+				refs2 = refs2.RandomSubset(n.rng, n.cfg.RecFanout)
+			}
+			myForwards = refs1.Slice()        // we exchange with the initiator's refs
+			initiatorForwards = refs2.Slice() // the initiator exchanges with ours
+
+		case l1 == 0 && l2 == 0:
+			// Replicas at maximal depth: buddy each other.
+			resp.AddBuddy = true
+			e.AddBuddy(from)
+		}
+	})
+
+	// Our own specialization (cases 1 and 3) may strand entries on the
+	// initiator's side; evicting against the current path is a no-op in
+	// every other case.
+	resp.Handover = n.Store().Evict(n.self.Path())
+	resp.ForwardTo = initiatorForwards
+
+	// Our half of the case-4 recursion, after releasing the state lock.
+	for _, fwd := range myForwards {
+		n.exchange(fwd, req.Depth+1)
+	}
+	return resp
+}

@@ -1,0 +1,172 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/wire"
+)
+
+// TCPTransport resolves logical peer addresses to TCP endpoints and speaks
+// the wire protocol, one request/response per connection. Connections are
+// short-lived by design: P-Grid interactions are single round trips between
+// mostly-transient peers, so pooling buys little and complicates failure
+// handling.
+type TCPTransport struct {
+	mu        sync.RWMutex
+	endpoints map[addr.Addr]string
+	timeout   time.Duration
+}
+
+// NewTCPTransport returns a transport with the given dial/IO timeout
+// (0 means 5s).
+func NewTCPTransport(timeout time.Duration) *TCPTransport {
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	return &TCPTransport{endpoints: make(map[addr.Addr]string), timeout: timeout}
+}
+
+// SetEndpoint maps a logical peer address to host:port.
+func (t *TCPTransport) SetEndpoint(a addr.Addr, hostport string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.endpoints[a] = hostport
+}
+
+// Endpoint returns the mapping for a, if known.
+func (t *TCPTransport) Endpoint(a addr.Addr) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ep, ok := t.endpoints[a]
+	return ep, ok
+}
+
+// Call implements Transport.
+func (t *TCPTransport) Call(to addr.Addr, msg *wire.Message) (*wire.Message, error) {
+	ep, ok := t.Endpoint(to)
+	if !ok {
+		return nil, fmt.Errorf("%w: no endpoint for %v", ErrOffline, to)
+	}
+	conn, err := net.DialTimeout("tcp", ep, t.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %v (%s): %v", ErrOffline, to, ep, err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(t.timeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, fmt.Errorf("node: set deadline: %w", err)
+	}
+	if err := wire.WriteMessage(conn, msg); err != nil {
+		return nil, fmt.Errorf("%w: send to %v: %v", ErrOffline, to, err)
+	}
+	resp, err := wire.ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("%w: receive from %v: %v", ErrOffline, to, err)
+	}
+	if resp.Kind == wire.KindError {
+		return nil, fmt.Errorf("node %v: %s", to, resp.Error)
+	}
+	return resp, nil
+}
+
+// Server serves a node's handler over a TCP listener.
+type Server struct {
+	node *Node
+	ln   net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a node and a listener. Call Serve to start accepting.
+func NewServer(n *Node, ln net.Listener) *Server {
+	return &Server{node: n, ln: ln, conns: make(map[net.Conn]struct{})}
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts connections until the listener is closed or ctx is done.
+// Each connection may carry a sequence of request frames; the server
+// answers in order and closes when the client does. An offline node
+// answers nothing (connections are dropped), mirroring an unreachable
+// peer.
+func (s *Server) Serve(ctx context.Context) error {
+	go func() {
+		<-ctx.Done()
+		s.Close()
+	}()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				s.wg.Wait()
+				return nil
+			}
+			return fmt.Errorf("node: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.wg.Done()
+	}()
+	for {
+		msg, err := wire.ReadMessage(conn)
+		if err != nil {
+			return // client closed or sent garbage; drop the connection
+		}
+		if !s.node.Online() {
+			return // simulate an unreachable peer: no answer
+		}
+		resp := s.node.Handle(msg)
+		if err := wire.WriteMessage(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and closes active connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}

@@ -1,0 +1,220 @@
+package node
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/store"
+	"pgrid/internal/wire"
+)
+
+// startTCPCluster launches n nodes, each served on a loopback listener,
+// all sharing one endpoint table.
+func startTCPCluster(t *testing.T, n int) ([]*Node, *TCPTransport, func()) {
+	t.Helper()
+	tr := NewTCPTransport(2 * time.Second)
+	nodes := make([]*Node, n)
+	servers := make([]*Server, n)
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = New(addr.Addr(i), smallCfg(), tr, int64(1000+i))
+		servers[i] = NewServer(nodes[i], ln)
+		tr.SetEndpoint(addr.Addr(i), ln.Addr().String())
+		go servers[i].Serve(ctx)
+	}
+	return nodes, tr, func() {
+		cancel()
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+}
+
+func TestTCPExchangeAndQuery(t *testing.T) {
+	nodes, _, stop := startTCPCluster(t, 8)
+	defer stop()
+
+	rng := rand.New(rand.NewSource(1))
+	// Drive meetings over real TCP until the 8 nodes converge on depth 2+.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		a := rng.Intn(len(nodes))
+		b := rng.Intn(len(nodes) - 1)
+		if b >= a {
+			b++
+		}
+		nodes[a].Exchange(addr.Addr(b))
+		sum := 0
+		for _, n := range nodes {
+			sum += n.Path().Len()
+		}
+		if float64(sum)/float64(len(nodes)) >= 2 {
+			break
+		}
+	}
+	sum := 0
+	for _, n := range nodes {
+		sum += n.Path().Len()
+	}
+	if float64(sum)/float64(len(nodes)) < 2 {
+		t.Fatalf("TCP cluster did not reach depth 2 (avg %.2f)", float64(sum)/8)
+	}
+
+	// Queries over TCP must route to comparable paths.
+	for i := 0; i < 50; i++ {
+		key := bitpath.Random(rng, 4)
+		start := nodes[rng.Intn(len(nodes))]
+		res := start.Query(key)
+		if !res.Found {
+			continue
+		}
+		var resp *Node
+		for _, n := range nodes {
+			if n.Addr() == res.Peer {
+				resp = n
+			}
+		}
+		if !bitpath.Comparable(resp.Path(), key) {
+			t.Fatalf("query %s ended at %q", key, resp.Path())
+		}
+	}
+}
+
+func TestTCPApplyGetRoundTrip(t *testing.T) {
+	nodes, tr, stop := startTCPCluster(t, 2)
+	defer stop()
+	_ = nodes
+
+	e := store.Entry{Key: bitpath.MustParse("01"), Name: "f", Holder: 1, Version: 2}
+	resp, err := tr.Call(1, &wire.Message{Kind: wire.KindApply, From: 0, Apply: &wire.ApplyReq{Entry: e}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.ApplyResp.Changed {
+		t.Error("apply over TCP reported unchanged")
+	}
+	got, err := tr.Call(1, &wire.Message{Kind: wire.KindGet, From: 0, Get: &wire.GetReq{Key: e.Key, Name: "f"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.GetResp.Found || got.GetResp.Entry != e {
+		t.Errorf("get over TCP = %+v", got.GetResp)
+	}
+}
+
+func TestTCPOfflineNodeDropsConnections(t *testing.T) {
+	nodes, tr, stop := startTCPCluster(t, 2)
+	defer stop()
+	nodes[1].SetOnline(false)
+	_, err := tr.Call(1, &wire.Message{Kind: wire.KindInfo, From: 0})
+	if err == nil {
+		t.Fatal("offline node answered")
+	}
+}
+
+func TestTCPClientProtocols(t *testing.T) {
+	// The multi-replica client protocols (publish, majority read, audit)
+	// over real TCP connections.
+	nodes, tr, stop := startTCPCluster(t, 6)
+	defer stop()
+
+	rng := rand.New(rand.NewSource(9))
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		a := rng.Intn(len(nodes))
+		b := rng.Intn(len(nodes) - 1)
+		if b >= a {
+			b++
+		}
+		nodes[a].Exchange(addr.Addr(b))
+		sum := 0
+		for _, n := range nodes {
+			sum += n.Path().Len()
+		}
+		if sum >= 2*len(nodes) {
+			break
+		}
+	}
+
+	cl := NewClient(tr, 99)
+	all := make([]addr.Addr, len(nodes))
+	for i, n := range nodes {
+		all[i] = n.Addr()
+	}
+	e := store.Entry{Key: bitpath.MustParse("10"), Name: "tcp-item", Holder: 4, Version: 1}
+	replicas, msgs := cl.Publish(all[:2], e, 3, 2)
+	if replicas == 0 || msgs == 0 {
+		t.Fatalf("publish over TCP: replicas=%d msgs=%d", replicas, msgs)
+	}
+	res := cl.MajorityRead(all, e.Key, "tcp-item", 1, 32)
+	if !res.Found || res.Entry.Holder != 4 {
+		t.Fatalf("majority read over TCP = %+v", res)
+	}
+	rep := cl.Audit(all)
+	if rep.Reachable != len(nodes) {
+		t.Fatalf("audit reachable = %d", rep.Reachable)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("audit violations over TCP: %v", rep.Violations)
+	}
+}
+
+func TestTCPNodeMaintain(t *testing.T) {
+	nodes, _, stop := startTCPCluster(t, 4)
+	defer stop()
+	// Converge the 4 nodes to depth ≥ 1, then take one referenced node
+	// offline and let maintenance drop it over TCP.
+	rng := rand.New(rand.NewSource(10))
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && nodes[0].Path().Len() == 0 {
+		b := rng.Intn(3) + 1
+		nodes[0].Exchange(addr.Addr(b))
+	}
+	if nodes[0].Path().Len() == 0 {
+		t.Skip("node 0 did not specialize in time")
+	}
+	refs := nodes[0].Peer().RefsAt(1).Slice()
+	if len(refs) == 0 {
+		t.Skip("no level-1 references")
+	}
+	for _, n := range nodes {
+		if n.Addr() == refs[0] {
+			n.SetOnline(false)
+		}
+	}
+	res := nodes[0].Maintain(2)
+	if res.Dropped == 0 {
+		t.Fatalf("maintenance over TCP dropped nothing: %+v", res)
+	}
+}
+
+func TestTCPUnknownEndpoint(t *testing.T) {
+	tr := NewTCPTransport(time.Second)
+	if _, err := tr.Call(99, &wire.Message{Kind: wire.KindInfo}); err == nil {
+		t.Fatal("unknown endpoint accepted")
+	}
+}
+
+func TestTCPUnreachableEndpoint(t *testing.T) {
+	tr := NewTCPTransport(200 * time.Millisecond)
+	// A listener we immediately close: dialing must fail cleanly.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := ln.Addr().String()
+	ln.Close()
+	tr.SetEndpoint(7, ep)
+	if _, err := tr.Call(7, &wire.Message{Kind: wire.KindInfo}); err == nil {
+		t.Fatal("dead endpoint accepted")
+	}
+}

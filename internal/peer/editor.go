@@ -1,0 +1,82 @@
+package peer
+
+import (
+	"fmt"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+)
+
+// Editor provides lock-free access to a peer whose mutex is already held by
+// Edit or EditPair. It exists so the exchange algorithm can read and mutate
+// two peers atomically — the construction cases 1–3 change both peers'
+// paths and reference sets as one decision — without the non-reentrant
+// locking of the public Peer methods.
+//
+// An Editor must not escape the callback it was handed to.
+type Editor struct {
+	p *Peer
+}
+
+// Addr returns the peer's address.
+func (e Editor) Addr() addr.Addr { return e.p.addr }
+
+// Path returns the peer's current path.
+func (e Editor) Path() bitpath.Path { return e.p.path }
+
+// Online reports the peer's reachability.
+func (e Editor) Online() bool { return e.p.online }
+
+// RefsAt returns a copy of refs(level, p).
+func (e Editor) RefsAt(level int) addr.Set { return e.p.refsAtLocked(level) }
+
+// SetRefsAt replaces refs(level, p); level must be within the path.
+func (e Editor) SetRefsAt(level int, s addr.Set) { e.p.setRefsAtLocked(level, s) }
+
+// Buddies returns a copy of the peer's buddy list.
+func (e Editor) Buddies() addr.Set { return e.p.buddies.Clone() }
+
+// AddBuddy records a replica.
+func (e Editor) AddBuddy(a addr.Addr) {
+	if a != e.p.addr {
+		e.p.buddies.Add(a)
+	}
+}
+
+// Extend appends bit b to the path and installs refs at the new level,
+// clearing the buddy list (see Peer.ExtendFrom).
+func (e Editor) Extend(b byte, newRefs addr.Set) {
+	p := e.p
+	p.path = p.path.Append(b)
+	newRefs.Remove(p.addr)
+	p.refs = append(p.refs, newRefs)
+	if len(p.refs) != len(p.path) {
+		panic(fmt.Sprintf("peer %v: refs/path length mismatch %d/%d", p.addr, len(p.refs), len(p.path)))
+	}
+	p.buddies = addr.Set{}
+}
+
+// Edit runs f with the peer's lock held.
+func Edit(p *Peer, f func(Editor)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f(Editor{p})
+}
+
+// EditPair runs f with both peers' locks held, acquired in address order so
+// concurrent exchanges cannot deadlock. It panics if a and b are the same
+// peer: a peer never exchanges with itself.
+func EditPair(a, b *Peer, f func(ea, eb Editor)) {
+	if a == b {
+		panic("peer: EditPair called with identical peers")
+	}
+	first, second := a, b
+	if second.addr < first.addr {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+	f(Editor{a}, Editor{b})
+}

@@ -1,0 +1,121 @@
+package peer
+
+import (
+	"sync"
+	"testing"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+)
+
+func TestEditSinglePeer(t *testing.T) {
+	p := New(4)
+	Edit(p, func(e Editor) {
+		if e.Addr() != 4 || e.Path() != bitpath.Empty || !e.Online() {
+			t.Errorf("editor view wrong: %v %q %v", e.Addr(), e.Path(), e.Online())
+		}
+		e.Extend(1, addr.NewSet(7))
+		e.AddBuddy(9)
+		e.AddBuddy(4) // self: ignored
+	})
+	if p.Path() != "1" {
+		t.Errorf("path = %q", p.Path())
+	}
+	if rs := p.RefsAt(1); !rs.Contains(7) {
+		t.Errorf("refs = %v", rs.String())
+	}
+	b := p.Buddies()
+	if !b.Contains(9) || b.Contains(4) {
+		t.Errorf("buddies = %v", b.String())
+	}
+}
+
+func TestEditorRefAccessors(t *testing.T) {
+	p := New(0)
+	Edit(p, func(e Editor) {
+		e.Extend(0, addr.NewSet(1, 2))
+		rs := e.RefsAt(1)
+		if rs.Len() != 2 {
+			t.Fatalf("refs = %v", rs.String())
+		}
+		// RefsAt returns a copy even inside an edit.
+		rs.Add(99)
+		if e.RefsAt(1).Contains(99) {
+			t.Error("editor RefsAt aliases state")
+		}
+		e.SetRefsAt(1, addr.NewSet(5, 0)) // self stripped
+		if got := e.RefsAt(1); got.Contains(0) || !got.Contains(5) {
+			t.Errorf("after SetRefsAt: %v", got.String())
+		}
+		if got := e.Buddies(); got.Len() != 0 {
+			t.Errorf("buddies = %v", got.String())
+		}
+	})
+}
+
+func TestEditPairMutatesBothAtomically(t *testing.T) {
+	a, b := New(0), New(1)
+	EditPair(a, b, func(ea, eb Editor) {
+		ea.Extend(0, addr.NewSet(eb.Addr()))
+		eb.Extend(1, addr.NewSet(ea.Addr()))
+	})
+	if a.Path() != "0" || b.Path() != "1" {
+		t.Errorf("paths = %q, %q", a.Path(), b.Path())
+	}
+}
+
+func TestEditPairPanicsOnSamePeer(t *testing.T) {
+	p := New(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EditPair(p, p, func(_, _ Editor) {})
+}
+
+// TestEditPairNoDeadlockUnderContention drives many concurrent pair edits
+// in both orders; address-ordered locking must prevent deadlock.
+func TestEditPairNoDeadlockUnderContention(t *testing.T) {
+	peers := make([]*Peer, 8)
+	for i := range peers {
+		peers[i] = New(addr.Addr(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				x := peers[(w+i)%8]
+				y := peers[(w+i+1+i%7)%8]
+				if x == y {
+					continue
+				}
+				EditPair(x, y, func(ex, ey Editor) {
+					ex.AddBuddy(ey.Addr())
+					ey.AddBuddy(ex.Addr())
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Sanity: buddies recorded both ways somewhere.
+	if peers[0].Buddies().Len() == 0 {
+		t.Error("no buddies recorded under contention")
+	}
+}
+
+func TestEditorExtendPanicsOnCorruptLengths(t *testing.T) {
+	// Extend keeps the one-ref-set-per-bit invariant; this is enforced by
+	// construction, so we just verify a normal extension chain stays
+	// consistent at each step.
+	p := New(2)
+	for i := 0; i < 6; i++ {
+		bit := byte(i % 2)
+		Edit(p, func(e Editor) { e.Extend(bit, addr.NewSet(addr.Addr(i+10))) })
+		if p.PathLen() != i+1 {
+			t.Fatalf("path length %d after %d extends", p.PathLen(), i+1)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"math/rand"
+
+	"pgrid/internal/directory"
+	"pgrid/internal/workload"
+)
+
+// ChurnStep advances every peer's online state by one step of the given
+// session model and returns the number of online peers afterwards. It
+// generalizes the paper's static online probability: instead of resampling
+// each peer independently per observation, peers have persistent sessions
+// with geometric lengths, which is what real file-sharing measurements
+// (e.g. the paper's Gnutella reference) show.
+func ChurnStep(d *directory.Directory, c workload.Churn, rng *rand.Rand) int {
+	online := 0
+	for _, p := range d.All() {
+		now := c.Step(rng, p.Online())
+		p.SetOnline(now)
+		if now {
+			online++
+		}
+	}
+	return online
+}

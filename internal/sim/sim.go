@@ -1,0 +1,222 @@
+// Package sim drives P-Grid construction and churn the way the paper's
+// Mathematica simulations did: peers meet randomly pairwise and execute the
+// exchange function until the grid converges (the average path length
+// reaches a threshold fraction of maxl, Section 5.1).
+//
+// Two engines are provided: a sequential engine that is deterministic for a
+// given seed and reproduces the paper's tables bit-for-bit across runs, and
+// a concurrent engine that runs meetings on many goroutines to validate the
+// algorithm under real interleaving and to build large grids fast.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"pgrid/internal/core"
+	"pgrid/internal/directory"
+	"pgrid/internal/workload"
+)
+
+// Options configures a construction run.
+type Options struct {
+	// N is the community size.
+	N int
+	// Config carries the P-Grid parameters (maxl, refmax, recmax, fanout).
+	Config core.Config
+	// Threshold is the convergence threshold t as a fraction of MaxL: the
+	// run stops when the average path length reaches Threshold·MaxL.
+	// The paper uses 0.99. Default 0.99.
+	Threshold float64
+	// MaxMeetings aborts the run after this many initiated meetings
+	// (recursive exchanges not counted), guarding against non-convergence.
+	// Default 10_000 × N.
+	MaxMeetings int64
+	// Seed seeds the run's random source.
+	Seed int64
+	// Workers sets the parallelism of the concurrent engine; ignored by
+	// the sequential engine. Default GOMAXPROCS.
+	Workers int
+	// CheckEvery, if > 0, makes the sequential engine verify the directory
+	// invariants every CheckEvery meetings (tests use this; it is O(N·maxl)
+	// per check).
+	CheckEvery int64
+	// Churn, when non-nil, runs construction under session churn: every
+	// ChurnEvery meetings all peers take one step of the Markov session
+	// model, and meetings only happen between online peers. The paper
+	// builds with everyone online; this option measures how robust the
+	// construction process is when they are not (offline peers simply
+	// miss meetings and catch up when they return).
+	Churn      *workload.Churn
+	ChurnEvery int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold == 0 {
+		o.Threshold = 0.99
+	}
+	if o.MaxMeetings == 0 {
+		o.MaxMeetings = 10_000 * int64(o.N)
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Churn != nil && o.ChurnEvery == 0 {
+		o.ChurnEvery = int64(o.N)
+	}
+	return o
+}
+
+// Result reports a construction run.
+type Result struct {
+	// Dir is the constructed community.
+	Dir *directory.Directory
+	// Exchanges is the total number of exchange calls (e of Section 5.1),
+	// including recursive ones.
+	Exchanges int64
+	// Meetings is the number of initiated random meetings.
+	Meetings int64
+	// Converged reports whether the threshold was reached before
+	// MaxMeetings.
+	Converged bool
+	// AvgPathLen is the final average path length.
+	AvgPathLen float64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// ErrBadOptions reports invalid options.
+var ErrBadOptions = errors.New("sim: invalid options")
+
+func (o Options) validate() error {
+	if o.N < 2 {
+		return fmt.Errorf("%w: N = %d, need at least 2 peers", ErrBadOptions, o.N)
+	}
+	if err := o.Config.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadOptions, err)
+	}
+	if o.Threshold < 0 || o.Threshold > 1 {
+		return fmt.Errorf("%w: Threshold = %v", ErrBadOptions, o.Threshold)
+	}
+	return nil
+}
+
+// Build runs the sequential construction: random pairwise meetings until
+// the average path length reaches Threshold·MaxL. Deterministic for a
+// given Options.Seed.
+func Build(opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	d := directory.New(opts.N)
+	var m core.Metrics
+	target := opts.Threshold * float64(opts.Config.MaxL)
+
+	var res Result
+	// Recomputing the average path length from scratch every meeting would
+	// make the run O(meetings·N); track the sum incrementally instead by
+	// polling only every pollEvery meetings (path lengths never shrink, so
+	// polling can only delay detection by pollEvery meetings).
+	pollEvery := int64(opts.N) / 4
+	if pollEvery < 1 {
+		pollEvery = 1
+	}
+	for res.Meetings < opts.MaxMeetings {
+		if opts.Churn != nil && res.Meetings%opts.ChurnEvery == 0 {
+			ChurnStep(d, *opts.Churn, rng)
+		}
+		a1, a2 := d.RandomPair(rng)
+		if opts.Churn != nil && (!a1.Online() || !a2.Online()) {
+			res.Meetings++ // a missed meeting still consumes wall-clock
+			continue
+		}
+		core.Exchange(d, opts.Config, &m, a1, a2, rng)
+		res.Meetings++
+		if opts.CheckEvery > 0 && res.Meetings%opts.CheckEvery == 0 {
+			if err := d.CheckInvariants(); err != nil {
+				return Result{}, fmt.Errorf("sim: invariant violated after %d meetings: %v", res.Meetings, err)
+			}
+		}
+		if res.Meetings%pollEvery == 0 && d.AvgPathLen() >= target {
+			res.Converged = true
+			break
+		}
+	}
+	if !res.Converged && d.AvgPathLen() >= target {
+		res.Converged = true
+	}
+	res.Dir = d
+	res.Exchanges = m.Exchanges.Load()
+	res.AvgPathLen = d.AvgPathLen()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// BuildConcurrent runs the same process with opts.Workers goroutines
+// performing meetings in parallel. The result is not deterministic across
+// runs (scheduling interleaves), but every safety invariant holds; tests
+// verify this. Use for large grids (the paper's 20 000-peer experiment).
+func BuildConcurrent(opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	d := directory.New(opts.N)
+	var m core.Metrics
+	target := opts.Threshold * float64(opts.Config.MaxL)
+
+	var (
+		mu       sync.Mutex
+		meetings int64
+		stopped  bool
+	)
+	// Each worker claims meetings in small batches to keep the counter from
+	// becoming a bottleneck, and polls convergence between batches.
+	const batch = 32
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(w)*1_000_003))
+			for {
+				mu.Lock()
+				if stopped || meetings >= opts.MaxMeetings {
+					mu.Unlock()
+					return
+				}
+				meetings += batch
+				mu.Unlock()
+				for i := 0; i < batch; i++ {
+					a1, a2 := d.RandomPair(rng)
+					core.Exchange(d, opts.Config, &m, a1, a2, rng)
+				}
+				if d.AvgPathLen() >= target {
+					mu.Lock()
+					stopped = true
+					mu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := Result{
+		Dir:        d,
+		Exchanges:  m.Exchanges.Load(),
+		Meetings:   meetings,
+		AvgPathLen: d.AvgPathLen(),
+		Converged:  d.AvgPathLen() >= target,
+		Elapsed:    time.Since(start),
+	}
+	return res, nil
+}

@@ -1,0 +1,69 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pgrid/internal/bitpath"
+)
+
+func benchStore(n int) (*Store, []Entry) {
+	rng := rand.New(rand.NewSource(1))
+	s := New()
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{
+			Key:     bitpath.Random(rng, 12),
+			Name:    fmt.Sprintf("item-%d", i),
+			Holder:  1,
+			Version: 1,
+		}
+		s.Apply(entries[i])
+	}
+	return s, entries
+}
+
+func BenchmarkStoreApply(b *testing.B) {
+	s, entries := benchStore(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := entries[i%4096]
+		e.Version = uint64(i + 2)
+		s.Apply(e)
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	s, entries := benchStore(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := entries[i%4096]
+		s.Get(e.Key, e.Name)
+	}
+}
+
+func BenchmarkStorePrefixScan(b *testing.B) {
+	s, _ := benchStore(4096)
+	prefix := bitpath.MustParse("0101")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.PrefixScan(prefix)
+	}
+}
+
+func BenchmarkStoreEvict(b *testing.B) {
+	// Evict + reapply to keep the store populated across iterations.
+	s, _ := benchStore(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evicted := s.Evict("0")
+		for _, e := range evicted {
+			s.Apply(e)
+		}
+	}
+}

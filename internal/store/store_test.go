@@ -1,0 +1,235 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pgrid/internal/bitpath"
+)
+
+func TestApplyAndGet(t *testing.T) {
+	s := New()
+	e := Entry{Key: bitpath.MustParse("0101"), Name: "a.mp3", Holder: 7, Version: 1}
+	if !s.Apply(e) {
+		t.Fatal("first Apply returned false")
+	}
+	got, ok := s.Get(e.Key, e.Name)
+	if !ok || got != e {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestApplyVersionMonotone(t *testing.T) {
+	s := New()
+	e := Entry{Key: bitpath.MustParse("01"), Name: "x", Holder: 1, Version: 5}
+	s.Apply(e)
+	stale := e
+	stale.Version = 3
+	stale.Holder = 9
+	if s.Apply(stale) {
+		t.Error("Apply accepted stale version")
+	}
+	if got, _ := s.Get(e.Key, e.Name); got.Version != 5 || got.Holder != 1 {
+		t.Errorf("stale overwrote: %v", got)
+	}
+	same := e
+	same.Holder = 9
+	if s.Apply(same) {
+		t.Error("Apply accepted equal version (must be strictly fresher)")
+	}
+	fresh := e
+	fresh.Version = 6
+	fresh.Holder = 9
+	if !s.Apply(fresh) {
+		t.Error("Apply rejected fresher version")
+	}
+	if got, _ := s.Get(e.Key, e.Name); got.Version != 6 || got.Holder != 9 {
+		t.Errorf("fresh did not overwrite: %v", got)
+	}
+}
+
+func TestLookupMultipleNamesSameKey(t *testing.T) {
+	s := New()
+	k := bitpath.MustParse("110")
+	s.Apply(Entry{Key: k, Name: "b", Holder: 2, Version: 1})
+	s.Apply(Entry{Key: k, Name: "a", Holder: 1, Version: 1})
+	got := s.Lookup(k)
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" {
+		t.Fatalf("Lookup = %v", got)
+	}
+	if len(s.Lookup(bitpath.MustParse("111"))) != 0 {
+		t.Error("Lookup of absent key returned entries")
+	}
+}
+
+func TestPrefixScan(t *testing.T) {
+	s := New()
+	for i, k := range []string{"000", "001", "010", "100", "0010"} {
+		s.Apply(Entry{Key: bitpath.MustParse(k), Name: fmt.Sprintf("n%d", i), Holder: 1, Version: 1})
+	}
+	got := s.PrefixScan(bitpath.MustParse("00"))
+	if len(got) != 3 {
+		t.Fatalf("PrefixScan(00) = %v", got)
+	}
+	for _, e := range got {
+		if !e.Key.HasPrefix(bitpath.MustParse("00")) {
+			t.Errorf("entry %v outside prefix", e)
+		}
+	}
+	if len(s.Entries()) != 5 {
+		t.Errorf("Entries len = %d", len(s.Entries()))
+	}
+	// Sorted by key order.
+	all := s.Entries()
+	for i := 1; i < len(all); i++ {
+		if bitpath.Compare(all[i-1].Key, all[i].Key) > 0 {
+			t.Errorf("Entries not sorted at %d", i)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New()
+	k := bitpath.MustParse("01")
+	s.Apply(Entry{Key: k, Name: "x", Holder: 1, Version: 1})
+	if !s.Delete(k, "x") {
+		t.Fatal("Delete existing returned false")
+	}
+	if s.Delete(k, "x") {
+		t.Error("Delete absent returned true")
+	}
+	if s.Len() != 0 {
+		t.Error("Delete left entries behind")
+	}
+	if s.Delete(bitpath.MustParse("10"), "y") {
+		t.Error("Delete on absent key returned true")
+	}
+}
+
+func TestEvict(t *testing.T) {
+	s := New()
+	in := Entry{Key: bitpath.MustParse("010"), Name: "in", Holder: 1, Version: 1}
+	out := Entry{Key: bitpath.MustParse("10"), Name: "out", Holder: 2, Version: 1}
+	out2 := Entry{Key: bitpath.MustParse("00"), Name: "out2", Holder: 3, Version: 1}
+	s.Apply(in)
+	s.Apply(out)
+	s.Apply(out2)
+	evicted := s.Evict(bitpath.MustParse("01"))
+	if len(evicted) != 2 {
+		t.Fatalf("Evict returned %v", evicted)
+	}
+	if s.Len() != 1 {
+		t.Errorf("store kept %d entries, want 1", s.Len())
+	}
+	if _, ok := s.Get(in.Key, in.Name); !ok {
+		t.Error("Evict removed an entry under the kept prefix")
+	}
+}
+
+func TestHosted(t *testing.T) {
+	s := New()
+	s.Host(Entry{Key: bitpath.MustParse("01"), Name: "b", Holder: 1, Version: 1})
+	s.Host(Entry{Key: bitpath.MustParse("11"), Name: "a", Holder: 1, Version: 1})
+	got := s.Hosted()
+	if len(got) != 2 {
+		t.Fatalf("Hosted = %v", got)
+	}
+	// Hosting must not create index entries.
+	if s.Len() != 0 {
+		t.Error("Host created index entries")
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := New()
+	s.Apply(Entry{Key: bitpath.MustParse("0"), Name: "x", Holder: 1, Version: 1})
+	s.Host(Entry{Key: bitpath.MustParse("0"), Name: "h", Holder: 1, Version: 1})
+	s.Clear()
+	if s.Len() != 0 {
+		t.Error("Clear left index entries")
+	}
+	if len(s.Hosted()) != 1 {
+		t.Error("Clear must not remove hosted items")
+	}
+}
+
+func TestConcurrentApplyAndLookup(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := bitpath.FromUint(uint64(i%16), 4)
+				s.Apply(Entry{Key: k, Name: fmt.Sprintf("g%d-i%d", g, i), Holder: 1, Version: uint64(i)})
+				s.Lookup(k)
+				s.PrefixScan(k.Prefix(2))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 8*200 {
+		t.Errorf("Len = %d, want %d", s.Len(), 8*200)
+	}
+}
+
+func TestPropApplyKeepsMaxVersion(t *testing.T) {
+	f := func(versions []uint8) bool {
+		s := New()
+		k := bitpath.MustParse("0110")
+		var max uint64
+		applied := false
+		for _, v := range versions {
+			ver := uint64(v)
+			s.Apply(Entry{Key: k, Name: "n", Holder: 1, Version: ver})
+			if ver > max || !applied {
+				max = ver
+				applied = true
+			}
+		}
+		if !applied {
+			return s.Len() == 0
+		}
+		got, ok := s.Get(k, "n")
+		return ok && got.Version == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEvictPartition(t *testing.T) {
+	f := func(keys []uint16) bool {
+		s := New()
+		for i, kv := range keys {
+			k := bitpath.FromUint(uint64(kv), 10)
+			s.Apply(Entry{Key: k, Name: fmt.Sprintf("n%d", i), Holder: 1, Version: 1})
+		}
+		total := s.Len()
+		keep := bitpath.MustParse("01")
+		evicted := s.Evict(keep)
+		if len(evicted)+s.Len() != total {
+			return false
+		}
+		for _, e := range evicted {
+			if e.Key.HasPrefix(keep) {
+				return false
+			}
+		}
+		for _, e := range s.Entries() {
+			if !e.Key.HasPrefix(keep) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

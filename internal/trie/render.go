@@ -1,0 +1,58 @@
+package trie
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pgrid/internal/bitpath"
+)
+
+// Render draws the occupied trie as an indented tree with replica counts,
+// e.g.
+//
+//	ε
+//	├─ 0
+//	│  ├─ 00 ×3
+//	│  └─ 01 ×2
+//	└─ 1 ×4
+//
+// Only occupied paths and their ancestors appear. Intended for pgridsim
+// output and debugging; for big grids prefer the histogram.
+func (t *Trie) Render() string {
+	counts := t.ReplicaCounts()
+	// Collect every node that is an occupied path or an ancestor of one.
+	nodes := map[bitpath.Path]bool{bitpath.Empty: true}
+	for p := range counts {
+		for i := 0; i <= p.Len(); i++ {
+			nodes[p.Prefix(i)] = true
+		}
+	}
+	var sb strings.Builder
+	renderNode(&sb, nodes, counts, bitpath.Empty, "")
+	return sb.String()
+}
+
+func renderNode(sb *strings.Builder, nodes map[bitpath.Path]bool, counts map[bitpath.Path]int, p bitpath.Path, prefix string) {
+	label := p.String()
+	if c := counts[p]; c > 0 {
+		label += fmt.Sprintf(" ×%d", c)
+	}
+	sb.WriteString(label + "\n")
+
+	var children []bitpath.Path
+	for _, b := range []byte{0, 1} {
+		if c := p.Append(b); nodes[c] {
+			children = append(children, c)
+		}
+	}
+	sort.Slice(children, func(i, j int) bool { return bitpath.Compare(children[i], children[j]) < 0 })
+	for i, c := range children {
+		connector, childPrefix := "├─ ", prefix+"│  "
+		if i == len(children)-1 {
+			connector, childPrefix = "└─ ", prefix+"   "
+		}
+		sb.WriteString(prefix + connector)
+		renderNode(sb, nodes, counts, c, childPrefix)
+	}
+}

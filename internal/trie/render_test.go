@@ -1,0 +1,44 @@
+package trie
+
+import (
+	"strings"
+	"testing"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/directory"
+)
+
+func TestRenderSmallTrie(t *testing.T) {
+	d := directory.New(5)
+	d.Peer(0).ExtendFrom(bitpath.Empty, 0, addr.NewSet(3))
+	d.Peer(0).ExtendFrom(bitpath.MustParse("0"), 0, addr.NewSet(1))
+	d.Peer(1).ExtendFrom(bitpath.Empty, 0, addr.NewSet(3))
+	d.Peer(1).ExtendFrom(bitpath.MustParse("0"), 1, addr.NewSet(0))
+	d.Peer(2).ExtendFrom(bitpath.Empty, 0, addr.NewSet(3))
+	d.Peer(2).ExtendFrom(bitpath.MustParse("0"), 1, addr.NewSet(0))
+	d.Peer(3).ExtendFrom(bitpath.Empty, 1, addr.NewSet(0))
+	d.Peer(4).ExtendFrom(bitpath.Empty, 1, addr.NewSet(0))
+
+	out := FromDirectory(d).Render()
+	for _, want := range []string{"ε", "00 ×1", "01 ×2", "1 ×2", "├─", "└─"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The unoccupied interior node "0" appears without a count.
+	if strings.Contains(out, "0 ×") && !strings.Contains(out, "00 ×") {
+		t.Errorf("interior node rendered with count:\n%s", out)
+	}
+}
+
+func TestRenderRootOnly(t *testing.T) {
+	d := directory.New(2)
+	out := FromDirectory(d).Render()
+	if !strings.HasPrefix(out, "ε ×2") {
+		t.Errorf("render = %q", out)
+	}
+	if strings.Count(out, "\n") != 1 {
+		t.Errorf("root-only trie rendered extra lines:\n%s", out)
+	}
+}

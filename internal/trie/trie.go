@@ -1,0 +1,182 @@
+// Package trie provides a global view of a P-Grid as a binary trie. It is
+// a verification oracle and fixture factory: nothing in here is part of the
+// distributed algorithm (which never has a global view); it exists so tests
+// and experiments can ask "who *should* cover this key?" and can fabricate
+// perfectly balanced grids without running the construction process.
+package trie
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/directory"
+)
+
+// Trie is a snapshot of the responsibility structure of a community.
+type Trie struct {
+	byPath map[bitpath.Path][]addr.Addr
+	maxLen int
+}
+
+// FromDirectory snapshots the current paths of every peer.
+func FromDirectory(d *directory.Directory) *Trie {
+	t := &Trie{byPath: make(map[bitpath.Path][]addr.Addr)}
+	for _, p := range d.All() {
+		path := p.Path()
+		t.byPath[path] = append(t.byPath[path], p.Addr())
+		if path.Len() > t.maxLen {
+			t.maxLen = path.Len()
+		}
+	}
+	for _, g := range t.byPath {
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	}
+	return t
+}
+
+// Paths returns every occupied path in val order.
+func (t *Trie) Paths() []bitpath.Path {
+	out := make([]bitpath.Path, 0, len(t.byPath))
+	for p := range t.byPath {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return bitpath.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// Replicas returns the peers responsible for exactly path.
+func (t *Trie) Replicas(path bitpath.Path) []addr.Addr {
+	return append([]addr.Addr(nil), t.byPath[path]...)
+}
+
+// Covering returns the peers whose region is in a prefix relationship with
+// key — the ground-truth replica group the update experiments measure
+// against.
+func (t *Trie) Covering(key bitpath.Path) []addr.Addr {
+	var out []addr.Addr
+	for p, g := range t.byPath {
+		if bitpath.Comparable(p, key) {
+			out = append(out, g...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MaxDepth returns the deepest occupied path length.
+func (t *Trie) MaxDepth() int { return t.maxLen }
+
+// CheckCoverage verifies that the occupied regions cover the whole key
+// space at resolution depth: every depth-bit key must have at least one
+// covering peer. It returns the first uncovered key, if any.
+func (t *Trie) CheckCoverage(depth int) error {
+	for _, key := range bitpath.All(depth) {
+		covered := false
+		for p := range t.byPath {
+			if p.IsPrefixOf(key) || key.IsPrefixOf(p) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return fmt.Errorf("trie: key %s has no covering peer", key)
+		}
+	}
+	return nil
+}
+
+// CheckPrefixFree verifies the converse structural property of a fully
+// converged grid: no occupied path is a proper prefix of another (peers
+// stopped at different depths mean the grid is still converging — legal,
+// but worth asserting against in fixture tests).
+func (t *Trie) CheckPrefixFree() error {
+	paths := t.Paths()
+	for i := 0; i < len(paths); i++ {
+		for j := i + 1; j < len(paths); j++ {
+			if paths[i].IsPrefixOf(paths[j]) && paths[i] != paths[j] {
+				return fmt.Errorf("trie: path %s is a proper prefix of %s", paths[i], paths[j])
+			}
+		}
+	}
+	return nil
+}
+
+// ReplicaCounts returns the sizes of all replica groups, keyed by path.
+func (t *Trie) ReplicaCounts() map[bitpath.Path]int {
+	out := make(map[bitpath.Path]int, len(t.byPath))
+	for p, g := range t.byPath {
+		out[p] = len(g)
+	}
+	return out
+}
+
+// BuildIdeal fabricates a perfectly balanced grid: n peers spread
+// round-robin over the 2^depth leaves, each holding refmax references per
+// level chosen uniformly from the peers in the sibling subtree at that
+// level (or all of them if fewer than refmax exist). Buddies are fully
+// populated with the other replicas of the same leaf.
+//
+// The result satisfies directory.CheckInvariants by construction and is the
+// idealized structure the Section 4 analysis assumes. It panics if n < 2^depth
+// (every leaf needs at least one peer).
+func BuildIdeal(n, depth, refmax int, rng *rand.Rand) *directory.Directory {
+	leaves := 1 << uint(depth)
+	if n < leaves {
+		panic(fmt.Sprintf("trie: BuildIdeal(n=%d, depth=%d): need at least %d peers", n, depth, leaves))
+	}
+	d := directory.New(n)
+
+	// Assign peers to leaves round-robin over a random permutation so that
+	// replica groups differ across seeds but sizes stay balanced.
+	perm := rng.Perm(n)
+	leafOf := make([]bitpath.Path, n)
+	peersAt := make(map[bitpath.Path][]addr.Addr, leaves)
+	for i, pi := range perm {
+		leaf := bitpath.FromUint(uint64(i%leaves), depth)
+		a := addr.Addr(pi)
+		leafOf[pi] = leaf
+		peersAt[leaf] = append(peersAt[leaf], a)
+	}
+
+	// peersUnder[prefix] = all peers whose leaf starts with prefix.
+	// Iterate leaves in key order, not map order: candidate lists (and so
+	// the rng-driven reference choices below) must be deterministic for a
+	// given seed.
+	peersUnder := make(map[bitpath.Path][]addr.Addr)
+	for v := uint64(0); v < uint64(leaves); v++ {
+		leaf := bitpath.FromUint(v, depth)
+		for l := 0; l <= depth; l++ {
+			pre := leaf.Prefix(l)
+			peersUnder[pre] = append(peersUnder[pre], peersAt[leaf]...)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		a := addr.Addr(i)
+		p := d.Peer(a)
+		leaf := leafOf[i]
+		for l := 1; l <= depth; l++ {
+			// References at level l: peers under the sibling prefix.
+			sib := leaf.Prefix(l).Sibling()
+			cands := peersUnder[sib]
+			refs := addr.Set{}
+			if len(cands) <= refmax {
+				refs = addr.NewSet(cands...)
+			} else {
+				for _, j := range rng.Perm(len(cands))[:refmax] {
+					refs.Add(cands[j])
+				}
+			}
+			if !p.ExtendFrom(leaf.Prefix(l-1), leaf.Bit(l), refs) {
+				panic("trie: BuildIdeal: extension failed")
+			}
+		}
+		for _, b := range peersAt[leaf] {
+			p.AddBuddy(b)
+		}
+	}
+	return d
+}

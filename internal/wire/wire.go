@@ -1,0 +1,245 @@
+// Package wire defines the message protocol spoken between networked
+// P-Grid nodes and a length-prefixed gob codec for carrying it over
+// byte streams (TCP). The protocol has one round trip per algorithm step:
+// queries are forwarded server-side exactly as in Fig. 2, and exchanges
+// ship the initiator's state to the responder, which computes the joint
+// decision of Fig. 3 and returns the initiator's half.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/store"
+)
+
+// Kind discriminates message payloads.
+type Kind uint8
+
+// Message kinds. Requests have even values; their responses follow at +1.
+const (
+	KindQuery Kind = iota
+	KindQueryResp
+	KindExchange
+	KindExchangeResp
+	KindApply
+	KindApplyResp
+	KindGet
+	KindGetResp
+	KindInfo
+	KindInfoResp
+	KindScan
+	KindScanResp
+	KindError
+)
+
+// String names the kind for logs.
+func (k Kind) String() string {
+	names := [...]string{"query", "query-resp", "exchange", "exchange-resp",
+		"apply", "apply-resp", "get", "get-resp", "info", "info-resp",
+		"scan", "scan-resp", "error"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Message is the envelope for every protocol payload. Exactly one payload
+// pointer matching Kind is set.
+type Message struct {
+	Kind Kind
+	From addr.Addr
+
+	Query        *QueryReq
+	QueryResp    *QueryResp
+	Exchange     *ExchangeReq
+	ExchangeResp *ExchangeResp
+	Apply        *ApplyReq
+	ApplyResp    *ApplyResp
+	Get          *GetReq
+	GetResp      *GetResp
+	InfoResp     *InfoResp
+	Scan         *ScanReq
+	ScanResp     *ScanResp
+	Error        string
+}
+
+// QueryReq asks the receiver to resolve the remaining query path, having
+// already consumed Level bits of its own path (Fig. 2's query(a, p, l)).
+type QueryReq struct {
+	Key   bitpath.Path
+	Level int
+}
+
+// QueryResp reports the search outcome.
+type QueryResp struct {
+	Found bool
+	// Peer is the responsible peer (when Found).
+	Peer addr.Addr
+	// Path is the responsible peer's path (when Found).
+	Path bitpath.Path
+	// Messages is the number of successful peer contacts spent downstream
+	// of the receiver (the receiver adds its own hop count).
+	Messages int
+}
+
+// ExchangeReq carries the initiator's state snapshot: the responder
+// computes the Fig. 3 decision for both sides.
+type ExchangeReq struct {
+	Path bitpath.Path
+	// Refs[i] holds the initiator's references at level i+1.
+	Refs []RefSet
+	// Depth is the recursion depth r.
+	Depth int
+}
+
+// RefSet is a gob-friendly reference set.
+type RefSet struct {
+	Addrs []addr.Addr
+}
+
+// ToSet converts to an addr.Set.
+func (r RefSet) ToSet() addr.Set { return addr.NewSet(r.Addrs...) }
+
+// FromSet converts from an addr.Set.
+func FromSet(s addr.Set) RefSet { return RefSet{Addrs: s.Slice()} }
+
+// ExchangeResp tells the initiator how to update itself.
+type ExchangeResp struct {
+	// BasePath echoes the initiator path the decision was computed from;
+	// the initiator applies the decision only if its path is unchanged
+	// (optimistic concurrency, like a real peer discarding a stale reply).
+	BasePath bitpath.Path
+	// Extend, when true, appends ExtendBit with ExtendRefs at the new
+	// level (cases 1–3 seen from the initiator's side).
+	Extend     bool
+	ExtendBit  byte
+	ExtendRefs RefSet
+	// SetRefs replaces reference sets at existing levels (common-level
+	// mixing, case 2/3 additions). Keys are 1-based levels.
+	SetRefs map[int]RefSet
+	// AddBuddy records the responder as a replica (same path at maxl).
+	AddBuddy bool
+	// ForwardTo asks the initiator to recursively exchange with these
+	// peers at Depth+1 (case 4).
+	ForwardTo []addr.Addr
+	// Handover carries index entries that fell out of the responder's
+	// narrowed responsibility and now belong to the initiator's side.
+	Handover []store.Entry
+}
+
+// ApplyReq installs an index entry at the receiver (update propagation).
+type ApplyReq struct {
+	Entry store.Entry
+}
+
+// ApplyResp reports whether the entry was new or fresher.
+type ApplyResp struct {
+	Changed bool
+}
+
+// GetReq reads the entry stored under (Key, Name) at the receiver.
+type GetReq struct {
+	Key  bitpath.Path
+	Name string
+}
+
+// GetResp returns the entry, if present.
+type GetResp struct {
+	Entry store.Entry
+	Found bool
+}
+
+// ScanReq asks the receiver for every index entry under a key prefix
+// (textual prefix search with order-preserving keys).
+type ScanReq struct {
+	Prefix bitpath.Path
+}
+
+// ScanResp returns the matching entries.
+type ScanResp struct {
+	Entries []store.Entry
+}
+
+// InfoResp describes the receiver's current state (used by diagnostics and
+// the ctl tool).
+type InfoResp struct {
+	Addr    addr.Addr
+	Path    bitpath.Path
+	Refs    []RefSet
+	Buddies RefSet
+	Entries int
+}
+
+// MaxFrameSize bounds a single encoded message; larger frames are
+// rejected as corrupt rather than allocated.
+const MaxFrameSize = 16 << 20
+
+// ErrFrameTooLarge reports an oversized or corrupt length prefix.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// WriteMessage encodes m as a length-prefixed gob frame.
+func WriteMessage(w io.Writer, m *Message) error {
+	var buf frameBuffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(len(buf.b)))
+	if _, err := w.Write(lenb[:]); err != nil {
+		return fmt.Errorf("wire: write length: %w", err)
+	}
+	if _, err := w.Write(buf.b); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage decodes one length-prefixed gob frame.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenb[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	var m Message
+	if err := gob.NewDecoder(&frameBuffer{b: body}).Decode(&m); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return &m, nil
+}
+
+// frameBuffer is a minimal in-memory io.ReadWriter for gob framing.
+type frameBuffer struct {
+	b []byte
+	r int
+}
+
+func (f *frameBuffer) Write(p []byte) (int, error) {
+	f.b = append(f.b, p...)
+	return len(p), nil
+}
+
+func (f *frameBuffer) Read(p []byte) (int, error) {
+	if f.r >= len(f.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.b[f.r:])
+	f.r += n
+	return n, nil
+}

@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgrid/internal/bitpath"
+)
+
+func TestHotspotKeysConcentration(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := HotspotKeys(rng, 4000, 10, bitpath.MustParse("00"), 0.85)
+	hot := 0
+	for _, k := range keys {
+		if k.Len() != 10 {
+			t.Fatalf("bad key %q", k)
+		}
+		if k.HasPrefix("00") {
+			hot++
+		}
+	}
+	// 85% forced hot plus 15%·(1/4) incidental ≈ 0.8875.
+	frac := float64(hot) / 4000
+	if frac < 0.83 || frac > 0.94 {
+		t.Errorf("hot fraction = %v, want ≈ 0.89", frac)
+	}
+	if skew := SkewMetric(keys, 2); skew < 0.4 {
+		t.Errorf("hotspot keys not skewed: tv = %v", skew)
+	}
+}
+
+func TestHotspotKeysZeroFractionIsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	keys := HotspotKeys(rng, 4000, 10, bitpath.MustParse("00"), 0)
+	if skew := SkewMetric(keys, 2); skew > 0.1 {
+		t.Errorf("fraction 0 should be uniform, tv = %v", skew)
+	}
+}
+
+func TestHotspotKeysPanicsOnLongPrefix(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	HotspotKeys(rand.New(rand.NewSource(3)), 1, 4, bitpath.MustParse("0000"), 0.5)
+}
