@@ -12,11 +12,13 @@ package pgrid
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"pgrid/internal/bitpath"
 	"pgrid/internal/core"
 	"pgrid/internal/directory"
 	"pgrid/internal/experiments"
+	"pgrid/internal/sim"
 	"pgrid/internal/store"
 	"pgrid/internal/trie"
 )
@@ -247,6 +249,53 @@ func BenchmarkExtJoinGrowth(b *testing.B) {
 		b.ReportMetric(rows[0].MeanMeetings, "meetings/join-first")
 		b.ReportMetric(rows[2].MeanMeetings, "meetings/join-last")
 	}
+}
+
+// --- simulator engine throughput --------------------------------------------
+
+// The construction engines are the repository's hottest code path (every
+// experiment is built from meetings); these benches report raw meetings/sec
+// at a paper-adjacent scale so engine regressions are visible in one number.
+// BENCH_construction.json records the same metric from cmd/pgridbench.
+
+func benchEngineOptions(n int, seed int64) sim.Options {
+	return sim.Options{
+		N:      n,
+		Config: core.Config{MaxL: 8, RefMax: 5, RecMax: 2, RecFanout: 2},
+		Seed:   seed,
+	}
+}
+
+func BenchmarkBuildMeetingsPerSec(b *testing.B) {
+	var meetings int64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Build(benchEngineOptions(5000, int64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatalf("did not converge: %+v", res)
+		}
+		meetings += res.Meetings
+	}
+	b.ReportMetric(float64(meetings)/time.Since(start).Seconds(), "meetings/sec")
+}
+
+func BenchmarkBuildConcurrentMeetingsPerSec(b *testing.B) {
+	var meetings int64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.BuildConcurrent(benchEngineOptions(5000, int64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatalf("did not converge: %+v", res)
+		}
+		meetings += res.Meetings
+	}
+	b.ReportMetric(float64(meetings)/time.Since(start).Seconds(), "meetings/sec")
 }
 
 // --- per-operation micro-benchmarks -----------------------------------------

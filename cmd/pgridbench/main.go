@@ -11,27 +11,66 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
+	"pgrid/internal/core"
 	"pgrid/internal/experiments"
+	"pgrid/internal/sim"
 	"pgrid/internal/trie"
 )
+
+// jsonReport is the machine-readable output of -json: per-experiment
+// wall-clock and rows, so the perf trajectory of the simulator is tracked
+// across PRs (BENCH_construction.json at the repository root is regenerated
+// with `go run ./cmd/pgridbench -run table1,table2,table3,table4,table5,engine
+// -json BENCH_construction.json`).
+type jsonReport struct {
+	Schema      string           `json:"schema"`
+	GoVersion   string           `json:"go_version"`
+	GoMaxProcs  int              `json:"gomaxprocs"`
+	Seed        int64            `json:"seed"`
+	Scale       float64          `json:"scale"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	Name    string `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Rows    any    `json:"rows,omitempty"`
+}
+
+// engineRow reports the raw simulator throughput of one engine — the
+// headline metric of the construction hot path.
+type engineRow struct {
+	Engine         string  `json:"engine"`
+	N              int     `json:"n"`
+	Workers        int     `json:"workers"`
+	Meetings       int64   `json:"meetings"`
+	Exchanges      int64   `json:"exchanges"`
+	Seconds        float64 `json:"seconds"`
+	MeetingsPerSec float64 `json:"meetings_per_sec"`
+	Converged      bool    `json:"converged"`
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pgridbench: ")
 
 	var (
-		run    = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,fig4,search,fig5,table6,sec6,eq3,skew,maintain,join,convergence,churnbuild,load,antientropy")
-		seed   = flag.Int64("seed", 1, "random seed")
-		scale  = flag.Float64("scale", 1.0, "scale factor for the 20000-peer experiments (0 < scale ≤ 1)")
-		csvDir = flag.String("csv", "", "also write each experiment as CSV into this directory")
+		run      = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,fig4,search,fig5,table6,sec6,eq3,skew,maintain,join,convergence,churnbuild,load,antientropy,engine")
+		seed     = flag.Int64("seed", 1, "random seed")
+		scale    = flag.Float64("scale", 1.0, "scale factor for the 20000-peer experiments (0 < scale ≤ 1)")
+		csvDir   = flag.String("csv", "", "also write each experiment as CSV into this directory")
+		jsonPath = flag.String("json", "", "write a machine-readable report (per-experiment wall-clock + rows) to this file")
 	)
 	flag.Parse()
 	if *scale <= 0 || *scale > 1 {
@@ -59,36 +98,98 @@ func main() {
 		check(write(f))
 		check(f.Close())
 	}
+	report := jsonReport{
+		Schema:     "pgridbench/v1",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+		Scale:      *scale,
+	}
+	// record captures one experiment's wall-clock (and, for table-shaped
+	// experiments, its rows) in the -json report.
+	record := func(name string, start time.Time, rows any) {
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			Name: name, Seconds: time.Since(start).Seconds(), Rows: rows,
+		})
+	}
 
 	if sel("table1") {
+		start := time.Now()
 		rows, err := experiments.Table1(*seed)
 		check(err)
+		record("table1", start, rows)
 		experiments.RenderConstruction(out, "Table 1 — construction cost vs community size (maxl=6, refmax=1)", rows)
 		csvOut("table1", func(w *os.File) error { return experiments.ConstructionCSV(w, rows) })
 	}
 	if sel("table2") {
+		start := time.Now()
 		rows, err := experiments.Table2(*seed)
 		check(err)
+		record("table2", start, rows)
 		experiments.RenderTable2(out, rows)
 		csvOut("table2", func(w *os.File) error { return experiments.Table2CSV(w, rows) })
 	}
 	if sel("table3") {
+		start := time.Now()
 		rows, err := experiments.Table3(*seed)
 		check(err)
+		record("table3", start, rows)
 		experiments.RenderConstruction(out, "Table 3 — construction cost vs recursion bound (N=500, maxl=6)", rows)
 		csvOut("table3", func(w *os.File) error { return experiments.ConstructionCSV(w, rows) })
 	}
 	if sel("table4") {
+		start := time.Now()
 		rows, err := experiments.RefmaxSweep(*seed, 0)
 		check(err)
+		record("table4", start, rows)
 		experiments.RenderConstruction(out, "Table 4 — refmax sweep, UNBOUNDED recursion fan-out (N=1000)", rows)
 		csvOut("table4", func(w *os.File) error { return experiments.ConstructionCSV(w, rows) })
 	}
 	if sel("table5") {
+		start := time.Now()
 		rows, err := experiments.RefmaxSweep(*seed, 2)
 		check(err)
+		record("table5", start, rows)
 		experiments.RenderConstruction(out, "Table 5 — refmax sweep, fan-out limited to 2 (N=1000)", rows)
 		csvOut("table5", func(w *os.File) error { return experiments.ConstructionCSV(w, rows) })
+	}
+	if sel("engine") {
+		// Raw simulator throughput at N=5000 (scaled): one sequential and
+		// one concurrent build to convergence, meetings/sec each — the
+		// numbers the tentpole optimizations move.
+		n := int(5000 * *scale)
+		if n < 64 {
+			n = 64
+		}
+		cfg := core.Config{MaxL: 8, RefMax: 5, RecMax: 2, RecFanout: 2}
+		start := time.Now()
+		rows := make([]engineRow, 0, 2)
+		seq, err := sim.Build(sim.Options{N: n, Config: cfg, Seed: *seed})
+		check(err)
+		rows = append(rows, engineRow{
+			Engine: "sequential", N: n, Workers: 1,
+			Meetings: seq.Meetings, Exchanges: seq.Exchanges,
+			Seconds:        seq.Elapsed.Seconds(),
+			MeetingsPerSec: float64(seq.Meetings) / seq.Elapsed.Seconds(),
+			Converged:      seq.Converged,
+		})
+		conc, err := sim.BuildConcurrent(sim.Options{N: n, Config: cfg, Seed: *seed})
+		check(err)
+		rows = append(rows, engineRow{
+			Engine: "concurrent", N: n, Workers: runtime.GOMAXPROCS(0),
+			Meetings: conc.Meetings, Exchanges: conc.Exchanges,
+			Seconds:        conc.Elapsed.Seconds(),
+			MeetingsPerSec: float64(conc.Meetings) / conc.Elapsed.Seconds(),
+			Converged:      conc.Converged,
+		})
+		record("engine", start, rows)
+		fmt.Fprintf(out, "Engine throughput — construction to convergence at N=%d (maxl=%d, refmax=%d)\n", n, cfg.MaxL, cfg.RefMax)
+		fmt.Fprintf(out, "%12s %8s %12s %12s %12s %14s\n", "engine", "workers", "meetings", "exchanges", "seconds", "meetings/sec")
+		for _, r := range rows {
+			fmt.Fprintf(out, "%12s %8d %12d %12d %12.3f %14.0f\n",
+				r.Engine, r.Workers, r.Meetings, r.Exchanges, r.Seconds, r.MeetingsPerSec)
+		}
+		fmt.Fprintln(out)
 	}
 
 	// The Section 5.2 experiments share one big grid.
@@ -100,8 +201,10 @@ func main() {
 			log.Fatalf("-scale %v leaves too few peers (%d) for depth %d", *scale, p.N, p.MaxL)
 		}
 		fmt.Fprintf(out, "building the Section 5.2 grid (N=%d, maxl=%d, refmax=%d)...\n", p.N, p.MaxL, p.RefMax)
+		start := time.Now()
 		f4, err := experiments.Fig4(p)
 		check(err)
+		record("fig4-build", start, nil)
 		if sel("fig4") {
 			experiments.RenderFig4(out, f4)
 			csvOut("fig4", func(w *os.File) error { return experiments.Fig4CSV(w, f4) })
@@ -163,7 +266,9 @@ func main() {
 		csvOut("join", func(w *os.File) error { return experiments.JoinCSV(w, rows) })
 	}
 	if sel("convergence") {
+		start := time.Now()
 		curves := experiments.Convergence(500, 6, []int{0, 1, 2, 4}, 100, 1_000_000, *seed+14)
+		record("convergence", start, nil)
 		experiments.RenderConvergence(out, curves)
 		csvOut("convergence", func(w *os.File) error { return experiments.ConvergenceCSV(w, curves) })
 	}
@@ -181,16 +286,28 @@ func main() {
 	}
 	// "scale" is opt-in (not part of "all"): the 80k build takes minutes.
 	if want["scale"] {
+		start := time.Now()
 		rows, err := experiments.Scale([]int{5000, 20000, 80000}, 10, *seed+17)
 		check(err)
+		record("scale", start, rows)
 		experiments.RenderScale(out, rows)
 		csvOut("scale", func(w *os.File) error { return experiments.ScaleCSV(w, rows) })
 	}
 	if sel("churnbuild") {
+		start := time.Now()
 		rows, err := experiments.ChurnBuild(400, 6, []float64{1.0, 0.7, 0.5, 0.3}, *seed+15)
 		check(err)
+		record("churnbuild", start, rows)
 		experiments.RenderChurnBuild(out, rows)
 		csvOut("churnbuild", func(w *os.File) error { return experiments.ChurnBuildCSV(w, rows) })
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		check(err)
+		buf = append(buf, '\n')
+		check(os.WriteFile(*jsonPath, buf, 0o644))
+		fmt.Fprintf(out, "wrote %s (%d experiments)\n", *jsonPath, len(report.Experiments))
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
@@ -23,6 +24,11 @@ import (
 // Directory is the peer community.
 type Directory struct {
 	peers []*peer.Peer
+	// pathSum is Σ length(path(a)) over the community, maintained
+	// incrementally by the peers themselves (see peer.TrackPathLen) so the
+	// construction-convergence metric AvgPathLen is O(1). The simulation
+	// engines poll it after every meeting.
+	pathSum atomic.Int64
 }
 
 // New creates n fresh peers with addresses 0…n-1, all online, all
@@ -31,6 +37,7 @@ func New(n int) *Directory {
 	d := &Directory{peers: make([]*peer.Peer, n)}
 	for i := range d.peers {
 		d.peers[i] = peer.New(addr.Addr(i))
+		d.peers[i].TrackPathLen(&d.pathSum)
 	}
 	return d
 }
@@ -63,19 +70,32 @@ func (d *Directory) RandomPeer(rng *rand.Rand) *peer.Peer {
 	return d.peers[rng.Intn(len(d.peers))]
 }
 
+// randomOnlineRetries bounds the rejection-sampling fast path of
+// RandomOnlinePeer: with online fraction f the fallback scan runs with
+// probability (1-f)^32 — under one in a thousand even at f = 0.2.
+const randomOnlineRetries = 32
+
 // RandomOnlinePeer returns a uniformly random online peer, or nil if none
-// is online.
+// is online. It allocates nothing: rejection sampling hits an online peer in
+// O(1/f) expected draws at online fraction f, and the rare fallback (nearly
+// everyone offline) is a single-pass reservoir sample over the community.
 func (d *Directory) RandomOnlinePeer(rng *rand.Rand) *peer.Peer {
-	online := make([]*peer.Peer, 0, len(d.peers))
-	for _, p := range d.peers {
-		if p.Online() {
-			online = append(online, p)
+	for try := 0; try < randomOnlineRetries; try++ {
+		if p := d.peers[rng.Intn(len(d.peers))]; p.Online() {
+			return p
 		}
 	}
-	if len(online) == 0 {
-		return nil
+	var chosen *peer.Peer
+	seen := 0
+	for _, p := range d.peers {
+		if p.Online() {
+			seen++
+			if rng.Intn(seen) == 0 {
+				chosen = p
+			}
+		}
 	}
-	return online[rng.Intn(len(online))]
+	return chosen
 }
 
 // RandomPair returns two distinct uniformly random peers — one random
@@ -119,17 +139,19 @@ func (d *Directory) OnlineCount() int {
 }
 
 // AvgPathLen returns (1/N)·Σ length(path(a)), the construction-convergence
-// metric of Section 5.1.
+// metric of Section 5.1. It is O(1): the sum is maintained incrementally on
+// every path extension, so the simulation engines can poll convergence after
+// every meeting instead of rationing an O(N) scan.
 func (d *Directory) AvgPathLen() float64 {
 	if len(d.peers) == 0 {
 		return 0
 	}
-	sum := 0
-	for _, p := range d.peers {
-		sum += p.PathLen()
-	}
-	return float64(sum) / float64(len(d.peers))
+	return float64(d.pathSum.Load()) / float64(len(d.peers))
 }
+
+// PathLenSum returns Σ length(path(a)) — the incrementally maintained
+// counter behind AvgPathLen. Tests cross-check it against a full scan.
+func (d *Directory) PathLenSum() int64 { return d.pathSum.Load() }
 
 // PathLengths returns every peer's current path length.
 func (d *Directory) PathLengths() []int {
@@ -185,10 +207,13 @@ func (d *Directory) Responsible(key bitpath.Path) []addr.Addr {
 // the failure mode the maintenance protocol repairs. It panics on an
 // invalid address.
 func (d *Directory) Replace(a addr.Addr) *peer.Peer {
-	if d.Peer(a) == nil {
+	old := d.Peer(a)
+	if old == nil {
 		panic(fmt.Sprintf("directory: Replace(%v): no such peer", a))
 	}
+	old.UntrackPathLen()
 	p := peer.New(a)
+	p.TrackPathLen(&d.pathSum)
 	d.peers[a] = p
 	return p
 }
@@ -197,6 +222,7 @@ func (d *Directory) Replace(a addr.Addr) *peer.Peer {
 // membership for the join experiments.
 func (d *Directory) AddPeer() *peer.Peer {
 	p := peer.New(addr.Addr(len(d.peers)))
+	p.TrackPathLen(&d.pathSum)
 	d.peers = append(d.peers, p)
 	return p
 }
@@ -222,6 +248,13 @@ func (d *Directory) Covering(key bitpath.Path) []addr.Addr {
 // bit, no self references, no dangling addresses. Returns the first
 // violation found, or nil.
 func (d *Directory) CheckInvariants() error {
+	scanSum := int64(0)
+	for _, p := range d.peers {
+		scanSum += int64(p.PathLen())
+	}
+	if got := d.pathSum.Load(); got != scanSum {
+		return fmt.Errorf("incremental path-length sum %d diverged from scan %d", got, scanSum)
+	}
 	for _, p := range d.peers {
 		s := p.Snapshot()
 		if len(s.Refs) != s.Path.Len() {

@@ -27,8 +27,9 @@ type ChurnBuildRow struct {
 // lower availability stretches the process — offline peers miss meetings
 // and resume when they return — but must not break it.
 func ChurnBuild(n, maxl int, fractions []float64, seed int64) ([]ChurnBuildRow, error) {
-	var rows []ChurnBuildRow
-	for _, frac := range fractions {
+	rows := make([]ChurnBuildRow, len(fractions))
+	err := runCells(len(fractions), func(i int) error {
+		frac := fractions[i]
 		opts := sim.Options{
 			N:           n,
 			Config:      core.Config{MaxL: maxl, RefMax: 3, RecMax: 2, RecFanout: 2},
@@ -43,16 +44,20 @@ func ChurnBuild(n, maxl int, fractions []float64, seed int64) ([]ChurnBuildRow, 
 		}
 		res, err := sim.Build(opts)
 		if err != nil {
-			return nil, fmt.Errorf("churnbuild(%v): %w", frac, err)
+			return fmt.Errorf("churnbuild(%v): %w", frac, err)
 		}
-		rows = append(rows, ChurnBuildRow{
+		rows[i] = ChurnBuildRow{
 			OnlineFraction: frac,
 			Exchanges:      res.Exchanges,
 			Meetings:       res.Meetings,
 			EPerN:          float64(res.Exchanges) / float64(n),
 			Converged:      res.Converged,
 			FinalAvgDepth:  res.AvgPathLen,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

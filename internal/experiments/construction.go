@@ -40,18 +40,29 @@ func buildRow(n int, cfg core.Config, seed int64) (ConstructionRow, error) {
 // Table1 reproduces the first Section 5.1 table: construction cost vs
 // community size N ∈ {200,400,…,1000} for recmax ∈ {0,2}, maxl=6,
 // refmax=1. The paper's finding: e grows linearly in N, i.e. e/N is
-// (practically) constant.
+// (practically) constant. Cells run on the bounded worker pool; each cell's
+// seed depends only on its parameters, so output is order-independent.
 func Table1(seed int64) ([]ConstructionRow, error) {
-	var rows []ConstructionRow
+	type cell struct{ n, recmax int }
+	var cells []cell
 	for _, recmax := range []int{0, 2} {
 		for n := 200; n <= 1000; n += 200 {
-			cfg := core.Config{MaxL: 6, RefMax: 1, RecMax: recmax, RecFanout: 2}
-			row, err := buildRow(n, cfg, seed+int64(n)+int64(recmax))
-			if err != nil {
-				return nil, fmt.Errorf("table1(N=%d, recmax=%d): %w", n, recmax, err)
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{n, recmax})
 		}
+	}
+	rows := make([]ConstructionRow, len(cells))
+	err := runCells(len(cells), func(i int) error {
+		c := cells[i]
+		cfg := core.Config{MaxL: 6, RefMax: 1, RecMax: c.recmax, RecFanout: 2}
+		row, err := buildRow(c.n, cfg, seed+int64(c.n)+int64(c.recmax))
+		if err != nil {
+			return fmt.Errorf("table1(N=%d, recmax=%d): %w", c.n, c.recmax, err)
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -67,21 +78,32 @@ type Table2Row struct {
 // paper's finding: without recursion the cost doubles per level
 // (ratio ≈ 2); with recursion the growth is strongly damped.
 func Table2(seed int64) ([]Table2Row, error) {
-	var rows []Table2Row
+	type cell struct{ maxl, recmax int }
+	var cells []cell
 	for _, recmax := range []int{0, 2} {
-		var prev int64
 		for maxl := 2; maxl <= 7; maxl++ {
-			cfg := core.Config{MaxL: maxl, RefMax: 1, RecMax: recmax, RecFanout: 2}
-			row, err := buildRow(500, cfg, seed+int64(maxl)*10+int64(recmax))
-			if err != nil {
-				return nil, fmt.Errorf("table2(maxl=%d, recmax=%d): %w", maxl, recmax, err)
-			}
-			r := Table2Row{ConstructionRow: row}
-			if prev > 0 {
-				r.Ratio = float64(row.Exchanges) / float64(prev)
-			}
-			prev = row.Exchanges
-			rows = append(rows, r)
+			cells = append(cells, cell{maxl, recmax})
+		}
+	}
+	rows := make([]Table2Row, len(cells))
+	err := runCells(len(cells), func(i int) error {
+		c := cells[i]
+		cfg := core.Config{MaxL: c.maxl, RefMax: 1, RecMax: c.recmax, RecFanout: 2}
+		row, err := buildRow(500, cfg, seed+int64(c.maxl)*10+int64(c.recmax))
+		if err != nil {
+			return fmt.Errorf("table2(maxl=%d, recmax=%d): %w", c.maxl, c.recmax, err)
+		}
+		rows[i] = Table2Row{ConstructionRow: row}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The growth ratio chains consecutive cells of a series, so it is
+	// derived after the parallel fill.
+	for i := range rows {
+		if i > 0 && rows[i].RecMax == rows[i-1].RecMax && rows[i-1].Exchanges > 0 {
+			rows[i].Ratio = float64(rows[i].Exchanges) / float64(rows[i-1].Exchanges)
 		}
 	}
 	return rows, nil
@@ -91,14 +113,18 @@ func Table2(seed int64) ([]Table2Row, error) {
 // recursion bound recmax ∈ {0,…,6} at N=500, maxl=6, refmax=1. The paper's
 // finding: a pronounced optimum at recmax=2.
 func Table3(seed int64) ([]ConstructionRow, error) {
-	var rows []ConstructionRow
-	for recmax := 0; recmax <= 6; recmax++ {
+	rows := make([]ConstructionRow, 7)
+	err := runCells(len(rows), func(recmax int) error {
 		cfg := core.Config{MaxL: 6, RefMax: 1, RecMax: recmax, RecFanout: 2}
 		row, err := buildRow(500, cfg, seed+int64(recmax))
 		if err != nil {
-			return nil, fmt.Errorf("table3(recmax=%d): %w", recmax, err)
+			return fmt.Errorf("table3(recmax=%d): %w", recmax, err)
 		}
-		rows = append(rows, row)
+		rows[recmax] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -109,14 +135,19 @@ func Table3(seed int64) ([]ConstructionRow, error) {
 // unbounded fan-out makes the cost grow exponentially in refmax; limiting
 // recursive calls to 2 referenced peers keeps it nearly flat.
 func RefmaxSweep(seed int64, fanout int) ([]ConstructionRow, error) {
-	var rows []ConstructionRow
-	for refmax := 1; refmax <= 4; refmax++ {
+	rows := make([]ConstructionRow, 4)
+	err := runCells(len(rows), func(i int) error {
+		refmax := i + 1
 		cfg := core.Config{MaxL: 6, RefMax: refmax, RecMax: 2, RecFanout: fanout}
 		row, err := buildRow(1000, cfg, seed+int64(refmax))
 		if err != nil {
-			return nil, fmt.Errorf("refmaxsweep(refmax=%d, fanout=%d): %w", refmax, fanout, err)
+			return fmt.Errorf("refmaxsweep(refmax=%d, fanout=%d): %w", refmax, fanout, err)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

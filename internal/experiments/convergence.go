@@ -24,8 +24,9 @@ type ConvergenceCurve struct {
 // average path length every `sampleEvery` meetings until the target depth
 // or maxMeetings.
 func Convergence(n, maxl int, recmaxes []int, sampleEvery, maxMeetings int, seed int64) []ConvergenceCurve {
-	var out []ConvergenceCurve
-	for _, recmax := range recmaxes {
+	out := make([]ConvergenceCurve, len(recmaxes))
+	runCells(len(recmaxes), func(i int) error {
+		recmax := recmaxes[i]
 		rng := rand.New(rand.NewSource(seed))
 		cfg := core.Config{MaxL: maxl, RefMax: 1, RecMax: recmax, RecFanout: 2}
 		d := directory.New(n)
@@ -43,8 +44,9 @@ func Convergence(n, maxl int, recmaxes []int, sampleEvery, maxMeetings int, seed
 				}
 			}
 		}
-		out = append(out, cc)
-	}
+		out[i] = cc
+		return nil
+	})
 	return out
 }
 

@@ -25,7 +25,10 @@ type ScaleRow struct {
 	Converged bool
 }
 
-// Scale sweeps community sizes with the concurrent engine.
+// Scale sweeps community sizes with the concurrent engine. Unlike the
+// Section 5.1 tables this sweep stays sequential: each cell is itself a
+// BuildConcurrent run that already saturates every core, and the largest
+// grids are memory-heavy enough that overlapping them would only thrash.
 func Scale(sizes []int, refmax int, seed int64) ([]ScaleRow, error) {
 	var rows []ScaleRow
 	for _, n := range sizes {

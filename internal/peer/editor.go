@@ -54,6 +54,9 @@ func (e Editor) Extend(b byte, newRefs addr.Set) {
 		panic(fmt.Sprintf("peer %v: refs/path length mismatch %d/%d", p.addr, len(p.refs), len(p.path)))
 	}
 	p.buddies = addr.Set{}
+	if p.pathSum != nil {
+		p.pathSum.Add(1)
+	}
 }
 
 // Edit runs f with the peer's lock held.

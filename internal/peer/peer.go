@@ -12,6 +12,7 @@ package peer
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
@@ -28,6 +29,10 @@ type Peer struct {
 	refs    []addr.Set // refs[i] holds refs(i+1, a): level i+1 references
 	buddies addr.Set   // known replicas responsible for the same path
 	online  bool
+	// pathSum, when non-nil, is a community-wide Σ path-length counter the
+	// peer keeps current on every path mutation, so the directory's
+	// convergence metric is O(1) instead of an O(N) scan of N mutexes.
+	pathSum *atomic.Int64
 }
 
 // New returns a fresh peer with the empty path (responsible for the whole
@@ -69,6 +74,31 @@ func (p *Peer) SetOnline(v bool) {
 	defer p.mu.Unlock()
 	p.online = v
 }
+
+// TrackPathLen registers a shared counter that the peer keeps equal to the
+// community-wide sum of path lengths: the peer's current path length is
+// added immediately, and every subsequent path mutation adjusts the counter
+// under the peer's lock. The directory installs one counter per community so
+// its AvgPathLen is a single atomic load. A previously registered counter is
+// credited back first, so re-tracking (or passing nil to detach) keeps every
+// counter consistent.
+func (p *Peer) TrackPathLen(sum *atomic.Int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pathSum != nil {
+		p.pathSum.Add(-int64(len(p.path)))
+	}
+	p.pathSum = sum
+	if sum != nil {
+		sum.Add(int64(len(p.path)))
+	}
+}
+
+// UntrackPathLen detaches the peer from its path-length counter, crediting
+// its current contribution back. Used when a peer leaves a community for
+// good (directory.Replace): late mutations of the discarded object must not
+// corrupt the live community's sum.
+func (p *Peer) UntrackPathLen() { p.TrackPathLen(nil) }
 
 // RefsAt returns a copy of refs(level, p), the references at the given
 // 1-based level. Levels beyond the current path length return an empty set.
@@ -167,6 +197,9 @@ func (p *Peer) Restore(s Snapshot) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.pathSum != nil {
+		p.pathSum.Add(int64(s.Path.Len() - len(p.path)))
+	}
 	p.path = s.Path
 	p.refs = make([]addr.Set, len(s.Refs))
 	for i, r := range s.Refs {
@@ -217,6 +250,9 @@ func (p *Peer) ExtendFrom(old bitpath.Path, b byte, newRefs addr.Set) bool {
 		panic(fmt.Sprintf("peer %v: refs/path length mismatch %d/%d", p.addr, len(p.refs), len(p.path)))
 	}
 	p.buddies = addr.Set{}
+	if p.pathSum != nil {
+		p.pathSum.Add(1)
+	}
 	return true
 }
 

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pgrid/internal/core"
@@ -120,14 +121,10 @@ func Build(opts Options) (Result, error) {
 	target := opts.Threshold * float64(opts.Config.MaxL)
 
 	var res Result
-	// Recomputing the average path length from scratch every meeting would
-	// make the run O(meetings·N); track the sum incrementally instead by
-	// polling only every pollEvery meetings (path lengths never shrink, so
-	// polling can only delay detection by pollEvery meetings).
-	pollEvery := int64(opts.N) / 4
-	if pollEvery < 1 {
-		pollEvery = 1
-	}
+	// The directory maintains the path-length sum incrementally, so the
+	// average path length is a single atomic load and convergence is checked
+	// after every meeting — detection is exact, not rationed the way it had
+	// to be when AvgPathLen was an O(N) scan.
 	for res.Meetings < opts.MaxMeetings {
 		if opts.Churn != nil && res.Meetings%opts.ChurnEvery == 0 {
 			ChurnStep(d, *opts.Churn, rng)
@@ -144,7 +141,7 @@ func Build(opts Options) (Result, error) {
 				return Result{}, fmt.Errorf("sim: invariant violated after %d meetings: %v", res.Meetings, err)
 			}
 		}
-		if res.Meetings%pollEvery == 0 && d.AvgPathLen() >= target {
+		if d.AvgPathLen() >= target {
 			res.Converged = true
 			break
 		}
@@ -163,6 +160,18 @@ func Build(opts Options) (Result, error) {
 // performing meetings in parallel. The result is not deterministic across
 // runs (scheduling interleaves), but every safety invariant holds; tests
 // verify this. Use for large grids (the paper's 20 000-peer experiment).
+//
+// The engine is contention-free: workers share nothing but three atomics
+// (the meeting claim counter, the performed-meeting counter, and the stop
+// flag) plus the peers' own fine-grained locks. Each worker draws from its
+// own seeded RNG. Meetings never overshoot opts.MaxMeetings: a worker
+// claims exactly one meeting at a time and reports every meeting it
+// performed, so Result.Meetings is exact even when workers stop mid-stride.
+//
+// Churn is supported like in the sequential engine: every ChurnEvery
+// performed meetings, whichever worker crosses the boundary first wins a
+// CAS and advances the whole community's session model; meetings between
+// peers that are not both online are counted but perform no exchange.
 func BuildConcurrent(opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
@@ -174,35 +183,36 @@ func BuildConcurrent(opts Options) (Result, error) {
 	target := opts.Threshold * float64(opts.Config.MaxL)
 
 	var (
-		mu       sync.Mutex
-		meetings int64
-		stopped  bool
+		claimed   atomic.Int64 // meetings handed out to workers
+		performed atomic.Int64 // meetings actually carried out
+		stop      atomic.Bool  // convergence reached
+		nextChurn atomic.Int64 // performed-meeting count of the next churn step
 	)
-	// Each worker claims meetings in small batches to keep the counter from
-	// becoming a bottleneck, and polls convergence between batches.
-	const batch = 32
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(opts.Seed + int64(w)*1_000_003))
-			for {
-				mu.Lock()
-				if stopped || meetings >= opts.MaxMeetings {
-					mu.Unlock()
+			for !stop.Load() {
+				if claimed.Add(1) > opts.MaxMeetings {
 					return
 				}
-				meetings += batch
-				mu.Unlock()
-				for i := 0; i < batch; i++ {
-					a1, a2 := d.RandomPair(rng)
+				if opts.Churn != nil {
+					gate := nextChurn.Load()
+					if performed.Load() >= gate && nextChurn.CompareAndSwap(gate, gate+opts.ChurnEvery) {
+						ChurnStep(d, *opts.Churn, rng)
+					}
+				}
+				a1, a2 := d.RandomPair(rng)
+				if opts.Churn == nil || (a1.Online() && a2.Online()) {
 					core.Exchange(d, opts.Config, &m, a1, a2, rng)
 				}
+				performed.Add(1)
+				// AvgPathLen is one atomic load, so convergence is polled
+				// after every meeting — no batch-granularity overshoot.
 				if d.AvgPathLen() >= target {
-					mu.Lock()
-					stopped = true
-					mu.Unlock()
+					stop.Store(true)
 					return
 				}
 			}
@@ -213,7 +223,7 @@ func BuildConcurrent(opts Options) (Result, error) {
 	res := Result{
 		Dir:        d,
 		Exchanges:  m.Exchanges.Load(),
-		Meetings:   meetings,
+		Meetings:   performed.Load(),
 		AvgPathLen: d.AvgPathLen(),
 		Converged:  d.AvgPathLen() >= target,
 		Elapsed:    time.Since(start),

@@ -146,6 +146,58 @@ func TestBuildConcurrentConvergesAndHoldsInvariants(t *testing.T) {
 	}
 }
 
+func TestBuildConcurrentRespectsMaxMeetings(t *testing.T) {
+	// The seed engine handed out whole batches and could overshoot
+	// MaxMeetings by Workers×batch; the atomic engine claims one meeting at
+	// a time, so a non-converging run stops at exactly MaxMeetings.
+	res, err := BuildConcurrent(Options{
+		N:           50,
+		Config:      core.Config{MaxL: 10, RefMax: 1, RecMax: 0},
+		MaxMeetings: 100, // far too few to converge to depth 10
+		Seed:        4,
+		Workers:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("claimed convergence after 100 meetings")
+	}
+	if res.Meetings != 100 {
+		t.Errorf("meetings = %d, want exactly 100", res.Meetings)
+	}
+}
+
+func TestBuildConcurrentWithChurn(t *testing.T) {
+	// Construction under session churn on the concurrent engine: offline
+	// peers miss meetings, workers advance the session model via a CAS
+	// gate, and the structure must still converge without breaking any
+	// invariant. Run under -race this exercises the engine's atomics.
+	c := workload.ChurnForOnlineFraction(0.7, 50)
+	res, err := BuildConcurrent(Options{
+		N:           300,
+		Config:      core.Config{MaxL: 5, RefMax: 3, RecMax: 2, RecFanout: 2},
+		Threshold:   0.9,
+		Seed:        7,
+		Workers:     8,
+		Churn:       &c,
+		ChurnEvery:  75,
+		MaxMeetings: 3000 * 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("churned concurrent build did not converge: %+v", res)
+	}
+	if err := res.Dir.CheckInvariants(); err != nil {
+		t.Fatalf("churned concurrent build broke invariants: %v", err)
+	}
+	if res.Meetings <= 0 || res.Exchanges <= 0 {
+		t.Errorf("implausible counters: %+v", res)
+	}
+}
+
 func TestBuildConcurrentValidatesOptions(t *testing.T) {
 	if _, err := BuildConcurrent(Options{N: 0, Config: core.DefaultConfig()}); err == nil {
 		t.Error("bad options accepted")
