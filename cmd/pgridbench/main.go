@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
@@ -25,13 +26,14 @@ import (
 	"pgrid/internal/core"
 	"pgrid/internal/experiments"
 	"pgrid/internal/sim"
+	"pgrid/internal/telemetry"
 	"pgrid/internal/trie"
 )
 
 // jsonReport is the machine-readable output of -json: per-experiment
 // wall-clock and rows, so the perf trajectory of the simulator is tracked
 // across PRs (BENCH_construction.json at the repository root is regenerated
-// with `go run ./cmd/pgridbench -run table1,table2,table3,table4,table5,engine
+// with `go run ./cmd/pgridbench -run table1,table2,table3,table4,table5,engine,telemetry
 // -json BENCH_construction.json`).
 type jsonReport struct {
 	Schema      string           `json:"schema"`
@@ -43,9 +45,9 @@ type jsonReport struct {
 }
 
 type jsonExperiment struct {
-	Name    string `json:"name"`
+	Name    string  `json:"name"`
 	Seconds float64 `json:"seconds"`
-	Rows    any    `json:"rows,omitempty"`
+	Rows    any     `json:"rows,omitempty"`
 }
 
 // engineRow reports the raw simulator throughput of one engine — the
@@ -61,12 +63,25 @@ type engineRow struct {
 	Converged      bool    `json:"converged"`
 }
 
+// telemetryRow reports the A/B cost of instrumentation on the sequential
+// engine: the same build with telemetry off (nil), counters only, and
+// counters + a JSONL event sink writing to io.Discard. OverheadPct is
+// relative to the off row.
+type telemetryRow struct {
+	Mode           string  `json:"mode"`
+	N              int     `json:"n"`
+	Meetings       int64   `json:"meetings"`
+	Seconds        float64 `json:"seconds"`
+	MeetingsPerSec float64 `json:"meetings_per_sec"`
+	OverheadPct    float64 `json:"overhead_pct"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pgridbench: ")
 
 	var (
-		run      = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,fig4,search,fig5,table6,sec6,eq3,skew,maintain,join,convergence,churnbuild,load,antientropy,engine")
+		run      = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,fig4,search,fig5,table6,sec6,eq3,skew,maintain,join,convergence,churnbuild,load,antientropy,engine,telemetry")
 		seed     = flag.Int64("seed", 1, "random seed")
 		scale    = flag.Float64("scale", 1.0, "scale factor for the 20000-peer experiments (0 < scale ≤ 1)")
 		csvDir   = flag.String("csv", "", "also write each experiment as CSV into this directory")
@@ -188,6 +203,59 @@ func main() {
 		for _, r := range rows {
 			fmt.Fprintf(out, "%12s %8d %12d %12d %12.3f %14.0f\n",
 				r.Engine, r.Workers, r.Meetings, r.Exchanges, r.Seconds, r.MeetingsPerSec)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if sel("telemetry") {
+		// A/B instrumentation overhead on the sequential engine: identical
+		// builds (same seed, deterministic engine) with telemetry disabled,
+		// with counters attached, and with counters + a JSONL sink.
+		n := int(5000 * *scale)
+		if n < 64 {
+			n = 64
+		}
+		cfg := core.Config{MaxL: 8, RefMax: 5, RecMax: 2, RecFanout: 2}
+		build := func(mode string) (sim.Result, *telemetry.JSONLSink) {
+			o := sim.Options{N: n, Config: cfg, Seed: *seed}
+			var sink *telemetry.JSONLSink
+			switch mode {
+			case "counters":
+				o.Telemetry = telemetry.New(-1)
+			case "jsonl":
+				o.Telemetry = telemetry.New(-1)
+				sink = telemetry.NewJSONLSink(io.Discard)
+				o.Telemetry.SetSink(sink)
+			}
+			res, err := sim.Build(o)
+			check(err)
+			return res, sink
+		}
+		start := time.Now()
+		rows := make([]telemetryRow, 0, 3)
+		var base float64
+		for _, mode := range []string{"off", "counters", "jsonl"} {
+			res, sink := build(mode)
+			if sink != nil {
+				check(sink.Flush())
+			}
+			mps := float64(res.Meetings) / res.Elapsed.Seconds()
+			if mode == "off" {
+				base = mps
+			}
+			rows = append(rows, telemetryRow{
+				Mode: mode, N: n, Meetings: res.Meetings,
+				Seconds:        res.Elapsed.Seconds(),
+				MeetingsPerSec: mps,
+				OverheadPct:    100 * (base - mps) / base,
+			})
+		}
+		record("telemetry", start, rows)
+		fmt.Fprintf(out, "Telemetry overhead — sequential construction at N=%d\n", n)
+		fmt.Fprintf(out, "%12s %12s %12s %14s %10s\n", "mode", "meetings", "seconds", "meetings/sec", "overhead")
+		for _, r := range rows {
+			fmt.Fprintf(out, "%12s %12d %12.3f %14.0f %9.1f%%\n",
+				r.Mode, r.Meetings, r.Seconds, r.MeetingsPerSec, r.OverheadPct)
 		}
 		fmt.Fprintln(out)
 	}

@@ -48,6 +48,7 @@ commands:
   mlookup <name>                majority read across the community (repetitive search)
   replicas <id> <key>           list all reachable peers covering a binary key
   scan <id> <key-prefix>        list all entries under a binary key prefix
+  stats <id>                    dump a node's telemetry counters (the /metrics data, over the wire)
   audit                         fetch every node's state and verify the reference invariant
 `)
 		flag.PrintDefaults()
@@ -181,6 +182,18 @@ commands:
 		fmt.Printf("%d entries under %s (%d messages):\n", len(entries), prefix, msgs)
 		for _, e := range entries {
 			fmt.Printf("  %s\n", e)
+		}
+
+	case "stats":
+		id := mustID(args, 0)
+		resp := mustCall(tr, id, &wire.Message{Kind: wire.KindStats, From: addr.Nil})
+		st := resp.StatsResp
+		if st == nil {
+			log.Fatalf("node %v sent no stats (response kind %v)", id, resp.Kind)
+		}
+		fmt.Printf("node %v telemetry (schema v%d, %d series)\n", id, st.Schema, len(st.Stats))
+		for _, s := range st.Stats {
+			fmt.Printf("  %-56s %d\n", s.Name, s.Value)
 		}
 
 	case "audit":

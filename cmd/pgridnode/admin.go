@@ -1,0 +1,66 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+
+	"pgrid/internal/node"
+	"pgrid/internal/telemetry"
+)
+
+// newAdminMux builds the opt-in admin HTTP surface (-admin):
+//
+//	/metrics        Prometheus text exposition of the node's telemetry
+//	/healthz        200 once the wire server is accepting, 503 before
+//	/debug/vars     expvar (includes the pgrid counter snapshot)
+//	/debug/pprof/   the standard pprof handlers
+//
+// The mux is self-contained (nothing is registered on
+// http.DefaultServeMux), so tests can build several independent instances.
+func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		tel.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !serving.Load() {
+			http.Error(w, "starting", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, "ok path=%s entries=%d\n", n.Path(), n.Store().Len())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// expvar.Publish panics on duplicate names, and its registry is global, so
+// the published variable reads through an atomic pointer that later
+// instances (tests build several) swap to their own bundle.
+var (
+	expvarTel  atomic.Pointer[telemetry.Instruments]
+	expvarOnce sync.Once
+)
+
+// publishExpvar exposes tel's counter snapshot as the expvar "pgrid" map.
+func publishExpvar(tel *telemetry.Instruments) {
+	expvarTel.Store(tel)
+	expvarOnce.Do(func() {
+		expvar.Publish("pgrid", expvar.Func(func() any {
+			out := make(map[string]int64)
+			for _, s := range expvarTel.Load().Registry().Snapshot() {
+				out[s.Name] = s.Value
+			}
+			return out
+		}))
+	})
+}

@@ -2,9 +2,10 @@
 //
 // Every node needs a logical id, a listen address, and the endpoint table
 // of the community (comma-separated id=host:port pairs, or a file with one
-// pair per line). With -meet > 0 the node actively gossips: every interval
-// it initiates an exchange with a random known peer, which is how the
-// access structure self-organizes.
+// pair per line; files may contain blank lines and # comments). With
+// -meet > 0 the node actively gossips: every interval it initiates an
+// exchange with a random known peer, which is how the access structure
+// self-organizes.
 //
 // A three-node community on one machine:
 //
@@ -12,30 +13,34 @@
 //	pgridnode -id 1 -listen :7001 -peers 0=:7000,1=:7001,2=:7002 -meet 200ms
 //	pgridnode -id 2 -listen :7002 -peers 0=:7000,1=:7001,2=:7002 -meet 200ms
 //
-// Interrogate it with pgridctl.
+// Interrogate it with pgridctl, or give it -admin :9090 and watch
+// /metrics, /healthz, /debug/vars, and /debug/pprof live. With -events the
+// node appends one JSON line per exchange/query to a file, in the same
+// schema pgridsim -events writes.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"pgrid/internal/addr"
 	"pgrid/internal/core"
 	"pgrid/internal/node"
+	"pgrid/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(log.Ltime | log.Lmicroseconds)
-
 	var (
 		id        = flag.Int("id", -1, "logical peer id (required, must appear in -peers)")
 		listen    = flag.String("listen", "", "listen address, e.g. :7000 (required)")
@@ -51,8 +56,22 @@ func main() {
 		stateFile = flag.String("state", "", "persist node state to this file (load at boot, save periodically and on shutdown)")
 		saveEvery = flag.Duration("save-every", 30*time.Second, "state checkpoint interval when -state is set")
 		maintain  = flag.Duration("maintain", 0, "interval between reference-maintenance rounds (0 = off)")
+		admin     = flag.String("admin", "", "admin HTTP listen address (/metrics, /healthz, /debug/{vars,pprof}); empty = off")
+		events    = flag.String("events", "", "append structured JSONL telemetry events to this file")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logJSON   = flag.Bool("log-json", false, "log in JSON instead of text")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logJSON, *id)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgridnode: %v\n", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	if *id < 0 || *listen == "" || (*peers == "" && *peersFile == "") {
 		flag.Usage()
@@ -60,75 +79,140 @@ func main() {
 	}
 	endpoints, err := parseEndpoints(*peers, *peersFile)
 	if err != nil {
-		log.Fatalf("pgridnode: %v", err)
+		fatal("bad endpoint table", err)
 	}
 	if _, ok := endpoints[addr.Addr(*id)]; !ok {
-		log.Fatalf("pgridnode: own id %d not present in the endpoint table", *id)
+		fatal("configuration", fmt.Errorf("own id %d not present in the endpoint table", *id))
 	}
 	if *seed == 0 {
-		*seed = time.Now().UnixNano() ^ int64(*id)<<32
+		*seed = mixSeed(time.Now().UnixNano(), *id)
 	}
-	log.SetPrefix(fmt.Sprintf("node %d: ", *id))
+	logger.Info("starting", "seed", *seed)
 
-	tr := node.NewTCPTransport(3 * time.Second)
+	tel := telemetry.New(*id)
+	var sink *telemetry.JSONLSink
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal("open events file", err)
+		}
+		defer f.Close()
+		sink = telemetry.NewJSONLSink(f)
+		tel.SetSink(sink)
+	}
+
+	tcp := node.NewTCPTransport(3 * time.Second)
 	var others []addr.Addr
 	for a, ep := range endpoints {
-		tr.SetEndpoint(a, ep)
+		tcp.SetEndpoint(a, ep)
 		if a != addr.Addr(*id) {
 			others = append(others, a)
 		}
 	}
 	cfg := core.Config{MaxL: *maxl, RefMax: *refmax, RecMax: *recmax, RecFanout: *fanout}
 	if err := cfg.Validate(); err != nil {
-		log.Fatalf("pgridnode: %v", err)
+		fatal("configuration", err)
 	}
-	n := node.New(addr.Addr(*id), cfg, tr, *seed)
+	n := node.New(addr.Addr(*id), cfg, node.InstrumentTransport(tcp, tel), *seed)
+	n.SetTelemetry(tel)
 
 	if *stateFile != "" {
 		loaded, err := n.LoadStateFile(*stateFile)
 		if err != nil {
-			log.Fatalf("pgridnode: %v", err)
+			fatal("load state", err)
 		}
 		if loaded {
-			log.Printf("restored state from %s: path %s, %d entries", *stateFile, n.Path(), n.Store().Len())
+			logger.Info("restored state", "file", *stateFile, "path", n.Path().String(), "entries", n.Store().Len())
 		}
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("pgridnode: %v", err)
+		fatal("listen", err)
 	}
 	srv := node.NewServer(n, ln)
-	log.Printf("listening on %s, %d known peers", ln.Addr(), len(others))
+	logger.Info("listening", "addr", ln.Addr().String(), "peers", len(others))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	serving := &atomic.Bool{}
+	if *admin != "" {
+		aln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fatal("admin listen", err)
+		}
+		publishExpvar(tel)
+		asrv := &http.Server{Handler: newAdminMux(n, tel, serving)}
+		go asrv.Serve(aln)
+		go func() {
+			<-ctx.Done()
+			asrv.Close()
+		}()
+		logger.Info("admin listening", "addr", aln.Addr().String())
+	}
 
 	if *meet > 0 && len(others) > 0 {
 		go node.NewGossiper(n, others, *meet, *seed+1).Run(ctx)
 	}
 	if *status > 0 {
-		go statusLoop(ctx, n, *status)
+		go statusLoop(ctx, logger, n, *status)
 	}
 	if *stateFile != "" {
-		go checkpointLoop(ctx, n, *stateFile, *saveEvery)
+		go checkpointLoop(ctx, logger, n, *stateFile, *saveEvery)
 	}
 	if *maintain > 0 {
-		go maintainLoop(ctx, n, *maintain)
+		go maintainLoop(ctx, logger, n, *maintain)
 	}
 
+	serving.Store(true)
 	if err := srv.Serve(ctx); err != nil {
-		log.Fatalf("pgridnode: %v", err)
+		fatal("serve", err)
 	}
+	serving.Store(false)
 	if *stateFile != "" {
 		if err := n.SaveStateFile(*stateFile); err != nil {
-			log.Printf("final checkpoint failed: %v", err)
+			logger.Error("final checkpoint failed", "err", err)
 		}
 	}
-	log.Printf("shut down; final path %s", n.Path())
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			logger.Error("flushing events failed", "err", err)
+		}
+	}
+	logger.Info("shut down", "path", n.Path().String())
 }
 
-func statusLoop(ctx context.Context, n *node.Node, every time.Duration) {
+// newLogger builds the process logger: slog at the requested level, text or
+// JSON, with the node id on every record.
+func newLogger(level string, json bool, id int) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if json {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h).With("node", id), nil
+}
+
+// mixSeed derives the effective seed from the clock and the node id with a
+// splitmix64 round. The id perturbs the input and the mix spreads it over
+// all 64 bits, so nodes launched in the same instant (a script starting a
+// whole community) still get unrelated RNG streams — the previous
+// `time ^ id<<32` left the low bits identical across such nodes.
+func mixSeed(t int64, id int) int64 {
+	z := uint64(t) + 0x9e3779b97f4a7c15*(uint64(id)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+func statusLoop(ctx context.Context, logger *slog.Logger, n *node.Node, every time.Duration) {
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
@@ -136,12 +220,18 @@ func statusLoop(ctx context.Context, n *node.Node, every time.Duration) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			log.Printf("path=%s entries=%d", n.Path(), n.Store().Len())
+			exchanges, queries, wireErrors := n.Telemetry().Totals()
+			logger.Info("status",
+				"path", n.Path().String(),
+				"entries", n.Store().Len(),
+				"exchanges", exchanges,
+				"queries", queries,
+				"wire_errors", wireErrors)
 		}
 	}
 }
 
-func maintainLoop(ctx context.Context, n *node.Node, every time.Duration) {
+func maintainLoop(ctx context.Context, logger *slog.Logger, n *node.Node, every time.Duration) {
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
@@ -153,14 +243,14 @@ func maintainLoop(ctx context.Context, n *node.Node, every time.Duration) {
 				continue
 			}
 			if res := n.Maintain(3); res.Dropped > 0 || res.Added > 0 {
-				log.Printf("maintenance: dropped %d, learned %d (%d messages)",
-					res.Dropped, res.Added, res.Messages)
+				logger.Info("maintenance",
+					"dropped", res.Dropped, "learned", res.Added, "messages", res.Messages)
 			}
 		}
 	}
 }
 
-func checkpointLoop(ctx context.Context, n *node.Node, path string, every time.Duration) {
+func checkpointLoop(ctx context.Context, logger *slog.Logger, n *node.Node, path string, every time.Duration) {
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
@@ -169,12 +259,15 @@ func checkpointLoop(ctx context.Context, n *node.Node, path string, every time.D
 			return
 		case <-t.C:
 			if err := n.SaveStateFile(path); err != nil {
-				log.Printf("checkpoint failed: %v", err)
+				logger.Error("checkpoint failed", "err", err)
 			}
 		}
 	}
 }
 
+// parseEndpoints reads the endpoint table: id=host:port pairs separated by
+// commas and/or newlines. Files may use CRLF line endings and contain blank
+// lines and # comments (full-line or trailing).
 func parseEndpoints(inline, file string) (map[addr.Addr]string, error) {
 	raw := inline
 	if file != "" {
@@ -182,23 +275,28 @@ func parseEndpoints(inline, file string) (map[addr.Addr]string, error) {
 		if err != nil {
 			return nil, err
 		}
-		raw = strings.ReplaceAll(strings.TrimSpace(string(b)), "\n", ",")
+		raw = string(b)
 	}
 	out := make(map[addr.Addr]string)
-	for _, pair := range strings.Split(raw, ",") {
-		pair = strings.TrimSpace(pair)
-		if pair == "" {
-			continue
+	for _, line := range strings.Split(raw, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
 		}
-		id, ep, ok := strings.Cut(pair, "=")
-		if !ok {
-			return nil, fmt.Errorf("bad endpoint %q (want id=host:port)", pair)
+		for _, pair := range strings.Split(line, ",") {
+			pair = strings.TrimSpace(pair) // also trims the \r of CRLF files
+			if pair == "" {
+				continue
+			}
+			id, ep, ok := strings.Cut(pair, "=")
+			if !ok {
+				return nil, fmt.Errorf("bad endpoint %q (want id=host:port)", pair)
+			}
+			v, err := strconv.Atoi(strings.TrimSpace(id))
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("bad peer id %q", id)
+			}
+			out[addr.Addr(v)] = strings.TrimSpace(ep)
 		}
-		v, err := strconv.Atoi(strings.TrimSpace(id))
-		if err != nil || v < 0 {
-			return nil, fmt.Errorf("bad peer id %q", id)
-		}
-		out[addr.Addr(v)] = strings.TrimSpace(ep)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no endpoints given")

@@ -1,43 +1,270 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/core"
+	"pgrid/internal/node"
+	"pgrid/internal/telemetry"
 )
 
-func TestParseEndpointsInline(t *testing.T) {
-	got, err := parseEndpoints("0=127.0.0.1:7000, 1=127.0.0.1:7001 ,2=host:99", "")
-	if err != nil {
-		t.Fatal(err)
+func TestParseEndpoints(t *testing.T) {
+	cases := []struct {
+		name    string
+		inline  string
+		file    string // written to a temp file when non-empty
+		want    map[addr.Addr]string
+		wantErr bool
+	}{
+		{
+			name:   "inline with spaces",
+			inline: "0=127.0.0.1:7000, 1=127.0.0.1:7001 ,2=host:99",
+			want:   map[addr.Addr]string{0: "127.0.0.1:7000", 1: "127.0.0.1:7001", 2: "host:99"},
+		},
+		{
+			name: "file with LF lines",
+			file: "0=:7000\n1=:7001\n",
+			want: map[addr.Addr]string{0: ":7000", 1: ":7001"},
+		},
+		{
+			name: "file with CRLF lines",
+			file: "0=:7000\r\n1=:7001\r\n",
+			want: map[addr.Addr]string{0: ":7000", 1: ":7001"},
+		},
+		{
+			name: "trailing blank lines",
+			file: "0=:7000\n1=:7001\n\n\n",
+			want: map[addr.Addr]string{0: ":7000", 1: ":7001"},
+		},
+		{
+			name: "full-line and trailing comments",
+			file: "# community alpha\n0=:7000 # seed node\n\n1=:7001\n",
+			want: map[addr.Addr]string{0: ":7000", 1: ":7001"},
+		},
+		{
+			name: "comment-only file",
+			file: "# nothing here\n",
+
+			wantErr: true,
+		},
+		{name: "empty", inline: "", wantErr: true},
+		{name: "no equals", inline: "noequals", wantErr: true},
+		{name: "non-numeric id", inline: "x=:7000", wantErr: true},
+		{name: "negative id", inline: "-1=:7000", wantErr: true},
 	}
-	if len(got) != 3 || got[0] != "127.0.0.1:7000" || got[2] != "host:99" {
-		t.Errorf("got %v", got)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := ""
+			if tc.file != "" {
+				path = filepath.Join(t.TempDir(), "peers")
+				if err := os.WriteFile(path, []byte(tc.file), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := parseEndpoints(tc.inline, path)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("parseEndpoints(%q) accepted, got %v", tc.inline+tc.file, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for a, ep := range tc.want {
+				if got[a] != ep {
+					t.Errorf("endpoint[%v] = %q, want %q", a, got[a], ep)
+				}
+			}
+		})
 	}
 }
 
-func TestParseEndpointsFile(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "peers")
-	if err := os.WriteFile(path, []byte("0=:7000\n1=:7001\n"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	got, err := parseEndpoints("", path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 2 || got[1] != ":7001" {
-		t.Errorf("got %v", got)
-	}
-	if _, err := parseEndpoints("", filepath.Join(dir, "missing")); err == nil {
+func TestParseEndpointsMissingFile(t *testing.T) {
+	if _, err := parseEndpoints("", filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Error("missing file accepted")
 	}
 }
 
-func TestParseEndpointsErrors(t *testing.T) {
-	for _, bad := range []string{"", "noequals", "x=:7000", "-1=:7000"} {
-		if _, err := parseEndpoints(bad, ""); err == nil {
-			t.Errorf("%q accepted", bad)
+func TestMixSeed(t *testing.T) {
+	// Nodes launched in the same nanosecond must not share seeds, and the
+	// mix must spread the id over more than the high bits.
+	now := time.Now().UnixNano()
+	seen := make(map[int64]bool)
+	for id := 0; id < 100; id++ {
+		s := mixSeed(now, id)
+		if s == 0 || seen[s] {
+			t.Fatalf("id %d: seed %d duplicated or zero", id, s)
 		}
+		seen[s] = true
+		if low := uint32(mixSeed(now, id)) == uint32(mixSeed(now, id+1)); low {
+			t.Fatalf("id %d: low 32 bits collide with id %d", id, id+1)
+		}
+	}
+	if mixSeed(1, 0) != mixSeed(1, 0) {
+		t.Error("mixSeed is not deterministic")
+	}
+}
+
+// testNode builds a single-node community with telemetry, no network.
+func testNode(t *testing.T) (*node.Node, *telemetry.Instruments) {
+	t.Helper()
+	tr := node.NewLocalTransport()
+	tel := telemetry.New(0)
+	cfg := core.Config{MaxL: 4, RefMax: 3, RecMax: 2, RecFanout: 2}
+	n := node.New(0, cfg, tr, 1)
+	n.SetTelemetry(tel)
+	tr.Register(n)
+	return n, tel
+}
+
+func TestAdminMetricsEndpoint(t *testing.T) {
+	n, tel := testNode(t)
+	serving := &atomic.Bool{}
+	serving.Store(true)
+	srv := httptest.NewServer(newAdminMux(n, tel, serving))
+	defer srv.Close()
+
+	scrape := func() (string, string) {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := scrape()
+	if want := "text/plain; version=0.0.4; charset=utf-8"; ctype != want {
+		t.Errorf("Content-Type = %q, want %q", ctype, want)
+	}
+	for _, family := range []string{
+		"# TYPE pgrid_exchange_total counter",
+		"# TYPE pgrid_query_hops histogram",
+		"pgrid_rpc_served_total 0",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("metrics output missing %q", family)
+		}
+	}
+
+	// Counters must be monotone across scrapes while traffic flows.
+	value := func(body, name string) string {
+		for _, line := range strings.Split(body, "\n") {
+			if rest, ok := strings.CutPrefix(line, name+" "); ok {
+				return rest
+			}
+		}
+		t.Fatalf("metric %s not found", name)
+		return ""
+	}
+	if got := value(body, "pgrid_rpc_served_total"); got != "0" {
+		t.Errorf("pgrid_rpc_served_total = %s before any traffic", got)
+	}
+	tel.ServedRPC("query")
+	tel.ServedRPC("exchange")
+	body2, _ := scrape()
+	if got := value(body2, "pgrid_rpc_served_total"); got != "2" {
+		t.Errorf("pgrid_rpc_served_total = %s after 2 served RPCs", got)
+	}
+	tel.ServedRPC("query")
+	body3, _ := scrape()
+	if got := value(body3, "pgrid_rpc_served_total"); got != "3" {
+		t.Errorf("pgrid_rpc_served_total = %s after 3 served RPCs (not monotone?)", got)
+	}
+}
+
+func TestAdminHealthz(t *testing.T) {
+	n, tel := testNode(t)
+	serving := &atomic.Bool{}
+	srv := httptest.NewServer(newAdminMux(n, tel, serving))
+	defer srv.Close()
+
+	get := func() int {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if code := get(); code != http.StatusServiceUnavailable {
+		t.Errorf("before serving: status %d, want 503", code)
+	}
+	serving.Store(true)
+	if code := get(); code != http.StatusOK {
+		t.Errorf("while serving: status %d, want 200", code)
+	}
+	serving.Store(false)
+	if code := get(); code != http.StatusServiceUnavailable {
+		t.Errorf("after shutdown began: status %d, want 503", code)
+	}
+}
+
+func TestAdminExpvarAndPprof(t *testing.T) {
+	n, tel := testNode(t)
+	publishExpvar(tel)
+	serving := &atomic.Bool{}
+	serving.Store(true)
+	srv := httptest.NewServer(newAdminMux(n, tel, serving))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := vars["pgrid"]; !ok {
+		t.Error("expvar output missing the pgrid map")
+	}
+
+	// Re-publishing with a fresh bundle must not panic (expvar globals) and
+	// must serve the new bundle's counters.
+	tel2 := telemetry.New(1)
+	tel2.ServedRPC("info")
+	publishExpvar(tel2)
+	resp2, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(string(body), "pgrid_rpc_served_total") {
+		t.Error("expvar pgrid map missing counters after re-publish")
+	}
+
+	pprofResp, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pprofResp.Body.Close()
+	io.Copy(io.Discard, pprofResp.Body)
+	if pprofResp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline: status %d", pprofResp.StatusCode)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"pgrid/internal/experiments"
 	"pgrid/internal/sim"
 	"pgrid/internal/stats"
+	"pgrid/internal/telemetry"
 	"pgrid/internal/trie"
 )
 
@@ -42,14 +43,34 @@ func main() {
 		histogram  = flag.Bool("histogram", false, "print the replica distribution histogram")
 		trace      = flag.Int("trace", 0, "print this many example search routes after construction")
 		tree       = flag.Bool("tree", false, "print the responsibility trie (small N only)")
+		events     = flag.String("events", "", "write structured JSONL telemetry events to this file (the schema pgridnode -events uses)")
 	)
 	flag.Parse()
+
+	var tel *telemetry.Instruments
+	var sink *telemetry.JSONLSink
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tel = telemetry.New(-1) // the engine is a driver, not a peer
+		sink = telemetry.NewJSONLSink(f)
+		tel.SetSink(sink)
+		defer func() {
+			if err := sink.Flush(); err != nil {
+				log.Printf("flushing %s: %v", *events, err)
+			}
+		}()
+	}
 
 	opts := sim.Options{
 		N:         *n,
 		Config:    core.Config{MaxL: *maxl, RefMax: *refmax, RecMax: *recmax, RecFanout: *fanout},
 		Threshold: *threshold,
 		Seed:      *seed,
+		Telemetry: tel,
 	}
 	build := sim.Build
 	if *concurrent {
@@ -103,6 +124,15 @@ func main() {
 			key := bitpath.Random(rng, *maxl)
 			tr := core.QueryTraced(res.Dir, res.Dir.RandomOnlinePeer(rng), key, rng)
 			fmt.Printf("  %s\n", tr)
+			tel.ObserveQuery(tr.Result.Found, tr.Result.Messages, tr.Result.Backtracks)
+			if tel.EventsOn() {
+				tel.Emit(telemetry.KindQuery, map[string]any{
+					"key":        key.String(),
+					"found":      tr.Result.Found,
+					"hops":       tr.Result.Messages,
+					"backtracks": tr.Result.Backtracks,
+				})
+			}
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"pgrid/internal/bitpath"
 	"pgrid/internal/directory"
 	"pgrid/internal/peer"
+	"pgrid/internal/telemetry"
 )
 
 // Exchange executes the P-Grid construction algorithm of Fig. 3 for a
@@ -53,10 +54,13 @@ func exchange(d *directory.Directory, cfg Config, m *Metrics, a1, a2 *peer.Peer,
 		splitOK = a1.Store().Len()+a2.Store().Len() >= cfg.SplitMinItems
 	}
 	antiEntropy := false
+	caseTaken := telemetry.ExCaseNone
+	commonLen := 0
 
 	peer.EditPair(a1, a2, func(e1, e2 peer.Editor) {
 		p1, p2 := e1.Path(), e2.Path()
 		lc := bitpath.CommonPrefixLen(p1, p2)
+		commonLen = lc
 
 		// Mix references at the deepest level where the paths agree. Any
 		// reference either peer holds at level lc is valid for both (it
@@ -72,6 +76,7 @@ func exchange(d *directory.Directory, cfg Config, m *Metrics, a1, a2 *peer.Peer,
 		l2 := p2.Len() - lc
 		switch {
 		case l1 == 0 && l2 == 0 && lc < cfg.MaxL && splitOK:
+			caseTaken = telemetry.ExCase1
 			// Case 1: identical paths with room to grow — introduce a new
 			// level. The peers split the interval and reference each other.
 			e1.Extend(0, addr.NewSet(e2.Addr()))
@@ -81,6 +86,7 @@ func exchange(d *directory.Directory, cfg Config, m *Metrics, a1, a2 *peer.Peer,
 				migration{a2, a1, p2.Append(1)})
 
 		case l1 == 0 && l2 > 0 && lc < cfg.MaxL && splitOK:
+			caseTaken = telemetry.ExCase2
 			// Case 2: a1's path is a proper prefix of a2's — a1 specializes
 			// opposite to a2's next bit, keeping the grid balanced; a2 adds
 			// a1 to its references at the new level.
@@ -91,6 +97,7 @@ func exchange(d *directory.Directory, cfg Config, m *Metrics, a1, a2 *peer.Peer,
 			migrations = append(migrations, migration{a1, a2, p1.AppendFlip(b)})
 
 		case l1 > 0 && l2 == 0 && lc < cfg.MaxL && splitOK:
+			caseTaken = telemetry.ExCase3
 			// Case 3: mirror image of case 2.
 			b := p1.Bit(lc + 1)
 			e2.Extend(1-b, addr.NewSet(e1.Addr()))
@@ -99,6 +106,7 @@ func exchange(d *directory.Directory, cfg Config, m *Metrics, a1, a2 *peer.Peer,
 			migrations = append(migrations, migration{a2, a1, p2.AppendFlip(b)})
 
 		case l1 > 0 && l2 > 0 && r < cfg.RecMax:
+			caseTaken = telemetry.ExCase4
 			// Case 4: the paths diverge below the common prefix. Neither
 			// peer can specialize against the other, but each can forward
 			// the other to peers it references at level lc+1 — those share
@@ -120,6 +128,7 @@ func exchange(d *directory.Directory, cfg Config, m *Metrics, a1, a2 *peer.Peer,
 			}
 
 		case l1 == 0 && l2 == 0:
+			caseTaken = telemetry.ExCaseReplica
 			// Identical paths that cannot (or should not) split further:
 			// the peers are replicas of the same region. The paper's update
 			// strategies rely on buddy lists "identified throughout index
@@ -129,6 +138,17 @@ func exchange(d *directory.Directory, cfg Config, m *Metrics, a1, a2 *peer.Peer,
 			antiEntropy = true
 		}
 	})
+
+	m.Tel.ExchangeCase(caseTaken)
+	if m.Tel.EventsOn() {
+		m.Tel.Emit(telemetry.KindExchange, map[string]any{
+			"case":  telemetry.ExchangeCaseName(caseTaken),
+			"lc":    commonLen,
+			"depth": r,
+			"a1":    int(a1.Addr()),
+			"a2":    int(a2.Addr()),
+		})
+	}
 
 	// Replicas reconcile their indexes when they meet (anti-entropy):
 	// both end up with the freshest version of every entry either knew.

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+
+	"pgrid/internal/telemetry"
 )
 
 // Metrics counts the communication events the paper's evaluation measures.
@@ -15,6 +17,12 @@ type Metrics struct {
 	// Messages counts successful peer-to-peer contacts during search and
 	// update operations (the Section 5.2 message metric).
 	Messages atomic.Int64
+
+	// Tel, when non-nil, receives fine-grained instrumentation beyond the
+	// two paper counters: the Fig. 3 case taken per exchange, and (when an
+	// event sink is attached) one structured event per exchange. Nil
+	// disables it at the cost of a single branch per exchange.
+	Tel *telemetry.Instruments
 }
 
 // Snapshot returns the current counter values.

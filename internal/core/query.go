@@ -18,6 +18,11 @@ type QueryResult struct {
 	// Messages is the number of successful query calls to other peers —
 	// the cost metric of Section 5.2. A query answered locally costs 0.
 	Messages int
+	// Backtracks is the number of contacted subtrees that failed to
+	// resolve the query, forcing the search back to an alternative
+	// reference — the routing-health signal behind the per-level liveness
+	// metrics (a backtrack means a reference led nowhere useful).
+	Backtracks int
 }
 
 // Query performs the randomized depth-first search of Fig. 2: starting at
@@ -62,6 +67,7 @@ func query(d *directory.Directory, a *peer.Peer, p bitpath.Path, l int, rng *ran
 			if query(d, q, querypath, l+compath.Len(), rng, res) {
 				return true
 			}
+			res.Backtracks++
 		}
 	}
 	return false

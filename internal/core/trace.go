@@ -92,6 +92,7 @@ func queryTraced(d *directory.Directory, a *peer.Peer, p bitpath.Path, l int, rn
 			if queryTraced(d, q, querypath, l+compath.Len(), rng, t) {
 				return true
 			}
+			t.Result.Backtracks++
 			t.Hops[idx].Backtracked = true
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"pgrid/internal/addr"
+	"pgrid/internal/telemetry"
 	"pgrid/internal/wire"
 )
 
@@ -17,6 +18,7 @@ import (
 // majority reads absorb that).
 type FlakyTransport struct {
 	inner Transport
+	tel   *telemetry.Instruments
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -43,10 +45,15 @@ func (t *FlakyTransport) Call(to addr.Addr, msg *wire.Message) (*wire.Message, e
 	}
 	t.mu.Unlock()
 	if lost {
+		t.tel.RPCDropped(msg.Kind.String())
 		return nil, fmt.Errorf("%w: message to %v lost", ErrOffline, to)
 	}
 	return t.inner.Call(to, msg)
 }
+
+// SetTelemetry attaches instruments that count injected drops by message
+// kind (nil disables). Call before the transport is shared.
+func (t *FlakyTransport) SetTelemetry(tel *telemetry.Instruments) { t.tel = tel }
 
 // Stats returns dropped and total call counts.
 func (t *FlakyTransport) Stats() (dropped, total int64) {

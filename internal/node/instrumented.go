@@ -1,0 +1,35 @@
+package node
+
+import (
+	"time"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/telemetry"
+	"pgrid/internal/wire"
+)
+
+// InstrumentedTransport wraps a Transport and records every outbound call —
+// kind, round-trip latency, and failure — into a telemetry bundle. Wrap the
+// outermost transport (outside FlakyTransport) so injected drops are
+// measured as the client sees them: failed calls.
+type InstrumentedTransport struct {
+	inner Transport
+	tel   *telemetry.Instruments
+}
+
+// InstrumentTransport wraps inner. A nil tel returns inner unchanged, so
+// callers can wire the wrapper unconditionally.
+func InstrumentTransport(inner Transport, tel *telemetry.Instruments) Transport {
+	if tel == nil {
+		return inner
+	}
+	return &InstrumentedTransport{inner: inner, tel: tel}
+}
+
+// Call implements Transport.
+func (t *InstrumentedTransport) Call(to addr.Addr, msg *wire.Message) (*wire.Message, error) {
+	start := time.Now()
+	resp, err := t.inner.Call(to, msg)
+	t.tel.ClientRPC(msg.Kind.String(), time.Since(start), err)
+	return resp, err
+}

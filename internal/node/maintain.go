@@ -46,7 +46,9 @@ func (n *Node) Maintain(fetch int) MaintainResult {
 		for _, r := range refs.Slice() {
 			res.Probed++
 			info := fetchInfo(r)
-			if valid(level, info) {
+			ok := valid(level, info)
+			n.tel.RefLiveness(level, ok)
+			if ok {
 				kept.Add(r)
 				liveInfos = append(liveInfos, info)
 			} else {

@@ -17,6 +17,7 @@ import (
 	"pgrid/internal/core"
 	"pgrid/internal/peer"
 	"pgrid/internal/store"
+	"pgrid/internal/telemetry"
 	"pgrid/internal/wire"
 )
 
@@ -36,6 +37,7 @@ type Node struct {
 	self *peer.Peer
 	cfg  core.Config
 	tr   Transport
+	tel  *telemetry.Instruments
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -70,9 +72,17 @@ func (n *Node) SetOnline(v bool) { n.self.SetOnline(v) }
 // Online reports availability.
 func (n *Node) Online() bool { return n.self.Online() }
 
+// SetTelemetry attaches an instrument bundle (nil disables). Call before
+// the node starts serving; the field is not synchronized.
+func (n *Node) SetTelemetry(t *telemetry.Instruments) { n.tel = t }
+
+// Telemetry returns the attached instruments (possibly nil).
+func (n *Node) Telemetry() *telemetry.Instruments { return n.tel }
+
 // Handle dispatches one incoming request and returns the response message.
 // Transports call this on the receiving side.
 func (n *Node) Handle(m *wire.Message) *wire.Message {
+	n.tel.ServedRPC(m.Kind.String())
 	switch m.Kind {
 	case wire.KindQuery:
 		resp := n.handleQuery(m.Query)
@@ -91,10 +101,22 @@ func (n *Node) Handle(m *wire.Message) *wire.Message {
 	case wire.KindScan:
 		return &wire.Message{Kind: wire.KindScanResp, From: n.Addr(),
 			ScanResp: &wire.ScanResp{Entries: n.Store().PrefixScan(m.Scan.Prefix)}}
+	case wire.KindStats:
+		return &wire.Message{Kind: wire.KindStatsResp, From: n.Addr(), StatsResp: n.stats()}
 	default:
 		return &wire.Message{Kind: wire.KindError, From: n.Addr(),
 			Error: fmt.Sprintf("unexpected message kind %v", m.Kind)}
 	}
+}
+
+// stats flattens the node's telemetry registry for the ctl tool. With
+// telemetry disabled the response carries the schema version and no stats.
+func (n *Node) stats() *wire.StatsResp {
+	resp := &wire.StatsResp{Schema: telemetry.SchemaVersion}
+	for _, s := range n.tel.Registry().Snapshot() {
+		resp.Stats = append(resp.Stats, wire.Stat{Name: s.Name, Value: s.Value})
+	}
+	return resp
 }
 
 func (n *Node) info() *wire.InfoResp {
@@ -117,7 +139,16 @@ func (n *Node) info() *wire.InfoResp {
 // Query starts the Fig. 2 depth-first search at this node.
 func (n *Node) Query(key bitpath.Path) core.QueryResult {
 	resp := n.handleQuery(&wire.QueryReq{Key: key, Level: 0})
-	return core.QueryResult{Found: resp.Found, Peer: resp.Peer, Messages: resp.Messages}
+	n.tel.ObserveQuery(resp.Found, resp.Messages, resp.Backtracks)
+	if n.tel.EventsOn() {
+		n.tel.Emit(telemetry.KindQuery, map[string]any{
+			"key":        key.String(),
+			"found":      resp.Found,
+			"hops":       resp.Messages,
+			"backtracks": resp.Backtracks,
+		})
+	}
+	return core.QueryResult{Found: resp.Found, Peer: resp.Peer, Messages: resp.Messages, Backtracks: resp.Backtracks}
 }
 
 // handleQuery is query(a, p, l) with remote recursion: references are
@@ -149,16 +180,19 @@ func (n *Node) handleQuery(q *wire.QueryReq) *wire.QueryResp {
 				Kind: wire.KindQuery, From: n.Addr(),
 				Query: &wire.QueryReq{Key: querypath, Level: l + compath.Len()},
 			})
+			n.tel.RefLiveness(l+compath.Len()+1, err == nil && down.QueryResp != nil)
 			if err != nil || down.QueryResp == nil {
 				continue // unreachable reference: try the next one
 			}
 			resp.Messages += 1 + down.QueryResp.Messages
+			resp.Backtracks += down.QueryResp.Backtracks
 			if down.QueryResp.Found {
 				resp.Found = true
 				resp.Peer = down.QueryResp.Peer
 				resp.Path = down.QueryResp.Path
 				return resp
 			}
+			resp.Backtracks++ // the contacted subtree resolved nothing
 		}
 	}
 	return resp
@@ -243,11 +277,14 @@ func (n *Node) handleExchange(from addr.Addr, req *wire.ExchangeReq) *wire.Excha
 	resp := &wire.ExchangeResp{BasePath: req.Path, SetRefs: map[int]wire.RefSet{}}
 	var initiatorForwards []addr.Addr
 	var myForwards []addr.Addr
+	caseTaken := telemetry.ExCaseNone
+	commonLen := 0
 
 	peer.Edit(n.self, func(e peer.Editor) {
 		p1 := req.Path // initiator = a1 role
 		p2 := e.Path() // this node = a2 role
 		lc := bitpath.CommonPrefixLen(p1, p2)
+		commonLen = lc
 
 		refsOf := func(level int) addr.Set {
 			if level >= 1 && level <= len(req.Refs) {
@@ -273,6 +310,7 @@ func (n *Node) handleExchange(from addr.Addr, req *wire.ExchangeReq) *wire.Excha
 		l2 := p2.Len() - lc
 		switch {
 		case l1 == 0 && l2 == 0 && lc < n.cfg.MaxL:
+			caseTaken = telemetry.ExCase1
 			// Case 1: initiator takes 0, we take 1.
 			resp.Extend = true
 			resp.ExtendBit = 0
@@ -280,6 +318,7 @@ func (n *Node) handleExchange(from addr.Addr, req *wire.ExchangeReq) *wire.Excha
 			e.Extend(1, addr.NewSet(from))
 
 		case l1 == 0 && l2 > 0 && lc < n.cfg.MaxL:
+			caseTaken = telemetry.ExCase2
 			// Case 2: initiator (shorter) specializes opposite our bit.
 			b := p2.Bit(lc + 1)
 			resp.Extend = true
@@ -289,6 +328,7 @@ func (n *Node) handleExchange(from addr.Addr, req *wire.ExchangeReq) *wire.Excha
 			e.SetRefsAt(lc+1, mine.RandomSubset(n.rng, n.cfg.RefMax))
 
 		case l1 > 0 && l2 == 0 && lc < n.cfg.MaxL:
+			caseTaken = telemetry.ExCase3
 			// Case 3: we specialize opposite the initiator's bit.
 			b := p1.Bit(lc + 1)
 			e.Extend(1-b, addr.NewSet(from))
@@ -297,6 +337,7 @@ func (n *Node) handleExchange(from addr.Addr, req *wire.ExchangeReq) *wire.Excha
 			resp.SetRefs[lc+1] = wire.FromSet(theirs.RandomSubset(n.rng, n.cfg.RefMax))
 
 		case l1 > 0 && l2 > 0 && req.Depth < n.cfg.RecMax:
+			caseTaken = telemetry.ExCase4
 			// Case 4: cross-forward through level lc+1 references.
 			refs1 := refsOf(lc + 1)
 			refs1.Remove(e.Addr())
@@ -310,11 +351,23 @@ func (n *Node) handleExchange(from addr.Addr, req *wire.ExchangeReq) *wire.Excha
 			initiatorForwards = refs2.Slice() // the initiator exchanges with ours
 
 		case l1 == 0 && l2 == 0:
+			caseTaken = telemetry.ExCaseReplica
 			// Replicas at maximal depth: buddy each other.
 			resp.AddBuddy = true
 			e.AddBuddy(from)
 		}
 	})
+
+	n.tel.ExchangeCase(caseTaken)
+	if n.tel.EventsOn() {
+		n.tel.Emit(telemetry.KindExchange, map[string]any{
+			"case":  telemetry.ExchangeCaseName(caseTaken),
+			"lc":    commonLen,
+			"depth": req.Depth,
+			"a1":    int(from),
+			"a2":    int(n.Addr()),
+		})
+	}
 
 	// Our own specialization (cases 1 and 3) may strand entries on the
 	// initiator's side; evicting against the current path is a no-op in

@@ -20,6 +20,7 @@ import (
 
 	"pgrid/internal/core"
 	"pgrid/internal/directory"
+	"pgrid/internal/telemetry"
 	"pgrid/internal/workload"
 )
 
@@ -54,6 +55,15 @@ type Options struct {
 	// miss meetings and catch up when they return).
 	Churn      *workload.Churn
 	ChurnEvery int64
+	// Telemetry, when non-nil, receives fine-grained instrumentation:
+	// exchange case counters flow through core, and (when an event sink is
+	// attached) both engines emit one "round" sample every SampleEvery
+	// meetings plus one final "build" summary. Nil keeps the engines on
+	// the uninstrumented fast path.
+	Telemetry *telemetry.Instruments
+	// SampleEvery is the meeting interval between "round" samples.
+	// Default N; < 0 disables sampling.
+	SampleEvery int64
 }
 
 func (o Options) withDefaults() Options {
@@ -69,7 +79,35 @@ func (o Options) withDefaults() Options {
 	if o.Churn != nil && o.ChurnEvery == 0 {
 		o.ChurnEvery = int64(o.N)
 	}
+	if o.SampleEvery == 0 {
+		o.SampleEvery = int64(o.N)
+	}
 	return o
+}
+
+// emitRound sends one periodic convergence/throughput sample.
+func emitRound(o Options, m *core.Metrics, d *directory.Directory, meetings int64, target float64) {
+	o.Telemetry.Emit(telemetry.KindRound, map[string]any{
+		"meetings":     meetings,
+		"exchanges":    m.Exchanges.Load(),
+		"avg_path_len": d.AvgPathLen(),
+		"target":       target,
+	})
+}
+
+// emitBuild sends the end-of-construction summary.
+func emitBuild(o Options, res Result) {
+	if !o.Telemetry.EventsOn() {
+		return
+	}
+	o.Telemetry.Emit(telemetry.KindBuild, map[string]any{
+		"n":            o.N,
+		"meetings":     res.Meetings,
+		"exchanges":    res.Exchanges,
+		"avg_path_len": res.AvgPathLen,
+		"converged":    res.Converged,
+		"seconds":      res.Elapsed.Seconds(),
+	})
 }
 
 // Result reports a construction run.
@@ -118,7 +156,9 @@ func Build(opts Options) (Result, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	d := directory.New(opts.N)
 	var m core.Metrics
+	m.Tel = opts.Telemetry
 	target := opts.Threshold * float64(opts.Config.MaxL)
+	sampling := opts.Telemetry.EventsOn() && opts.SampleEvery > 0
 
 	var res Result
 	// The directory maintains the path-length sum incrementally, so the
@@ -136,6 +176,9 @@ func Build(opts Options) (Result, error) {
 		}
 		core.Exchange(d, opts.Config, &m, a1, a2, rng)
 		res.Meetings++
+		if sampling && res.Meetings%opts.SampleEvery == 0 {
+			emitRound(opts, &m, d, res.Meetings, target)
+		}
 		if opts.CheckEvery > 0 && res.Meetings%opts.CheckEvery == 0 {
 			if err := d.CheckInvariants(); err != nil {
 				return Result{}, fmt.Errorf("sim: invariant violated after %d meetings: %v", res.Meetings, err)
@@ -153,6 +196,7 @@ func Build(opts Options) (Result, error) {
 	res.Exchanges = m.Exchanges.Load()
 	res.AvgPathLen = d.AvgPathLen()
 	res.Elapsed = time.Since(start)
+	emitBuild(opts, res)
 	return res, nil
 }
 
@@ -180,14 +224,18 @@ func BuildConcurrent(opts Options) (Result, error) {
 	start := time.Now()
 	d := directory.New(opts.N)
 	var m core.Metrics
+	m.Tel = opts.Telemetry
 	target := opts.Threshold * float64(opts.Config.MaxL)
+	sampling := opts.Telemetry.EventsOn() && opts.SampleEvery > 0
 
 	var (
-		claimed   atomic.Int64 // meetings handed out to workers
-		performed atomic.Int64 // meetings actually carried out
-		stop      atomic.Bool  // convergence reached
-		nextChurn atomic.Int64 // performed-meeting count of the next churn step
+		claimed    atomic.Int64 // meetings handed out to workers
+		performed  atomic.Int64 // meetings actually carried out
+		stop       atomic.Bool  // convergence reached
+		nextChurn  atomic.Int64 // performed-meeting count of the next churn step
+		nextSample atomic.Int64 // performed-meeting count of the next round sample
 	)
+	nextSample.Store(opts.SampleEvery)
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
@@ -208,7 +256,15 @@ func BuildConcurrent(opts Options) (Result, error) {
 				if opts.Churn == nil || (a1.Online() && a2.Online()) {
 					core.Exchange(d, opts.Config, &m, a1, a2, rng)
 				}
-				performed.Add(1)
+				done := performed.Add(1)
+				// Like churn, sampling is a CAS race: whichever worker
+				// crosses the boundary first emits the round sample.
+				if sampling {
+					gate := nextSample.Load()
+					if done >= gate && nextSample.CompareAndSwap(gate, gate+opts.SampleEvery) {
+						emitRound(opts, &m, d, done, target)
+					}
+				}
 				// AvgPathLen is one atomic load, so convergence is polled
 				// after every meeting — no batch-granularity overshoot.
 				if d.AvgPathLen() >= target {
@@ -228,5 +284,6 @@ func BuildConcurrent(opts Options) (Result, error) {
 		Converged:  d.AvgPathLen() >= target,
 		Elapsed:    time.Since(start),
 	}
+	emitBuild(opts, res)
 	return res, nil
 }

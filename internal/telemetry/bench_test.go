@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// The nil fast path is what the construction hot loop pays when telemetry
+// is disabled — it must stay at a branch and a return.
+func BenchmarkExchangeCaseNil(b *testing.B) {
+	var in *Instruments
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.ExchangeCase(ExCase1)
+	}
+}
+
+func BenchmarkExchangeCaseEnabled(b *testing.B) {
+	in := New(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.ExchangeCase(i % 6)
+	}
+}
+
+func BenchmarkObserveQueryEnabled(b *testing.B) {
+	in := New(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.ObserveQuery(true, i%8, i%3)
+	}
+}
+
+func BenchmarkClientRPCEnabled(b *testing.B) {
+	in := New(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.ClientRPC("query", time.Duration(i), nil)
+	}
+}
+
+func BenchmarkEmitNoSink(b *testing.B) {
+	in := New(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.Emit(KindRound, nil)
+	}
+}
+
+func BenchmarkEmitJSONL(b *testing.B) {
+	in := New(0)
+	in.SetSink(NewJSONLSink(io.Discard))
+	attrs := map[string]any{"case": "1", "lc": 2, "depth": 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.Emit(KindExchange, attrs)
+	}
+}

@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// SchemaVersion is the version stamped into every emitted event (the `v`
+// field). Consumers must reject events with a version they do not know.
+// Bump it on any incompatible change to Event's encoding; the golden test
+// in event_test.go pins the current encoding.
+const SchemaVersion = 1
+
+// Event is one structured telemetry event. The simulator (`pgridsim
+// -events`) and the networked node (`pgridnode -events`) emit the same
+// schema, so one toolchain analyzes both.
+//
+// Encoded as a single JSON line:
+//
+//	{"v":1,"ts":1700000000000000000,"node":3,"kind":"exchange","attrs":{"case":"1","depth":0}}
+//
+// `ts` is Unix nanoseconds (0 when the producer has no clock, e.g. golden
+// tests). `node` is the logical peer id, or -1 for a driver that is not a
+// peer (the simulator engine, a client tool).
+type Event struct {
+	V     int            `json:"v"`
+	TS    int64          `json:"ts"`
+	Node  int            `json:"node"`
+	Kind  string         `json:"kind"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Event kinds emitted by pgrid. The set is open: consumers must ignore
+// kinds they do not know.
+const (
+	// KindExchange is one executed exchange (construction meeting),
+	// attrs: case, lc, depth.
+	KindExchange = "exchange"
+	// KindQuery is one completed search, attrs: key, found, hops,
+	// backtracks.
+	KindQuery = "query"
+	// KindRound is a periodic simulator sample, attrs: meetings,
+	// exchanges, avg_path_len, target.
+	KindRound = "round"
+	// KindBuild is the simulator's end-of-construction summary, attrs:
+	// n, meetings, exchanges, avg_path_len, converged, seconds.
+	KindBuild = "build"
+)
+
+// Sink consumes events. Implementations must be safe for concurrent use.
+type Sink interface {
+	Emit(Event)
+}
+
+// JSONLSink writes one JSON line per event to an io.Writer, buffered.
+// Errors are sticky and reported by Err/Flush rather than per-event, so
+// emitters stay non-blocking on the happy path and never have to handle
+// sink failures inline.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONLSink returns a sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(e Event) {
+	b, err := json.Marshal(e)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+		return
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		s.err = err
+	}
+}
+
+// Flush writes buffered events through and returns the first error the
+// sink has seen.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.w.Flush()
+	return s.err
+}
+
+// Err returns the sink's sticky error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// MemorySink collects events in memory — the test double.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (s *MemorySink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, e)
+}
+
+// Events returns a copy of everything emitted so far.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Len returns the number of events emitted so far.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestEventSchemaGolden pins the JSONL event schema. If this test fails,
+// either restore compatibility or bump SchemaVersion AND regenerate the
+// golden file with `go test ./internal/telemetry -run Golden -update`.
+func TestEventSchemaGolden(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	in := New(3)
+	ts := int64(1_700_000_000_000_000_000)
+	in.SetClock(func() int64 { ts += 1_000_000; return ts })
+	in.SetSink(sink)
+
+	in.Emit(KindExchange, map[string]any{"case": "1", "lc": 2, "depth": 0})
+	in.Emit(KindQuery, map[string]any{"key": "010110", "found": true, "hops": 3, "backtracks": 1})
+	in.Emit(KindRound, map[string]any{"meetings": int64(500), "exchanges": int64(1234), "avg_path_len": 3.25, "target": 5.94})
+	in.Emit(KindBuild, map[string]any{"n": 500, "meetings": int64(9000), "exchanges": int64(12210), "avg_path_len": 5.95, "converged": true, "seconds": 0.25})
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "events.golden.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("event schema drifted from golden file\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+
+	// Every line must carry the schema version — consumers key on it.
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("line %s: %v", line, err)
+		}
+		if e.V != SchemaVersion {
+			t.Errorf("line %s: v = %d, want %d", line, e.V, SchemaVersion)
+		}
+		if e.Node != 3 || e.TS == 0 || e.Kind == "" {
+			t.Errorf("line %s: incomplete envelope", line)
+		}
+	}
+}
+
+func TestJSONLSinkStickyError(t *testing.T) {
+	sink := NewJSONLSink(failWriter{})
+	sink.Emit(Event{V: SchemaVersion, Kind: KindRound})
+	if err := sink.Flush(); err == nil {
+		t.Fatal("expected sticky error")
+	}
+	if sink.Err() == nil {
+		t.Fatal("Err() lost the sticky error")
+	}
+	sink.Emit(Event{V: SchemaVersion, Kind: KindRound}) // must not panic
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errTest }
+
+func TestMemorySink(t *testing.T) {
+	in := New(-1)
+	s := &MemorySink{}
+	in.SetSink(s)
+	if !in.EventsOn() {
+		t.Fatal("EventsOn false with sink attached")
+	}
+	in.Emit(KindRound, map[string]any{"meetings": 1})
+	in.SetSink(nil)
+	if in.EventsOn() {
+		t.Fatal("EventsOn true after detach")
+	}
+	in.Emit(KindRound, nil) // dropped
+	if s.Len() != 1 {
+		t.Fatalf("events = %d, want 1", s.Len())
+	}
+	e := s.Events()[0]
+	if e.Kind != KindRound || e.V != SchemaVersion || e.Node != -1 || e.TS == 0 {
+		t.Errorf("bad event %+v", e)
+	}
+}

@@ -1,0 +1,329 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Exchange case codes observed by Instruments.ExchangeCase. Codes 1–4 are
+// the paper's Fig. 3 cases; ExCaseReplica is the buddy-forming meeting of
+// replicas at maximal depth; ExCaseNone is a meeting where no case fired
+// (split gate closed, recursion bound hit, or maxl reached).
+const (
+	ExCaseNone    = 0
+	ExCase1       = 1
+	ExCase2       = 2
+	ExCase3       = 3
+	ExCase4       = 4
+	ExCaseReplica = 5
+)
+
+// ExchangeCaseName names a case code for labels and events.
+func ExchangeCaseName(c int) string {
+	switch c {
+	case ExCase1:
+		return "1"
+	case ExCase2:
+		return "2"
+	case ExCase3:
+		return "3"
+	case ExCase4:
+		return "4"
+	case ExCaseReplica:
+		return "replica"
+	default:
+		return "none"
+	}
+}
+
+// MaxLevels bounds the per-level liveness counters; levels beyond it are
+// clamped into the last bucket (paths deeper than 32 bits do not occur at
+// the paper's scales).
+const MaxLevels = 32
+
+// Instruments is the typed metric bundle for one pgrid process — a
+// simulator run, a networked node, or an embedding application. All
+// methods are nil-safe no-ops, so callers thread a possibly-nil
+// *Instruments through hot paths unconditionally.
+//
+// The event sink is attached with SetSink and may be swapped at runtime;
+// emitting is disabled (and free apart from one atomic load) while no sink
+// is attached. Callers building expensive attribute maps should guard with
+// EventsOn.
+type Instruments struct {
+	reg   *Registry
+	node  int
+	clock func() int64
+	sink  atomic.Pointer[Sink]
+
+	exchanges     *Counter
+	exchangeCases [ExCaseReplica + 1]*Counter
+
+	queries         *Counter
+	queriesFailed   *Counter
+	queryHops       *Histogram
+	queryBacktracks *Counter
+
+	updateReplicas *Counter
+	updateMessages *Counter
+
+	refsLive    *Counter
+	refsDead    *Counter
+	refsByLevel [MaxLevels + 1]levelPair
+
+	rpcTotal   *Counter
+	rpcErrors  *Counter
+	rpcDropped *Counter
+	rpcLatency *Histogram
+	served     *Counter
+
+	labeledMu sync.RWMutex
+	labeled   map[string]*Counter
+}
+
+type levelPair struct {
+	live *Counter
+	dead *Counter
+}
+
+// New returns instruments for the given logical node id (-1 for a driver
+// that is not a peer) backed by a fresh Registry.
+func New(node int) *Instruments {
+	t := &Instruments{
+		reg:     NewRegistry(),
+		node:    node,
+		clock:   func() int64 { return time.Now().UnixNano() },
+		labeled: make(map[string]*Counter),
+	}
+	r := t.reg
+	t.exchanges = r.Counter("pgrid_exchange_total", "exchanges executed, including recursive ones (the paper's e)")
+	for c := range t.exchangeCases {
+		t.exchangeCases[c] = r.Counter(Label("pgrid_exchange_case_total", "case", ExchangeCaseName(c)),
+			"exchanges by Fig. 3 case taken")
+	}
+	t.queries = r.Counter("pgrid_query_total", "searches completed")
+	t.queriesFailed = r.Counter("pgrid_query_failed_total", "searches that found no responsible peer")
+	t.queryHops = r.Histogram("pgrid_query_hops", "successful peer contacts per search", HopBounds)
+	t.queryBacktracks = r.Counter("pgrid_query_backtracks_total", "failed subtrees abandoned during searches")
+	t.updateReplicas = r.Counter("pgrid_update_replicas_total", "replicas reached by update propagations")
+	t.updateMessages = r.Counter("pgrid_update_messages_total", "messages spent by update propagations")
+	t.refsLive = r.Counter("pgrid_refs_probe_live_total", "reference probes that found a live, valid peer")
+	t.refsDead = r.Counter("pgrid_refs_probe_dead_total", "reference probes that found a dead or invalid peer")
+	t.rpcTotal = r.Counter("pgrid_rpc_client_total", "outbound RPCs issued")
+	t.rpcErrors = r.Counter("pgrid_rpc_client_errors_total", "outbound RPCs that failed")
+	t.rpcDropped = r.Counter("pgrid_rpc_dropped_total", "RPCs dropped by failure injection")
+	t.rpcLatency = r.Histogram("pgrid_rpc_latency_ns", "outbound RPC round-trip latency in nanoseconds", LatencyBounds)
+	t.served = r.Counter("pgrid_rpc_served_total", "inbound RPCs handled")
+	return t
+}
+
+// Registry returns the backing registry (nil on a nil receiver).
+func (t *Instruments) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Node returns the logical node id the instruments were created for.
+func (t *Instruments) Node() int {
+	if t == nil {
+		return -1
+	}
+	return t.node
+}
+
+// SetClock overrides the event timestamp source (tests). Call before any
+// emitter runs; the field is not synchronized.
+func (t *Instruments) SetClock(clock func() int64) {
+	if t == nil {
+		return
+	}
+	t.clock = clock
+}
+
+// SetSink attaches (or, with nil, detaches) the event sink.
+func (t *Instruments) SetSink(s Sink) {
+	if t == nil {
+		return
+	}
+	if s == nil {
+		t.sink.Store(nil)
+		return
+	}
+	t.sink.Store(&s)
+}
+
+// EventsOn reports whether a sink is attached. Emitters building
+// non-trivial attribute maps should guard with it.
+func (t *Instruments) EventsOn() bool {
+	return t != nil && t.sink.Load() != nil
+}
+
+// Emit sends an event to the attached sink, stamping schema version,
+// timestamp, and node id. No-op without a sink.
+func (t *Instruments) Emit(kind string, attrs map[string]any) {
+	if t == nil {
+		return
+	}
+	sp := t.sink.Load()
+	if sp == nil {
+		return
+	}
+	(*sp).Emit(Event{V: SchemaVersion, TS: t.clock(), Node: t.node, Kind: kind, Attrs: attrs})
+}
+
+// ExchangeCase records one executed exchange and the Fig. 3 case taken
+// (an ExCase* code; out-of-range codes count as ExCaseNone).
+func (t *Instruments) ExchangeCase(c int) {
+	if t == nil {
+		return
+	}
+	if c < 0 || c >= len(t.exchangeCases) {
+		c = ExCaseNone
+	}
+	t.exchanges.Inc()
+	t.exchangeCases[c].Inc()
+}
+
+// ObserveQuery records one completed search: whether it found a
+// responsible peer, the successful contacts spent (hops), and the failed
+// subtrees abandoned (backtracks).
+func (t *Instruments) ObserveQuery(found bool, hops, backtracks int) {
+	if t == nil {
+		return
+	}
+	t.queries.Inc()
+	if !found {
+		t.queriesFailed.Inc()
+	}
+	t.queryHops.Observe(int64(hops))
+	t.queryBacktracks.Add(int64(backtracks))
+}
+
+// ObserveUpdate records one update propagation under the named strategy
+// ("breadth-first", "repeated-dfs", …): rounds by strategy, plus replica
+// coverage and message cost.
+func (t *Instruments) ObserveUpdate(strategy string, replicas, messages int) {
+	if t == nil {
+		return
+	}
+	t.labeledCounter("pgrid_update_rounds_total", "strategy", strategy,
+		"update propagations by replica-location strategy").Inc()
+	t.updateReplicas.Add(int64(replicas))
+	t.updateMessages.Add(int64(messages))
+}
+
+// RefLiveness records one reference probe at the given 1-based level.
+func (t *Instruments) RefLiveness(level int, live bool) {
+	if t == nil {
+		return
+	}
+	if level < 0 {
+		level = 0
+	}
+	if level > MaxLevels {
+		level = MaxLevels
+	}
+	p := t.levelCounters(level)
+	if live {
+		t.refsLive.Inc()
+		p.live.Inc()
+	} else {
+		t.refsDead.Inc()
+		p.dead.Inc()
+	}
+}
+
+// ClientRPC records one outbound RPC of the given kind, its round-trip
+// latency, and whether it failed.
+func (t *Instruments) ClientRPC(kind string, d time.Duration, err error) {
+	if t == nil {
+		return
+	}
+	t.rpcTotal.Inc()
+	t.labeledCounter("pgrid_rpc_client_kind_total", "kind", kind, "outbound RPCs by message kind").Inc()
+	t.rpcLatency.Observe(int64(d))
+	if err != nil {
+		t.rpcErrors.Inc()
+		t.labeledCounter("pgrid_rpc_client_kind_errors_total", "kind", kind, "failed outbound RPCs by message kind").Inc()
+	}
+}
+
+// ServedRPC records one inbound RPC of the given kind.
+func (t *Instruments) ServedRPC(kind string) {
+	if t == nil {
+		return
+	}
+	t.served.Inc()
+	t.labeledCounter("pgrid_rpc_served_kind_total", "kind", kind, "inbound RPCs by message kind").Inc()
+}
+
+// RPCDropped records one RPC dropped by failure injection
+// (node.FlakyTransport).
+func (t *Instruments) RPCDropped(kind string) {
+	if t == nil {
+		return
+	}
+	t.rpcDropped.Inc()
+	t.labeledCounter("pgrid_rpc_dropped_kind_total", "kind", kind, "dropped RPCs by message kind").Inc()
+}
+
+// Totals returns the headline counters for status lines: exchanges
+// executed, queries completed, and outbound RPC errors (including drops).
+func (t *Instruments) Totals() (exchanges, queries, rpcErrors int64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	return t.exchanges.Value(), t.queries.Value(), t.rpcErrors.Value() + t.rpcDropped.Value()
+}
+
+// levelCounters lazily registers the per-level liveness pair.
+func (t *Instruments) levelCounters(level int) levelPair {
+	t.labeledMu.RLock()
+	p := t.refsByLevel[level]
+	t.labeledMu.RUnlock()
+	if p.live != nil {
+		return p
+	}
+	t.labeledMu.Lock()
+	defer t.labeledMu.Unlock()
+	if t.refsByLevel[level].live == nil {
+		lvl := itoa(level)
+		t.refsByLevel[level] = levelPair{
+			live: t.reg.Counter(Label("pgrid_refs_level_live_total", "level", lvl),
+				"live reference probes by level"),
+			dead: t.reg.Counter(Label("pgrid_refs_level_dead_total", "level", lvl),
+				"dead reference probes by level"),
+		}
+	}
+	return t.refsByLevel[level]
+}
+
+// labeledCounter caches dynamically-labeled counters (RPC kinds, update
+// strategies) so the hot path is a read-locked map hit.
+func (t *Instruments) labeledCounter(name, key, value, help string) *Counter {
+	full := Label(name, key, value)
+	t.labeledMu.RLock()
+	c := t.labeled[full]
+	t.labeledMu.RUnlock()
+	if c != nil {
+		return c
+	}
+	t.labeledMu.Lock()
+	defer t.labeledMu.Unlock()
+	if c = t.labeled[full]; c == nil {
+		c = t.reg.Counter(full, help)
+		t.labeled[full] = c
+	}
+	return c
+}
+
+// itoa avoids strconv for tiny non-negative ints on the probe path.
+func itoa(n int) string {
+	if n < 10 {
+		return string([]byte{byte('0' + n)})
+	}
+	return string([]byte{byte('0' + n/10), byte('0' + n%10)})
+}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named instruments and renders them. Registration is
+// idempotent by name: asking twice for the same name returns the same
+// instrument, so independent subsystems can share counters. Names follow
+// Prometheus conventions and may carry a label suffix, e.g.
+// `pgrid_exchange_case_total{case="1"}` — instruments sharing the base
+// name before the '{' are rendered as one metric family.
+type Registry struct {
+	mu    sync.Mutex
+	order []string
+	insts map[string]any // *Counter or *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{insts: make(map[string]any)}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. It panics if name is already registered as a different instrument
+// kind. Nil-safe: a nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.insts[name]; ok {
+		c, ok := in.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: %q already registered as %T", name, in))
+		}
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.insts[name] = c
+	r.order = append(r.order, name)
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds on first use. It panics if name is already
+// registered as a different instrument kind. Nil-safe like Counter.
+func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.insts[name]; ok {
+		h, ok := in.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: %q already registered as %T", name, in))
+		}
+		return h
+	}
+	h := &Histogram{
+		name:    name,
+		help:    help,
+		bounds:  append([]int64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.insts[name] = h
+	r.order = append(r.order, name)
+	return h
+}
+
+// Stat is one flattened metric sample: histograms expand into
+// `name_bucket{le="…"}`, `name_sum`, and `name_count` entries, exactly
+// like their Prometheus rendering.
+type Stat struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot returns every metric as flat (name, value) pairs in
+// registration order. Nil-safe: a nil registry returns nil.
+func (r *Registry) Snapshot() []Stat {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Stat
+	for _, name := range r.order {
+		switch in := r.insts[name].(type) {
+		case *Counter:
+			out = append(out, Stat{Name: name, Value: in.Value()})
+		case *Histogram:
+			cum := int64(0)
+			for i := range in.buckets {
+				cum += in.buckets[i].Load()
+				out = append(out, Stat{
+					Name:  fmt.Sprintf("%s_bucket{le=%q}", name, leLabel(in.bounds, i)),
+					Value: cum,
+				})
+			}
+			out = append(out,
+				Stat{Name: name + "_sum", Value: in.Sum()},
+				Stat{Name: name + "_count", Value: in.Count()})
+		}
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Families are emitted in registration order of
+// their first member; HELP/TYPE headers appear once per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[string]bool)
+	for _, name := range r.order {
+		family := familyOf(name)
+		switch in := r.insts[name].(type) {
+		case *Counter:
+			if !seen[family] {
+				seen[family] = true
+				if err := writeHeader(w, family, in.help, "counter"); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, in.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			if !seen[family] {
+				seen[family] = true
+				if err := writeHeader(w, family, in.help, "histogram"); err != nil {
+					return err
+				}
+			}
+			cum := int64(0)
+			for i := range in.buckets {
+				cum += in.buckets[i].Load()
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, leLabel(in.bounds, i), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, in.Sum(), name, in.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, family, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, typ)
+	return err
+}
+
+// familyOf strips the label suffix from an instrument name.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// leLabel renders the upper bound of bucket i (the last bucket is +Inf).
+func leLabel(bounds []int64, i int) string {
+	if i >= len(bounds) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%d", bounds[i])
+}
+
+// Label builds a labeled instrument name, e.g.
+// Label("pgrid_rpc_total", "kind", "query") → `pgrid_rpc_total{kind="query"}`.
+func Label(name, key, value string) string {
+	return fmt.Sprintf("%s{%s=%q}", name, key, value)
+}
+
+// sortStats orders a snapshot by name (used by tests; the live snapshot
+// keeps registration order, which groups families together).
+func sortStats(stats []Stat) {
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Name < stats[j].Name })
+}

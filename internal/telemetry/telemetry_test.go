@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 || c.Name() != "" {
+		t.Error("nil counter not inert")
+	}
+	var h *Histogram
+	h.Observe(7)
+	if h.Count() != 0 || h.Sum() != 0 || h.Name() != "" {
+		t.Error("nil histogram not inert")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Histogram("y", "", HopBounds) != nil || r.Snapshot() != nil {
+		t.Error("nil registry not inert")
+	}
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Error(err)
+	}
+	var in *Instruments
+	in.ExchangeCase(ExCase1)
+	in.ObserveQuery(true, 3, 1)
+	in.ObserveUpdate("breadth-first", 4, 20)
+	in.RefLiveness(2, true)
+	in.ClientRPC("query", time.Millisecond, nil)
+	in.ServedRPC("query")
+	in.RPCDropped("query")
+	in.Emit(KindRound, nil)
+	in.SetSink(&MemorySink{})
+	in.SetClock(nil)
+	if in.EventsOn() {
+		t.Error("nil instruments report events on")
+	}
+	if e, q, w := in.Totals(); e != 0 || q != 0 || w != 0 {
+		t.Error("nil instruments report totals")
+	}
+	if in.Registry() != nil || in.Node() != -1 {
+		t.Error("nil instruments expose state")
+	}
+}
+
+func TestCounterAndHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pgrid_test_total", "help")
+	c.Add(2)
+	c.Inc()
+	if c.Value() != 3 {
+		t.Errorf("counter = %d, want 3", c.Value())
+	}
+	if again := r.Counter("pgrid_test_total", "help"); again != c {
+		t.Error("re-registration returned a different counter")
+	}
+
+	h := r.Histogram("pgrid_test_hops", "help", []int64{1, 4})
+	for _, v := range []int64{0, 1, 2, 4, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 112 {
+		t.Errorf("count=%d sum=%d, want 6/112", h.Count(), h.Sum())
+	}
+	// Buckets: ≤1 → {0,1}, ≤4 → {2,4}, +Inf → {5,100}; cumulative 2,4,6.
+	snap := r.Snapshot()
+	want := map[string]int64{
+		"pgrid_test_total":                  3,
+		`pgrid_test_hops_bucket{le="1"}`:    2,
+		`pgrid_test_hops_bucket{le="4"}`:    4,
+		`pgrid_test_hops_bucket{le="+Inf"}`: 6,
+		"pgrid_test_hops_sum":               112,
+		"pgrid_test_hops_count":             6,
+	}
+	got := map[string]int64{}
+	for _, s := range snap {
+		got[s.Name] = s.Value
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %d, want %d", name, got[name], v)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("pgrid_case_total", "case", "1"), "cases").Add(5)
+	r.Counter(Label("pgrid_case_total", "case", "2"), "cases").Add(7)
+	r.Histogram("pgrid_lat_ns", "latency", []int64{10}).Observe(3)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE pgrid_case_total counter",
+		`pgrid_case_total{case="1"} 5`,
+		`pgrid_case_total{case="2"} 7`,
+		"# TYPE pgrid_lat_ns histogram",
+		`pgrid_lat_ns_bucket{le="10"} 1`,
+		`pgrid_lat_ns_bucket{le="+Inf"} 1`,
+		"pgrid_lat_ns_sum 3",
+		"pgrid_lat_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// One family header even with two labeled members.
+	if strings.Count(out, "# TYPE pgrid_case_total counter") != 1 {
+		t.Errorf("family header repeated:\n%s", out)
+	}
+}
+
+func TestInstrumentsCountersFlow(t *testing.T) {
+	in := New(7)
+	in.ExchangeCase(ExCase1)
+	in.ExchangeCase(ExCase4)
+	in.ExchangeCase(ExCaseReplica)
+	in.ExchangeCase(-99) // clamps to none
+	in.ObserveQuery(true, 3, 1)
+	in.ObserveQuery(false, 0, 2)
+	in.ObserveUpdate("breadth-first", 4, 20)
+	in.RefLiveness(2, true)
+	in.RefLiveness(2, false)
+	in.ClientRPC("query", 2*time.Millisecond, nil)
+	in.ClientRPC("exchange", time.Millisecond, errTest)
+	in.ServedRPC("info")
+	in.RPCDropped("apply")
+
+	ex, q, werr := in.Totals()
+	if ex != 4 || q != 2 || werr != 2 {
+		t.Errorf("Totals = %d,%d,%d, want 4,2,2", ex, q, werr)
+	}
+	got := map[string]int64{}
+	for _, s := range in.Registry().Snapshot() {
+		got[s.Name] = s.Value
+	}
+	for name, want := range map[string]int64{
+		"pgrid_exchange_total":                                4,
+		`pgrid_exchange_case_total{case="1"}`:                 1,
+		`pgrid_exchange_case_total{case="4"}`:                 1,
+		`pgrid_exchange_case_total{case="replica"}`:           1,
+		`pgrid_exchange_case_total{case="none"}`:              1,
+		"pgrid_query_total":                                   2,
+		"pgrid_query_failed_total":                            1,
+		"pgrid_query_backtracks_total":                        3,
+		`pgrid_update_rounds_total{strategy="breadth-first"}`: 1,
+		"pgrid_update_replicas_total":                         4,
+		"pgrid_update_messages_total":                         20,
+		`pgrid_refs_level_live_total{level="2"}`:              1,
+		`pgrid_refs_level_dead_total{level="2"}`:              1,
+		"pgrid_rpc_client_total":                              2,
+		"pgrid_rpc_client_errors_total":                       1,
+		"pgrid_rpc_dropped_total":                             1,
+		`pgrid_rpc_served_kind_total{kind="info"}`:            1,
+	} {
+		if got[name] != want {
+			t.Errorf("%s = %d, want %d", name, got[name], want)
+		}
+	}
+	if got["pgrid_rpc_latency_ns_count"] != 2 {
+		t.Errorf("latency count = %d, want 2", got["pgrid_rpc_latency_ns_count"])
+	}
+}
+
+var errTest = errTestType{}
+
+type errTestType struct{}
+
+func (errTestType) Error() string { return "test error" }
+
+func TestInstrumentsConcurrency(t *testing.T) {
+	in := New(0)
+	in.SetSink(&MemorySink{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				in.ExchangeCase(i % 6)
+				in.ObserveQuery(i%2 == 0, i%8, i%3)
+				in.ClientRPC("query", time.Duration(i), nil)
+				in.RefLiveness(i%5, i%2 == 0)
+				in.ObserveUpdate("repeated-dfs", 1, 2)
+				if i%100 == 0 {
+					in.Emit(KindRound, map[string]any{"i": i})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ex, _, _ := in.Totals(); ex != 8000 {
+		t.Errorf("exchanges = %d, want 8000", ex)
+	}
+	var sb strings.Builder
+	if err := in.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

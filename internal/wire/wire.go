@@ -35,6 +35,8 @@ const (
 	KindInfoResp
 	KindScan
 	KindScanResp
+	KindStats
+	KindStatsResp
 	KindError
 )
 
@@ -42,7 +44,7 @@ const (
 func (k Kind) String() string {
 	names := [...]string{"query", "query-resp", "exchange", "exchange-resp",
 		"apply", "apply-resp", "get", "get-resp", "info", "info-resp",
-		"scan", "scan-resp", "error"}
+		"scan", "scan-resp", "stats", "stats-resp", "error"}
 	if int(k) < len(names) {
 		return names[k]
 	}
@@ -66,6 +68,7 @@ type Message struct {
 	InfoResp     *InfoResp
 	Scan         *ScanReq
 	ScanResp     *ScanResp
+	StatsResp    *StatsResp
 	Error        string
 }
 
@@ -86,6 +89,9 @@ type QueryResp struct {
 	// Messages is the number of successful peer contacts spent downstream
 	// of the receiver (the receiver adds its own hop count).
 	Messages int
+	// Backtracks is the number of contacted subtrees downstream of the
+	// receiver that failed to resolve the query.
+	Backtracks int
 }
 
 // ExchangeReq carries the initiator's state snapshot: the responder
@@ -164,6 +170,21 @@ type ScanReq struct {
 // ScanResp returns the matching entries.
 type ScanResp struct {
 	Entries []store.Entry
+}
+
+// Stat is one named counter from a node's telemetry registry. Histograms
+// are flattened into their _bucket/_sum/_count series before shipping.
+type Stat struct {
+	Name  string
+	Value int64
+}
+
+// StatsResp returns a snapshot of the receiver's telemetry registry.
+// Schema versions the flattening (currently telemetry.SchemaVersion); Stats
+// is empty when the receiver runs with telemetry disabled.
+type StatsResp struct {
+	Schema int
+	Stats  []Stat
 }
 
 // InfoResp describes the receiver's current state (used by diagnostics and

@@ -36,6 +36,7 @@ import (
 	"pgrid/internal/sim"
 	"pgrid/internal/stats"
 	"pgrid/internal/store"
+	"pgrid/internal/telemetry"
 	"pgrid/internal/trie"
 	"pgrid/internal/workload"
 )
@@ -100,6 +101,16 @@ type Grid struct {
 	dir *directory.Directory
 	cfg core.Config
 	rng *rand.Rand
+	tel *telemetry.Instruments
+}
+
+// SetTelemetry attaches an instrument bundle recording searches and update
+// propagations performed through the facade (nil detaches; all methods
+// tolerate a nil bundle at the cost of one branch).
+func (g *Grid) SetTelemetry(t *telemetry.Instruments) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tel = t
 }
 
 // Build constructs a grid by running the randomized pairwise-exchange
@@ -201,6 +212,7 @@ func (g *Grid) Publish(e Entry) (Cost, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	res := core.Insert(g.dir, se, g.cfg.RefMax, g.rng)
+	g.tel.ObserveUpdate(core.BreadthFirst.String(), res.Replicas, res.Messages)
 	if res.Replicas == 0 {
 		return Cost{Messages: res.Messages}, ErrUnreachable
 	}
@@ -218,6 +230,7 @@ func (g *Grid) Update(e Entry, recbreadth, repetition int) (Cost, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	res := core.Update(g.dir, se, recbreadth, repetition, g.rng)
+	g.tel.ObserveUpdate(core.BreadthFirst.String(), res.Replicas, res.Messages)
 	if res.Replicas == 0 {
 		return Cost{Messages: res.Messages}, ErrUnreachable
 	}
@@ -248,6 +261,7 @@ func (g *Grid) Search(key string) (SearchResult, error) {
 		return SearchResult{}, ErrUnreachable
 	}
 	res := core.Query(g.dir, start, k, g.rng)
+	g.tel.ObserveQuery(res.Found, res.Messages, res.Backtracks)
 	if !res.Found {
 		return SearchResult{Cost: Cost{Messages: res.Messages}}, ErrUnreachable
 	}
