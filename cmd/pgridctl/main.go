@@ -6,6 +6,7 @@
 //	pgridctl -peers 0=:7000,1=:7001 publish 0 song.mp3 1
 //	pgridctl -peers 0=:7000,1=:7001 lookup 1 song.mp3
 //	pgridctl -peers 0=:7000,1=:7001 query 0 010110
+//	pgridctl -peers 0=:7000,1=:7001 trace 0 010110
 //
 // Keys are derived from names by hashing (the same HashKey the library
 // uses) unless a raw binary key is given.
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"pgrid/internal/addr"
+	"pgrid/internal/analysis"
 	"pgrid/internal/bitpath"
 	"pgrid/internal/node"
 	"pgrid/internal/store"
@@ -34,7 +36,7 @@ func main() {
 	var (
 		peers   = flag.String("peers", "", "community endpoints: id=host:port,... (required)")
 		keybits = flag.Int("keybits", 8, "bits for keys hashed from names")
-		timeout = flag.Duration("timeout", 3*time.Second, "RPC timeout")
+		timeout = flag.Duration("timeout", 3*time.Second, "global bound on every RPC dial and roundtrip (must be > 0, or a dead peer would hang the CLI)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, `usage: pgridctl -peers <endpoints> <command> [args]
@@ -42,6 +44,8 @@ func main() {
 commands:
   info <id>                     print a node's path, references, and entry count
   query <id> <key>              route a search for a binary key, starting at node <id>
+  trace <id> <key>              route one fully-sampled search and print every hop
+  traces <id> [limit]           dump a node's flight recorder (recent sampled routes + cost analysis)
   publish <id> <name> <holder>  index an item (key = hash of name) at one replica via node <id>
   publishall <id> <name> <holder>  spread an item over all reachable replicas (BFS)
   lookup <id> <name>            search for an item by name, starting at node <id>
@@ -59,7 +63,12 @@ commands:
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *timeout <= 0 {
+		log.Fatalf("-timeout must be positive, got %v (an unbounded wait on a dead peer would hang forever)", *timeout)
+	}
 
+	// Every command talks through this one transport, so the -timeout
+	// bound applies to every dial and roundtrip the CLI ever makes.
 	tr := node.NewTCPTransport(*timeout)
 	var all []addr.Addr
 	for _, pair := range strings.Split(*peers, ",") {
@@ -101,6 +110,59 @@ commands:
 			log.Fatalf("no responsible peer reachable for %s (%d messages)", key, q.Messages)
 		}
 		fmt.Printf("responsible peer %v (path %s), %d messages\n", q.Peer, q.Path, q.Messages)
+
+	case "trace":
+		id := mustID(args, 0)
+		key, err := bitpath.Parse(arg(args, 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		dt, err := client.TraceQuery(id, key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace %016x\n%s\n", dt.TraceID, dt)
+		for _, s := range dt.Spans {
+			marks := ""
+			if s.Matched {
+				marks += " matched"
+			}
+			if s.Backtracked {
+				marks += " backtracked"
+			}
+			ref := "-"
+			if s.Ref != addr.Nil {
+				ref = fmt.Sprint(s.Ref)
+			}
+			fmt.Printf("  %v path=%s level=%d ref=%s latency=%v%s\n",
+				s.Peer, s.Path, s.Level, ref, time.Duration(s.LatencyNS), marks)
+		}
+		if !dt.Found {
+			os.Exit(1)
+		}
+
+	case "traces":
+		id := mustID(args, 0)
+		limit := 0
+		if len(args) > 1 {
+			v, err := strconv.Atoi(args[1])
+			if err != nil || v < 0 {
+				log.Fatalf("bad limit %q", args[1])
+			}
+			limit = v
+		}
+		total, traces, err := client.FetchTraces(id, limit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("node %v flight recorder: %d retained (of %d ever recorded)\n", id, len(traces), total)
+		for _, dt := range traces {
+			fmt.Printf("  %016x %s\n", dt.TraceID, dt)
+		}
+		if len(traces) > 0 {
+			fmt.Println("route analysis:")
+			analysis.RenderTraceReport(os.Stdout, analysis.AnalyzeTraces(traces, len(all)))
+		}
 
 	case "publish":
 		id := mustID(args, 0)

@@ -1,21 +1,27 @@
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"pgrid/internal/node"
 	"pgrid/internal/telemetry"
+	"pgrid/internal/trace"
 )
 
 // newAdminMux builds the opt-in admin HTTP surface (-admin):
 //
 //	/metrics        Prometheus text exposition of the node's telemetry
 //	/healthz        200 once the wire server is accepting, 503 before
+//	/debug/traces   the flight recorder: recent sampled query routes,
+//	                JSON by default, ?format=text for the arrow rendering,
+//	                ?limit=N to cap the count
 //	/debug/vars     expvar (includes the pgrid counter snapshot)
 //	/debug/pprof/   the standard pprof handlers
 //
@@ -33,6 +39,31 @@ func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool)
 			return
 		}
 		fmt.Fprintf(w, "ok path=%s entries=%d\n", n.Path(), n.Store().Len())
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		limit := 0
+		if s := r.URL.Query().Get("limit"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = v
+		}
+		rec := n.Recorder()
+		traces := rec.Snapshot(limit)
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, t := range traces {
+				fmt.Fprintf(w, "%016x %s\n", t.TraceID, t)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Total  uint64        `json:"total"`
+			Traces []trace.Trace `json:"traces"`
+		}{rec.Total(), traces})
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

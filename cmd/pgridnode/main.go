@@ -38,6 +38,7 @@ import (
 	"pgrid/internal/core"
 	"pgrid/internal/node"
 	"pgrid/internal/telemetry"
+	"pgrid/internal/trace"
 )
 
 func main() {
@@ -58,6 +59,8 @@ func main() {
 		maintain  = flag.Duration("maintain", 0, "interval between reference-maintenance rounds (0 = off)")
 		admin     = flag.String("admin", "", "admin HTTP listen address (/metrics, /healthz, /debug/{vars,pprof}); empty = off")
 		events    = flag.String("events", "", "append structured JSONL telemetry events to this file")
+		traceBuf  = flag.Int("trace-buf", 256, "flight-recorder capacity in traces (0 = tracing off)")
+		traceProb = flag.Float64("trace-sample", 0.01, "probability a locally issued query is sampled for distributed tracing")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logJSON   = flag.Bool("log-json", false, "log in JSON instead of text")
 	)
@@ -115,6 +118,9 @@ func main() {
 	}
 	n := node.New(addr.Addr(*id), cfg, node.InstrumentTransport(tcp, tel), *seed)
 	n.SetTelemetry(tel)
+	if *traceBuf > 0 {
+		n.EnableTracing(trace.NewRecorder(*traceBuf), *traceProb)
+	}
 
 	if *stateFile != "" {
 		loaded, err := n.LoadStateFile(*stateFile)
@@ -201,15 +207,13 @@ func newLogger(level string, json bool, id int) (*slog.Logger, error) {
 }
 
 // mixSeed derives the effective seed from the clock and the node id with a
-// splitmix64 round. The id perturbs the input and the mix spreads it over
-// all 64 bits, so nodes launched in the same instant (a script starting a
-// whole community) still get unrelated RNG streams — the previous
-// `time ^ id<<32` left the low bits identical across such nodes.
+// splitmix64 round (trace.Mix64, the same mixing trace ids use). The id
+// perturbs the input and the mix spreads it over all 64 bits, so nodes
+// launched in the same instant (a script starting a whole community) still
+// get unrelated RNG streams — the previous `time ^ id<<32` left the low
+// bits identical across such nodes.
 func mixSeed(t int64, id int) int64 {
-	z := uint64(t) + 0x9e3779b97f4a7c15*(uint64(id)+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int64(z ^ (z >> 31))
+	return int64(trace.Mix64(uint64(t) + 0x9e3779b97f4a7c15*(uint64(id)+1)))
 }
 
 func statusLoop(ctx context.Context, logger *slog.Logger, n *node.Node, every time.Duration) {

@@ -15,12 +15,14 @@ import (
 	"math/rand"
 	"os"
 
+	"pgrid/internal/analysis"
 	"pgrid/internal/bitpath"
 	"pgrid/internal/core"
 	"pgrid/internal/experiments"
 	"pgrid/internal/sim"
 	"pgrid/internal/stats"
 	"pgrid/internal/telemetry"
+	"pgrid/internal/trace"
 	"pgrid/internal/trie"
 )
 
@@ -41,7 +43,7 @@ func main() {
 		keylen     = flag.Int("keylen", 0, "search key length (default maxl-1)")
 		online     = flag.Float64("online", 0.3, "online probability during searches")
 		histogram  = flag.Bool("histogram", false, "print the replica distribution histogram")
-		trace      = flag.Int("trace", 0, "print this many example search routes after construction")
+		traceN     = flag.Int("trace", 0, "print this many example search routes (plus their cost analysis) after construction")
 		tree       = flag.Bool("tree", false, "print the responsibility trie (small N only)")
 		events     = flag.String("events", "", "write structured JSONL telemetry events to this file (the schema pgridnode -events uses)")
 	)
@@ -117,13 +119,19 @@ func main() {
 		fmt.Print(trie.FromDirectory(res.Dir).Render())
 	}
 
-	if *trace > 0 {
+	if *traceN > 0 {
 		rng := rand.New(rand.NewSource(*seed + 2))
 		fmt.Println("example routes:")
-		for i := 0; i < *trace; i++ {
+		collected := make([]trace.Trace, 0, *traceN)
+		for i := 0; i < *traceN; i++ {
 			key := bitpath.Random(rng, *maxl)
 			tr := core.QueryTraced(res.Dir, res.Dir.RandomOnlinePeer(rng), key, rng)
-			fmt.Printf("  %s\n", tr)
+			// Render through the shared distributed-trace renderer
+			// (trace.Render), so this output is diff-able against
+			// `pgridctl trace` on a real community.
+			dt := tr.ToTrace(trace.NewTraceID(rng.Uint64(), uint64(i)))
+			collected = append(collected, dt)
+			fmt.Printf("  %s\n", dt)
 			tel.ObserveQuery(tr.Result.Found, tr.Result.Messages, tr.Result.Backtracks)
 			if tel.EventsOn() {
 				tel.Emit(telemetry.KindQuery, map[string]any{
@@ -134,5 +142,7 @@ func main() {
 				})
 			}
 		}
+		fmt.Println("route analysis:")
+		analysis.RenderTraceReport(os.Stdout, analysis.AnalyzeTraces(collected, *n))
 	}
 }

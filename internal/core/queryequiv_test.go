@@ -1,0 +1,75 @@
+package core_test
+
+// External test package: the fixtures here are built with internal/sim,
+// which itself imports internal/core, so they cannot live in package
+// core without a cycle.
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgrid/internal/bitpath"
+	"pgrid/internal/core"
+	"pgrid/internal/sim"
+)
+
+// TestQueryTracedEquivalence is the property test behind the tracing
+// layer: Query and QueryTraced run the same Fig. 2 search and consume
+// the RNG identically, so for the same seed and directory they must
+// report the same Found/Peer/Messages/Backtracks — tracing observes the
+// route, it never changes it. Checked across several communities, key
+// lengths, and churn levels (offline peers force backtracking, the
+// interesting path).
+func TestQueryTracedEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		n      int
+		maxl   int
+		refmax int
+		online float64 // fraction of peers left online
+		seed   int64
+	}{
+		{"small-all-online", 32, 5, 2, 1.0, 11},
+		{"mid-all-online", 96, 6, 3, 1.0, 23},
+		{"churny", 96, 6, 3, 0.5, 37},
+		{"heavy-churn", 64, 6, 4, 0.3, 53},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := sim.Build(sim.Options{
+				N:      tc.n,
+				Config: core.Config{MaxL: tc.maxl, RefMax: tc.refmax, RecMax: 2, RecFanout: 2},
+				Seed:   tc.seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := res.Dir
+			setup := rand.New(rand.NewSource(tc.seed + 1))
+			if tc.online < 1 {
+				d.SampleOnline(setup, tc.online)
+			}
+
+			for trial := 0; trial < 200; trial++ {
+				key := bitpath.Random(setup, tc.maxl-1)
+				start := d.RandomPeer(setup)
+				seed := setup.Int63()
+
+				res1 := core.Query(d, start, key, rand.New(rand.NewSource(seed)))
+				tr := core.QueryTraced(d, start, key, rand.New(rand.NewSource(seed)))
+				res2 := tr.Result
+
+				if res1.Found != res2.Found || res1.Peer != res2.Peer ||
+					res1.Messages != res2.Messages || res1.Backtracks != res2.Backtracks {
+					t.Fatalf("trial %d key %s start %v: Query=%+v QueryTraced=%+v",
+						trial, key, start.Addr(), res1, res2)
+				}
+				// The trace itself must be consistent with the result it
+				// reports: every successful contact is one recorded hop.
+				if len(tr.Hops) != res2.Messages+1 {
+					t.Fatalf("trial %d: %d hops for %d messages (%s)",
+						trial, len(tr.Hops), res2.Messages, tr)
+				}
+			}
+		})
+	}
+}

@@ -1,14 +1,13 @@
 package core
 
 import (
-	"fmt"
 	"math/rand"
-	"strings"
 
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
 	"pgrid/internal/directory"
 	"pgrid/internal/peer"
+	"pgrid/internal/trace"
 )
 
 // Hop records one step of a traced search.
@@ -33,27 +32,50 @@ type Trace struct {
 	Result QueryResult
 }
 
-// String renders the route like
+// String renders the route through the shared renderer (trace.Render),
+// the same one distributed traces use, like
 //
 //	key 0110: addr(3)[ε/0] → addr(17)[01/1] → addr(9)[0110/2] ✓ (2 msgs)
 func (t Trace) String() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "key %s: ", t.Key)
+	return trace.Render(t.Key, t.Spans(), t.Result.Found, t.Result.Messages)
+}
+
+// Spans converts the recorded hops into shared trace spans. Latencies
+// stay zero — the simulator measures cost in messages, not wall time —
+// and span ids are the 1-based hop indexes with each span's parent set
+// to the previous hop in visit order (rendering and analysis only use
+// order, level, and flags).
+func (t Trace) Spans() []trace.Span {
+	spans := make([]trace.Span, len(t.Hops))
 	for i, h := range t.Hops {
+		spans[i] = trace.Span{
+			ID:          uint64(i + 1),
+			Peer:        h.Peer,
+			Path:        h.Path,
+			Level:       h.Level,
+			Ref:         addr.Nil,
+			Matched:     h.Matched,
+			Backtracked: h.Backtracked,
+		}
 		if i > 0 {
-			sb.WriteString(" → ")
-		}
-		fmt.Fprintf(&sb, "%v[%s/%d]", h.Peer, h.Path, h.Level)
-		if h.Backtracked {
-			sb.WriteString("↩")
+			spans[i].Parent = uint64(i)
 		}
 	}
-	if t.Result.Found {
-		fmt.Fprintf(&sb, " ✓ (%d msgs)", t.Result.Messages)
-	} else {
-		fmt.Fprintf(&sb, " ✗ (%d msgs)", t.Result.Messages)
+	return spans
+}
+
+// ToTrace packages the route under the given trace id, so simulator
+// routes flow through the same renderer and analyzer as routes recorded
+// on real networked nodes.
+func (t Trace) ToTrace(id uint64) trace.Trace {
+	return trace.Trace{
+		TraceID:    id,
+		Key:        t.Key,
+		Found:      t.Result.Found,
+		Messages:   t.Result.Messages,
+		Backtracks: t.Result.Backtracks,
+		Spans:      t.Spans(),
 	}
-	return sb.String()
 }
 
 // QueryTraced runs the Fig. 2 search like Query but records every hop,

@@ -8,6 +8,7 @@ import (
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
 	"pgrid/internal/store"
+	"pgrid/internal/trace"
 	"pgrid/internal/wire"
 )
 
@@ -37,6 +38,45 @@ func (c *Client) nodeInfo(a addr.Addr) *wire.InfoResp {
 		return nil
 	}
 	return resp.InfoResp
+}
+
+// TraceQuery routes one fully-sampled search for key via the peer at
+// start and returns the assembled hop-by-hop route. The trace context
+// rides inside the wire query message, so every node the search visits
+// appends a span and records the route in its flight recorder — this is
+// the client behind `pgridctl trace`.
+func (c *Client) TraceQuery(start addr.Addr, key bitpath.Path) (trace.Trace, error) {
+	ctx := &trace.SpanContext{
+		TraceID: trace.NewTraceID(c.rng.Uint64(), uint64(start)),
+		Budget:  trace.DefaultBudget,
+		Sampled: true,
+	}
+	resp, err := c.tr.Call(start, &wire.Message{Kind: wire.KindQuery, From: addr.Nil,
+		Query: &wire.QueryReq{Key: key, Ctx: ctx}})
+	if err != nil {
+		return trace.Trace{}, err
+	}
+	if resp.QueryResp == nil {
+		return trace.Trace{}, fmt.Errorf("node %v: bad response kind %v to traced query", start, resp.Kind)
+	}
+	q := resp.QueryResp
+	return trace.Trace{TraceID: ctx.TraceID, Key: key, Found: q.Found,
+		Messages: q.Messages, Backtracks: q.Backtracks, Spans: q.Spans}, nil
+}
+
+// FetchTraces scrapes a node's flight recorder over the wire (limit <= 0
+// means everything retained). Total counts traces ever recorded there,
+// including ones the ring has already evicted.
+func (c *Client) FetchTraces(a addr.Addr, limit int) (total uint64, traces []trace.Trace, err error) {
+	resp, err := c.tr.Call(a, &wire.Message{Kind: wire.KindTraces, From: addr.Nil,
+		Traces: &wire.TracesReq{Limit: limit}})
+	if err != nil {
+		return 0, nil, err
+	}
+	if resp.TracesResp == nil {
+		return 0, nil, fmt.Errorf("node %v: bad response kind %v to traces request", a, resp.Kind)
+	}
+	return resp.TracesResp.Total, resp.TracesResp.Traces, nil
 }
 
 // ReplicaResult mirrors core.ReplicaResult for the networked client.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
@@ -18,6 +19,7 @@ import (
 	"pgrid/internal/peer"
 	"pgrid/internal/store"
 	"pgrid/internal/telemetry"
+	"pgrid/internal/trace"
 	"pgrid/internal/wire"
 )
 
@@ -38,6 +40,9 @@ type Node struct {
 	cfg  core.Config
 	tr   Transport
 	tel  *telemetry.Instruments
+
+	rec        *trace.Recorder
+	sampleProb float64
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -79,6 +84,20 @@ func (n *Node) SetTelemetry(t *telemetry.Instruments) { n.tel = t }
 // Telemetry returns the attached instruments (possibly nil).
 func (n *Node) Telemetry() *telemetry.Instruments { return n.tel }
 
+// EnableTracing attaches a flight recorder and sets the probability that
+// a query starting at this node is sampled for distributed tracing
+// (clamped to [0, 1]). Queries arriving with a sampled context are
+// always traced, regardless of the local probability — that is how
+// pgridctl forces a fully-sampled route. Call before the node starts
+// serving; the fields are not synchronized.
+func (n *Node) EnableTracing(rec *trace.Recorder, sampleProb float64) {
+	n.rec = rec
+	n.sampleProb = min(max(sampleProb, 0), 1)
+}
+
+// Recorder returns the attached flight recorder (possibly nil).
+func (n *Node) Recorder() *trace.Recorder { return n.rec }
+
 // Handle dispatches one incoming request and returns the response message.
 // Transports call this on the receiving side.
 func (n *Node) Handle(m *wire.Message) *wire.Message {
@@ -103,6 +122,13 @@ func (n *Node) Handle(m *wire.Message) *wire.Message {
 			ScanResp: &wire.ScanResp{Entries: n.Store().PrefixScan(m.Scan.Prefix)}}
 	case wire.KindStats:
 		return &wire.Message{Kind: wire.KindStatsResp, From: n.Addr(), StatsResp: n.stats()}
+	case wire.KindTraces:
+		limit := 0
+		if m.Traces != nil {
+			limit = m.Traces.Limit
+		}
+		return &wire.Message{Kind: wire.KindTracesResp, From: n.Addr(),
+			TracesResp: &wire.TracesResp{Total: n.rec.Total(), Traces: n.rec.Snapshot(limit)}}
 	default:
 		return &wire.Message{Kind: wire.KindError, From: n.Addr(),
 			Error: fmt.Sprintf("unexpected message kind %v", m.Kind)}
@@ -136,9 +162,25 @@ func (n *Node) info() *wire.InfoResp {
 
 // --- query ----------------------------------------------------------------
 
-// Query starts the Fig. 2 depth-first search at this node.
+// Query starts the Fig. 2 depth-first search at this node. With tracing
+// enabled (EnableTracing), a sampleProb fraction of queries carry a
+// trace context and leave a route record in the flight recorders of
+// every node they visit.
 func (n *Node) Query(key bitpath.Path) core.QueryResult {
-	resp := n.handleQuery(&wire.QueryReq{Key: key, Level: 0})
+	req := &wire.QueryReq{Key: key, Level: 0}
+	if n.rec != nil && n.sampleProb > 0 {
+		n.mu.Lock()
+		sampled := n.rng.Float64() < n.sampleProb
+		var id uint64
+		if sampled {
+			id = trace.NewTraceID(n.rng.Uint64(), uint64(n.Addr()))
+		}
+		n.mu.Unlock()
+		if sampled {
+			req.Ctx = &trace.SpanContext{TraceID: id, Budget: trace.DefaultBudget, Sampled: true}
+		}
+	}
+	resp := n.handleQuery(req)
 	n.tel.ObserveQuery(resp.Found, resp.Messages, resp.Backtracks)
 	if n.tel.EventsOn() {
 		n.tel.Emit(telemetry.KindQuery, map[string]any{
@@ -151,19 +193,78 @@ func (n *Node) Query(key bitpath.Path) core.QueryResult {
 	return core.QueryResult{Found: resp.Found, Peer: resp.Peer, Messages: resp.Messages, Backtracks: resp.Backtracks}
 }
 
+// TraceQuery runs one fully-sampled search from this node, bypassing the
+// sampling probability, and returns the assembled route alongside the
+// result — the in-process twin of `pgridctl trace`.
+func (n *Node) TraceQuery(key bitpath.Path) (core.QueryResult, trace.Trace) {
+	n.mu.Lock()
+	id := trace.NewTraceID(n.rng.Uint64(), uint64(n.Addr()))
+	n.mu.Unlock()
+	req := &wire.QueryReq{Key: key, Level: 0,
+		Ctx: &trace.SpanContext{TraceID: id, Budget: trace.DefaultBudget, Sampled: true}}
+	resp := n.handleQuery(req)
+	n.tel.ObserveQuery(resp.Found, resp.Messages, resp.Backtracks)
+	res := core.QueryResult{Found: resp.Found, Peer: resp.Peer, Messages: resp.Messages, Backtracks: resp.Backtracks}
+	return res, trace.Trace{TraceID: id, Key: key, Found: resp.Found,
+		Messages: resp.Messages, Backtracks: resp.Backtracks, Spans: resp.Spans}
+}
+
 // handleQuery is query(a, p, l) with remote recursion: references are
 // contacted through the transport and each successful downstream call
-// contributes to the message count.
+// contributes to the message count. When the request carries a sampled
+// trace context the node appends its own span (and everything its
+// subtree reported) to the response and records the subtree route in
+// its flight recorder; routing decisions are identical either way.
 func (n *Node) handleQuery(q *wire.QueryReq) *wire.QueryResp {
 	path := n.self.Path()
 	l := q.Level
 	if l > path.Len() {
 		l = path.Len()
 	}
+
+	tracing := q.Ctx.Alive()
+	var span trace.Span
+	var start time.Time
+	var childCtx *trace.SpanContext
+	if tracing {
+		start = time.Now()
+		n.mu.Lock()
+		sid := n.rng.Uint64()
+		n.mu.Unlock()
+		span = trace.Span{ID: sid, Parent: q.Ctx.Parent, Peer: n.Addr(),
+			Path: path, Level: l, Ref: addr.Nil}
+		if q.Ctx.Budget > 0 {
+			cc := q.Ctx.Child(sid)
+			childCtx = &cc
+		}
+	}
+
+	resp := n.routeQuery(q, path, l, &span, childCtx, tracing)
+
+	if tracing {
+		span.LatencyNS = int64(time.Since(start))
+		spans := make([]trace.Span, 0, 1+len(resp.Spans))
+		spans = append(spans, span)
+		spans = append(spans, resp.Spans...)
+		resp.Spans = spans
+		n.rec.Record(trace.Trace{TraceID: q.Ctx.TraceID, Key: q.Key, Found: resp.Found,
+			Messages: resp.Messages, Backtracks: resp.Backtracks, Spans: resp.Spans})
+	}
+	return resp
+}
+
+// routeQuery is the routing half of handleQuery: the Fig. 2 decision and
+// reference walk. span and childCtx are only touched when tracing is set;
+// resp.Spans accumulates the downstream spans in visit order (the
+// caller's own span is prepended by handleQuery).
+func (n *Node) routeQuery(q *wire.QueryReq, path bitpath.Path, l int, span *trace.Span, childCtx *trace.SpanContext, tracing bool) *wire.QueryResp {
 	rempath := path.Suffix(l)
 	compath := bitpath.CommonPrefix(q.Key, rempath)
 
 	if compath.Len() == q.Key.Len() || compath.Len() == rempath.Len() {
+		if tracing {
+			span.Matched = true
+		}
 		return &wire.QueryResp{Found: true, Peer: n.Addr(), Path: path}
 	}
 
@@ -178,7 +279,7 @@ func (n *Node) handleQuery(q *wire.QueryReq) *wire.QueryResp {
 			n.mu.Unlock()
 			down, err := n.tr.Call(r, &wire.Message{
 				Kind: wire.KindQuery, From: n.Addr(),
-				Query: &wire.QueryReq{Key: querypath, Level: l + compath.Len()},
+				Query: &wire.QueryReq{Key: querypath, Level: l + compath.Len(), Ctx: childCtx},
 			})
 			n.tel.RefLiveness(l+compath.Len()+1, err == nil && down.QueryResp != nil)
 			if err != nil || down.QueryResp == nil {
@@ -186,13 +287,22 @@ func (n *Node) handleQuery(q *wire.QueryReq) *wire.QueryResp {
 			}
 			resp.Messages += 1 + down.QueryResp.Messages
 			resp.Backtracks += down.QueryResp.Backtracks
+			if tracing {
+				resp.Spans = append(resp.Spans, down.QueryResp.Spans...)
+			}
 			if down.QueryResp.Found {
 				resp.Found = true
 				resp.Peer = down.QueryResp.Peer
 				resp.Path = down.QueryResp.Path
+				if tracing {
+					span.Ref = r
+				}
 				return resp
 			}
 			resp.Backtracks++ // the contacted subtree resolved nothing
+			if tracing {
+				span.Backtracked = true
+			}
 		}
 	}
 	return resp

@@ -1,0 +1,183 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"testing"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/trace"
+)
+
+// The legacy* types replicate the message structs exactly as they were
+// encoded before distributed tracing existed (no Ctx on queries, no
+// Spans on responses, no traces payloads). Gob matches struct fields by
+// name, so frames produced from these decode through the current types
+// — and vice versa — which is what keeps mixed-version communities and
+// old packet captures readable.
+type legacyQueryReq struct {
+	Key   bitpath.Path
+	Level int
+}
+
+type legacyQueryResp struct {
+	Found      bool
+	Peer       addr.Addr
+	Path       bitpath.Path
+	Messages   int
+	Backtracks int
+}
+
+type legacyMessage struct {
+	Kind      Kind
+	From      addr.Addr
+	Query     *legacyQueryReq
+	QueryResp *legacyQueryResp
+	Error     string
+}
+
+// legacyFrame encodes m with the pre-tracing struct layout and the same
+// length-prefixed framing WriteMessage uses.
+func legacyFrame(t *testing.T, m *legacyMessage) []byte {
+	t.Helper()
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(body.Len()))
+	out.Write(lenb[:])
+	out.Write(body.Bytes())
+	return out.Bytes()
+}
+
+func TestDecodePreTracingQuery(t *testing.T) {
+	frame := legacyFrame(t, &legacyMessage{
+		Kind:  KindQuery,
+		From:  3,
+		Query: &legacyQueryReq{Key: bitpath.MustParse("0101"), Level: 2},
+	})
+	m, err := ReadMessage(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("pre-tracing query frame did not decode: %v", err)
+	}
+	if m.Kind != KindQuery || m.From != 3 || m.Query == nil {
+		t.Fatalf("envelope mismatch: %+v", m)
+	}
+	if m.Query.Key != bitpath.MustParse("0101") || m.Query.Level != 2 {
+		t.Fatalf("payload mismatch: %+v", m.Query)
+	}
+	if m.Query.Ctx != nil {
+		t.Fatalf("absent trace context decoded non-nil: %+v", m.Query.Ctx)
+	}
+}
+
+func TestDecodePreTracingQueryResp(t *testing.T) {
+	frame := legacyFrame(t, &legacyMessage{
+		Kind: KindQueryResp,
+		From: 9,
+		QueryResp: &legacyQueryResp{Found: true, Peer: 9,
+			Path: bitpath.MustParse("01"), Messages: 4, Backtracks: 1},
+	})
+	m, err := ReadMessage(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("pre-tracing response frame did not decode: %v", err)
+	}
+	q := m.QueryResp
+	if q == nil || !q.Found || q.Peer != 9 || q.Messages != 4 || q.Backtracks != 1 {
+		t.Fatalf("payload mismatch: %+v", q)
+	}
+	if q.Spans != nil {
+		t.Fatalf("absent spans decoded non-nil: %+v", q.Spans)
+	}
+}
+
+// TestOldDecoderIgnoresTraceFields covers the opposite direction: a
+// traced frame produced by a current node must still decode on a
+// pre-tracing receiver (gob skips fields the receiver does not know).
+func TestOldDecoderIgnoresTraceFields(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteMessage(&buf, &Message{
+		Kind: KindQuery, From: 5,
+		Query: &QueryReq{Key: bitpath.MustParse("11"), Level: 1,
+			Ctx: &trace.SpanContext{TraceID: 42, Parent: 7, Budget: 8, Sampled: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := buf.Bytes()[4:] // strip the length prefix
+	var legacy legacyMessage
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&legacy); err != nil {
+		t.Fatalf("pre-tracing decoder rejected a traced frame: %v", err)
+	}
+	if legacy.Kind != KindQuery || legacy.Query == nil || legacy.Query.Key != bitpath.MustParse("11") {
+		t.Fatalf("legacy decode mismatch: %+v", legacy)
+	}
+}
+
+func TestTracedRoundTrip(t *testing.T) {
+	m := &Message{
+		Kind: KindQueryResp, From: 2,
+		QueryResp: &QueryResp{
+			Found: true, Peer: 4, Path: bitpath.MustParse("0110"), Messages: 2,
+			Spans: []trace.Span{
+				{ID: 1, Peer: 2, Path: bitpath.MustParse("0"), Level: 0, Ref: 4, LatencyNS: 1200},
+				{ID: 9, Parent: 1, Peer: 4, Path: bitpath.MustParse("0110"), Matched: true},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.QueryResp.Spans) != 2 || got.QueryResp.Spans[0] != m.QueryResp.Spans[0] ||
+		got.QueryResp.Spans[1] != m.QueryResp.Spans[1] {
+		t.Fatalf("spans did not round-trip: %+v", got.QueryResp.Spans)
+	}
+}
+
+func TestTracesRoundTrip(t *testing.T) {
+	m := &Message{
+		Kind: KindTracesResp, From: 1,
+		TracesResp: &TracesResp{
+			Total: 12,
+			Traces: []trace.Trace{{
+				TraceID: 99, Key: bitpath.MustParse("101"), Found: true, Messages: 1,
+				Spans: []trace.Span{{ID: 3, Peer: 1, Path: bitpath.MustParse("1"), Matched: true}},
+			}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := got.TracesResp
+	if tr == nil || tr.Total != 12 || len(tr.Traces) != 1 || tr.Traces[0].TraceID != 99 {
+		t.Fatalf("traces did not round-trip: %+v", tr)
+	}
+	if got.Kind.String() != "traces-resp" || KindTraces.String() != "traces" {
+		t.Fatalf("kind names: %v %v", got.Kind, KindTraces)
+	}
+}
+
+// TestKindNumbering pins the wire numbering: kinds are append-only and
+// requests stay even, so mixed-version peers agree on every value.
+func TestKindNumbering(t *testing.T) {
+	if KindError != 14 {
+		t.Fatalf("KindError = %d, renumbering breaks old peers", KindError)
+	}
+	if KindTraces != 16 || KindTracesResp != 17 {
+		t.Fatalf("KindTraces = %d/%d, want 16/17", KindTraces, KindTracesResp)
+	}
+}

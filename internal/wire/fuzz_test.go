@@ -2,10 +2,13 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
+	"encoding/gob"
 	"testing"
 
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
+	"pgrid/internal/trace"
 )
 
 // FuzzReadMessage feeds arbitrary bytes to the frame decoder: it must
@@ -18,6 +21,38 @@ func FuzzReadMessage(f *testing.F) {
 	var q bytes.Buffer
 	WriteMessage(&q, &Message{Kind: KindQuery, Query: &QueryReq{Key: bitpath.MustParse("0101"), Level: 1}})
 	f.Add(q.Bytes())
+	// A traced query and a span-carrying response, so the corpus mutates
+	// around the trace-context encoding too.
+	var tq bytes.Buffer
+	WriteMessage(&tq, &Message{Kind: KindQuery, Query: &QueryReq{
+		Key: bitpath.MustParse("11"), Level: 0,
+		Ctx: &trace.SpanContext{TraceID: 7, Budget: 4, Sampled: true}}})
+	f.Add(tq.Bytes())
+	var tr bytes.Buffer
+	WriteMessage(&tr, &Message{Kind: KindQueryResp, QueryResp: &QueryResp{
+		Found: true, Peer: 2, Path: bitpath.MustParse("11"),
+		Spans: []trace.Span{{ID: 1, Peer: 2, Path: bitpath.MustParse("1"), Matched: true}}}})
+	f.Add(tr.Bytes())
+	// A pre-tracing frame (query encoded without the Ctx field), proving
+	// old captures stay in the decodable corpus.
+	var legacyBody bytes.Buffer
+	gob.NewEncoder(&legacyBody).Encode(&struct {
+		Kind  Kind
+		From  addr.Addr
+		Query *struct {
+			Key   bitpath.Path
+			Level int
+		}
+	}{Kind: KindQuery, From: 1, Query: &struct {
+		Key   bitpath.Path
+		Level int
+	}{Key: bitpath.MustParse("010"), Level: 1}})
+	var legacy bytes.Buffer
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(legacyBody.Len()))
+	legacy.Write(lenb[:])
+	legacy.Write(legacyBody.Bytes())
+	f.Add(legacy.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{0, 0, 0, 5, 1, 2, 3})
@@ -38,18 +73,27 @@ func FuzzReadMessage(f *testing.F) {
 	})
 }
 
-// FuzzRoundTrip encodes fuzz-shaped messages and verifies they decode to
-// the same payload.
+// FuzzRoundTrip encodes fuzz-shaped messages — with and without a trace
+// context — and verifies they decode to the same payload. traced=false
+// exercises exactly the pre-tracing encoding (a nil Ctx is absent from
+// the gob stream), so every run also proves backward-compatible
+// decoding of old-style frames.
 func FuzzRoundTrip(f *testing.F) {
-	f.Add(uint8(0), int32(1), "0101", 2)
-	f.Add(uint8(6), int32(9), "1", 0)
-	f.Fuzz(func(t *testing.T, kind uint8, from int32, key string, level int) {
+	f.Add(uint8(0), int32(1), "0101", 2, false, uint64(0), 0)
+	f.Add(uint8(6), int32(9), "1", 0, false, uint64(3), 1)
+	f.Add(uint8(0), int32(2), "11", 0, true, uint64(42), 8)
+	f.Add(uint8(16), int32(5), "0", 1, true, uint64(1), 64)
+	f.Fuzz(func(t *testing.T, kind uint8, from int32, key string, level int, traced bool, traceID uint64, budget int) {
 		p, err := bitpath.Parse(key)
 		if err != nil {
 			return
 		}
-		m := &Message{Kind: Kind(kind % 12), From: addrOf(from),
+		m := &Message{Kind: Kind(kind % 18), From: addrOf(from),
 			Query: &QueryReq{Key: p, Level: level}}
+		if traced {
+			m.Query.Ctx = &trace.SpanContext{TraceID: traceID, Parent: traceID / 2,
+				Budget: budget, Sampled: true}
+		}
 		var buf bytes.Buffer
 		if err := WriteMessage(&buf, m); err != nil {
 			t.Fatalf("encode: %v", err)
@@ -63,6 +107,12 @@ func FuzzRoundTrip(f *testing.F) {
 		}
 		if got.Query == nil || got.Query.Key != p || got.Query.Level != level {
 			t.Fatalf("payload mismatch: %+v", got.Query)
+		}
+		if !traced && got.Query.Ctx != nil {
+			t.Fatalf("untraced query decoded a context: %+v", got.Query.Ctx)
+		}
+		if traced && (got.Query.Ctx == nil || *got.Query.Ctx != *m.Query.Ctx) {
+			t.Fatalf("trace context mismatch: %+v vs %+v", got.Query.Ctx, m.Query.Ctx)
 		}
 	})
 }

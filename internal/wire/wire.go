@@ -16,12 +16,17 @@ import (
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
 	"pgrid/internal/store"
+	"pgrid/internal/trace"
 )
 
 // Kind discriminates message payloads.
 type Kind uint8
 
-// Message kinds. Requests have even values; their responses follow at +1.
+// Message kinds. Requests have even values; their responses follow at +1
+// (KindError is the odd man out at 14; 15 stays reserved so later kinds
+// keep the parity convention). New kinds are only ever appended — the
+// numbering is part of the wire format, and renumbering would make
+// mixed-version communities misread each other.
 const (
 	KindQuery Kind = iota
 	KindQueryResp
@@ -38,13 +43,17 @@ const (
 	KindStats
 	KindStatsResp
 	KindError
+	_ // reserved: keeps requests even after the unpaired KindError
+	KindTraces
+	KindTracesResp
 )
 
 // String names the kind for logs.
 func (k Kind) String() string {
 	names := [...]string{"query", "query-resp", "exchange", "exchange-resp",
 		"apply", "apply-resp", "get", "get-resp", "info", "info-resp",
-		"scan", "scan-resp", "stats", "stats-resp", "error"}
+		"scan", "scan-resp", "stats", "stats-resp", "error", "kind(15)",
+		"traces", "traces-resp"}
 	if int(k) < len(names) {
 		return names[k]
 	}
@@ -69,6 +78,8 @@ type Message struct {
 	Scan         *ScanReq
 	ScanResp     *ScanResp
 	StatsResp    *StatsResp
+	Traces       *TracesReq
+	TracesResp   *TracesResp
 	Error        string
 }
 
@@ -77,6 +88,11 @@ type Message struct {
 type QueryReq struct {
 	Key   bitpath.Path
 	Level int
+	// Ctx is the distributed trace context, nil for untraced queries.
+	// Encodings that predate tracing decode to nil (gob leaves absent
+	// fields zero), and old receivers ignore the field, so traced and
+	// untraced peers interoperate.
+	Ctx *trace.SpanContext
 }
 
 // QueryResp reports the search outcome.
@@ -92,6 +108,10 @@ type QueryResp struct {
 	// Backtracks is the number of contacted subtrees downstream of the
 	// receiver that failed to resolve the query.
 	Backtracks int
+	// Spans carries the hops recorded at the receiver and everything
+	// downstream of it, in visit order, when the request was traced
+	// (empty otherwise, and absent on pre-tracing encodings).
+	Spans []trace.Span
 }
 
 // ExchangeReq carries the initiator's state snapshot: the responder
@@ -185,6 +205,20 @@ type Stat struct {
 type StatsResp struct {
 	Schema int
 	Stats  []Stat
+}
+
+// TracesReq asks the receiver for its flight recorder's most recent
+// sampled traces (Limit <= 0 means all retained).
+type TracesReq struct {
+	Limit int
+}
+
+// TracesResp returns the recorder snapshot, newest first. Total counts
+// every trace ever recorded, including ones the ring has evicted; Traces
+// is empty when the receiver runs with tracing disabled.
+type TracesResp struct {
+	Total  uint64
+	Traces []trace.Trace
 }
 
 // InfoResp describes the receiver's current state (used by diagnostics and
