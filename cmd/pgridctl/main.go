@@ -54,6 +54,8 @@ commands:
   scan <id> <key-prefix>        list all entries under a binary key prefix
   stats <id>                    dump a node's telemetry counters (the /metrics data, over the wire)
   audit                         fetch every node's state and verify the reference invariant
+  health <id>                   print a node's replica digest and per-level reference liveness
+  crawl <id>                    walk the whole community from node <id> and print the structural report
 `)
 		flag.PrintDefaults()
 	}
@@ -256,6 +258,30 @@ commands:
 		fmt.Printf("node %v telemetry (schema v%d, %d series)\n", id, st.Schema, len(st.Stats))
 		for _, s := range st.Stats {
 			fmt.Printf("  %-56s %d\n", s.Name, s.Value)
+		}
+
+	case "health":
+		id := mustID(args, 0)
+		d, rounds, err := client.FetchHealth(id, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("node %v health (%d probe rounds)\n  %s\n", id, rounds, d)
+		for _, lp := range d.Liveness {
+			r, _ := lp.Ratio()
+			fmt.Printf("  level %2d liveness %.2f (%d live / %d dead)\n", lp.Level, r, lp.Live, lp.Dead)
+		}
+
+	case "crawl":
+		id := mustID(args, 0)
+		res := client.Crawl(id)
+		fmt.Printf("crawled %d peers from node %v (%d messages)\n", len(res.Digests), id, res.Messages)
+		for _, a := range res.Unreachable {
+			fmt.Printf("  unreachable: %v\n", a)
+		}
+		analysis.RenderGridReport(os.Stdout, analysis.AnalyzeGrid(res.Digests))
+		if len(res.Unreachable) > 0 {
+			os.Exit(1)
 		}
 
 	case "audit":

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pgrid/internal/health"
 	"pgrid/internal/node"
 	"pgrid/internal/telemetry"
 	"pgrid/internal/trace"
@@ -18,7 +19,11 @@ import (
 // newAdminMux builds the opt-in admin HTTP surface (-admin):
 //
 //	/metrics        Prometheus text exposition of the node's telemetry
-//	/healthz        200 once the wire server is accepting, 503 before
+//	/healthz        200 once the wire server is accepting; 503 before,
+//	                and 503 while the worst per-level reference liveness
+//	                sits below minLiveness (0 disables the check)
+//	/debug/health   the node's replica digest: JSON by default,
+//	                ?format=text for the human rendering
 //	/debug/traces   the flight recorder: recent sampled query routes,
 //	                JSON by default, ?format=text for the arrow rendering,
 //	                ?limit=N to cap the count
@@ -27,7 +32,7 @@ import (
 //
 // The mux is self-contained (nothing is registered on
 // http.DefaultServeMux), so tests can build several independent instances.
-func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool) *http.ServeMux {
+func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool, minLiveness float64) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -38,7 +43,36 @@ func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool)
 			http.Error(w, "starting", http.StatusServiceUnavailable)
 			return
 		}
+		// Readiness follows the worst level: one fully-stale level makes
+		// the node unable to route past it, however healthy the rest is.
+		// Before the first probe round there is no data and no verdict.
+		if minLiveness > 0 {
+			if worst, ok := health.MinLevelRatio(n.HealthTracker().Snapshot()); ok && worst < minLiveness {
+				http.Error(w, fmt.Sprintf("degraded: worst level liveness %.2f < %.2f", worst, minLiveness),
+					http.StatusServiceUnavailable)
+				return
+			}
+		}
 		fmt.Fprintf(w, "ok path=%s entries=%d\n", n.Path(), n.Store().Len())
+	})
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
+		d := n.Digest()
+		rounds := n.HealthTracker().Rounds()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "%s rounds=%d\n", d, rounds)
+			for _, lp := range d.Liveness {
+				ratio, _ := lp.Ratio()
+				fmt.Fprintf(w, "level %2d liveness %.2f (%d live / %d dead)\n",
+					lp.Level, ratio, lp.Live, lp.Dead)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Digest health.Digest `json:"digest"`
+			Rounds int64         `json:"rounds"`
+		}{d, rounds})
 	})
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		limit := 0

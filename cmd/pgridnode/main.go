@@ -14,7 +14,10 @@
 //	pgridnode -id 2 -listen :7002 -peers 0=:7000,1=:7001,2=:7002 -meet 200ms
 //
 // Interrogate it with pgridctl, or give it -admin :9090 and watch
-// /metrics, /healthz, /debug/vars, and /debug/pprof live. With -events the
+// /metrics, /healthz, /debug/health, /debug/vars, and /debug/pprof live.
+// With -probe-interval the node samples its references for liveness in the
+// background, which feeds the health digest, the pgrid_health_* gauges,
+// and the -health-min-liveness readiness check. With -events the
 // node appends one JSON line per exchange/query to a file, in the same
 // schema pgridsim -events writes.
 package main
@@ -57,6 +60,9 @@ func main() {
 		stateFile = flag.String("state", "", "persist node state to this file (load at boot, save periodically and on shutdown)")
 		saveEvery = flag.Duration("save-every", 30*time.Second, "state checkpoint interval when -state is set")
 		maintain  = flag.Duration("maintain", 0, "interval between reference-maintenance rounds (0 = off)")
+		probeInt  = flag.Duration("probe-interval", 0, "interval between reference-liveness probe rounds, jittered ±25% (0 = off)")
+		probeBud  = flag.Int("probe-budget", 16, "max probe messages per round when -probe-interval is set")
+		healthMin = flag.Float64("health-min-liveness", 0, "/healthz reports 503 while the worst per-level reference liveness is below this (0 = disabled)")
 		admin     = flag.String("admin", "", "admin HTTP listen address (/metrics, /healthz, /debug/{vars,pprof}); empty = off")
 		events    = flag.String("events", "", "append structured JSONL telemetry events to this file")
 		traceBuf  = flag.Int("trace-buf", 256, "flight-recorder capacity in traces (0 = tracing off)")
@@ -121,6 +127,10 @@ func main() {
 	if *traceBuf > 0 {
 		n.EnableTracing(trace.NewRecorder(*traceBuf), *traceProb)
 	}
+	n.EnableHealth()
+	if *healthMin < 0 || *healthMin > 1 {
+		fatal("configuration", fmt.Errorf("-health-min-liveness %v out of [0,1]", *healthMin))
+	}
 
 	if *stateFile != "" {
 		loaded, err := n.LoadStateFile(*stateFile)
@@ -149,7 +159,7 @@ func main() {
 			fatal("admin listen", err)
 		}
 		publishExpvar(tel)
-		asrv := &http.Server{Handler: newAdminMux(n, tel, serving)}
+		asrv := &http.Server{Handler: newAdminMux(n, tel, serving, *healthMin)}
 		go asrv.Serve(aln)
 		go func() {
 			<-ctx.Done()
@@ -169,6 +179,9 @@ func main() {
 	}
 	if *maintain > 0 {
 		go maintainLoop(ctx, logger, n, *maintain)
+	}
+	if *probeInt > 0 {
+		go node.NewProber(n, *probeInt, *probeBud, *seed+2).Run(ctx)
 	}
 
 	serving.Store(true)

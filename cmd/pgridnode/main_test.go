@@ -14,6 +14,7 @@ import (
 
 	"pgrid/internal/addr"
 	"pgrid/internal/core"
+	"pgrid/internal/health"
 	"pgrid/internal/node"
 	"pgrid/internal/telemetry"
 )
@@ -135,7 +136,7 @@ func TestAdminMetricsEndpoint(t *testing.T) {
 	n, tel := testNode(t)
 	serving := &atomic.Bool{}
 	serving.Store(true)
-	srv := httptest.NewServer(newAdminMux(n, tel, serving))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0))
 	defer srv.Close()
 
 	scrape := func() (string, string) {
@@ -195,9 +196,85 @@ func TestAdminMetricsEndpoint(t *testing.T) {
 }
 
 func TestAdminHealthz(t *testing.T) {
+	// probes[level] = (live, dead) observed before the request.
+	cases := []struct {
+		name        string
+		serving     bool
+		minLiveness float64
+		probes      map[int][2]int
+		wantCode    int
+		wantBody    string
+	}{
+		{name: "not yet serving", serving: false, wantCode: http.StatusServiceUnavailable, wantBody: "starting"},
+		{name: "serving, no threshold", serving: true, wantCode: http.StatusOK, wantBody: "ok path="},
+		{
+			name: "threshold set, no probe data yet", serving: true, minLiveness: 0.5,
+			wantCode: http.StatusOK,
+		},
+		{
+			name: "all levels above threshold", serving: true, minLiveness: 0.5,
+			probes:   map[int][2]int{1: {3, 1}, 2: {4, 0}},
+			wantCode: http.StatusOK,
+		},
+		{
+			name: "one level below threshold", serving: true, minLiveness: 0.5,
+			probes:   map[int][2]int{1: {4, 0}, 2: {1, 3}},
+			wantCode: http.StatusServiceUnavailable, wantBody: "degraded",
+		},
+		{
+			name: "exactly at threshold", serving: true, minLiveness: 0.5,
+			probes:   map[int][2]int{1: {2, 2}},
+			wantCode: http.StatusOK,
+		},
+		{
+			name: "threshold zero disables the check", serving: true, minLiveness: 0,
+			probes:   map[int][2]int{1: {0, 10}},
+			wantCode: http.StatusOK,
+		},
+		{
+			name: "fully dead level", serving: true, minLiveness: 0.25,
+			probes:   map[int][2]int{1: {9, 1}, 3: {0, 2}},
+			wantCode: http.StatusServiceUnavailable, wantBody: "degraded",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, tel := testNode(t)
+			n.EnableHealth()
+			for level, ld := range tc.probes {
+				for i := 0; i < ld[0]; i++ {
+					n.HealthTracker().Observe(level, true)
+				}
+				for i := 0; i < ld[1]; i++ {
+					n.HealthTracker().Observe(level, false)
+				}
+			}
+			serving := &atomic.Bool{}
+			serving.Store(tc.serving)
+			srv := httptest.NewServer(newAdminMux(n, tel, serving, tc.minLiveness))
+			defer srv.Close()
+
+			resp, err := http.Get(srv.URL + "/healthz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != tc.wantCode {
+				t.Errorf("status %d, want %d (body %q)", resp.StatusCode, tc.wantCode, body)
+			}
+			if tc.wantBody != "" && !strings.Contains(string(body), tc.wantBody) {
+				t.Errorf("body %q missing %q", body, tc.wantBody)
+			}
+		})
+	}
+}
+
+// TestAdminHealthzTransition walks one mux through the serving lifecycle.
+func TestAdminHealthzTransition(t *testing.T) {
 	n, tel := testNode(t)
 	serving := &atomic.Bool{}
-	srv := httptest.NewServer(newAdminMux(n, tel, serving))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0))
 	defer srv.Close()
 
 	get := func() int {
@@ -222,12 +299,59 @@ func TestAdminHealthz(t *testing.T) {
 	}
 }
 
+func TestAdminDebugHealth(t *testing.T) {
+	n, tel := testNode(t)
+	n.EnableHealth()
+	n.HealthTracker().Observe(1, true)
+	n.HealthTracker().Observe(1, true)
+	n.HealthTracker().Observe(1, false)
+	n.HealthTracker().RoundDone()
+	serving := &atomic.Bool{}
+	serving.Store(true)
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var out struct {
+		Digest health.Digest `json:"digest"`
+		Rounds int64         `json:"rounds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Digest.Addr != n.Addr() || out.Rounds != 1 {
+		t.Errorf("debug/health = %+v", out)
+	}
+	if len(out.Digest.Liveness) != 1 || out.Digest.Liveness[0].Live != 2 || out.Digest.Liveness[0].Dead != 1 {
+		t.Errorf("liveness = %+v", out.Digest.Liveness)
+	}
+
+	text, err := http.Get(srv.URL + "/debug/health?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer text.Body.Close()
+	body, _ := io.ReadAll(text.Body)
+	for _, want := range []string{"rounds=1", "level  1 liveness 0.67", "2 live / 1 dead"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("text body %q missing %q", body, want)
+		}
+	}
+}
+
 func TestAdminExpvarAndPprof(t *testing.T) {
 	n, tel := testNode(t)
 	publishExpvar(tel)
 	serving := &atomic.Bool{}
 	serving.Store(true)
-	srv := httptest.NewServer(newAdminMux(n, tel, serving))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/vars")

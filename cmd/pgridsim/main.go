@@ -14,11 +14,14 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"time"
 
 	"pgrid/internal/analysis"
 	"pgrid/internal/bitpath"
 	"pgrid/internal/core"
 	"pgrid/internal/experiments"
+	"pgrid/internal/health"
+	"pgrid/internal/node"
 	"pgrid/internal/sim"
 	"pgrid/internal/stats"
 	"pgrid/internal/telemetry"
@@ -43,6 +46,8 @@ func main() {
 		keylen     = flag.Int("keylen", 0, "search key length (default maxl-1)")
 		online     = flag.Float64("online", 0.3, "online probability during searches")
 		histogram  = flag.Bool("histogram", false, "print the replica distribution histogram")
+		healthRep  = flag.Bool("health", false, "probe every reference at the -online probability after construction and print the structural grid-health report")
+		probeBud   = flag.Int("probe-budget", 256, "max probe messages per peer for the -health report")
 		traceN     = flag.Int("trace", 0, "print this many example search routes (plus their cost analysis) after construction")
 		tree       = flag.Bool("tree", false, "print the responsibility trie (small N only)")
 		events     = flag.String("events", "", "write structured JSONL telemetry events to this file (the schema pgridnode -events uses)")
@@ -113,6 +118,40 @@ func main() {
 		}
 		sr := experiments.SearchReliability(res.Dir, *online, *searches, kl, *refmax, *seed+1)
 		experiments.RenderSearchReliability(os.Stdout, sr)
+	}
+
+	if *healthRep {
+		// Transplant the built directory into networked nodes over an
+		// in-process transport, knock peers offline at the -online
+		// probability, and probe the survivors' references — the same
+		// digest → analysis path `pgridctl crawl` runs against a real
+		// community, so the two reports are directly comparable.
+		tr := node.NewLocalTransport()
+		nodes := make([]*node.Node, 0, *n)
+		for _, p := range res.Dir.All() {
+			nd := node.New(p.Addr(), opts.Config, tr, int64(p.Addr()))
+			if err := nd.Peer().Restore(p.Snapshot()); err != nil {
+				log.Fatal(err)
+			}
+			tr.Register(nd)
+			nodes = append(nodes, nd)
+		}
+		rng := rand.New(rand.NewSource(*seed + 3))
+		for _, nd := range nodes {
+			if rng.Float64() >= *online {
+				nd.SetOnline(false)
+			}
+		}
+		digests := make([]health.Digest, 0, len(nodes))
+		for i, nd := range nodes {
+			if !nd.Online() {
+				continue
+			}
+			node.NewProber(nd, time.Second, *probeBud, int64(i)).Tick()
+			digests = append(digests, nd.Digest())
+		}
+		fmt.Printf("grid health (online %.2f, %d of %d peers up):\n", *online, len(digests), len(nodes))
+		analysis.RenderGridReport(os.Stdout, analysis.AnalyzeGrid(digests))
 	}
 
 	if *tree {

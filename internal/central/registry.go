@@ -1,0 +1,62 @@
+package central
+
+import (
+	"sort"
+	"sync"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+)
+
+// Registry is the monitoring twin of the Section 6 baseline: a central
+// coordinator that is told every peer's responsibility path and can answer
+// census questions from one table. The decentralized crawler in
+// internal/node reconstructs the same census by walking references alone;
+// tests compare the two views to prove the crawl is complete.
+type Registry struct {
+	mu    sync.RWMutex
+	paths map[addr.Addr]bitpath.Path
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{paths: make(map[addr.Addr]bitpath.Path)}
+}
+
+// Record stores (or updates) one peer's responsibility path.
+func (r *Registry) Record(a addr.Addr, p bitpath.Path) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.paths[a] = p
+}
+
+// Forget drops a peer from the census (a departure the coordinator was
+// told about).
+func (r *Registry) Forget(a addr.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.paths, a)
+}
+
+// Len returns the number of registered peers.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.paths)
+}
+
+// Census returns the replica groups: every responsibility path mapped to
+// the sorted addresses of the peers holding it. The returned map is a
+// fresh copy.
+func (r *Registry) Census() map[bitpath.Path][]addr.Addr {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[bitpath.Path][]addr.Addr)
+	for a, p := range r.paths {
+		out[p] = append(out[p], a)
+	}
+	for _, addrs := range out {
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package central
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+)
+
+func TestRegistryCensus(t *testing.T) {
+	r := NewRegistry()
+	if r.Len() != 0 || len(r.Census()) != 0 {
+		t.Fatal("fresh registry not empty")
+	}
+	r.Record(3, bitpath.MustParse("01"))
+	r.Record(1, bitpath.MustParse("01"))
+	r.Record(2, bitpath.MustParse("1"))
+	r.Record(2, bitpath.MustParse("10")) // a path refinement overwrites
+	r.Record(4, bitpath.MustParse("10"))
+	r.Record(5, bitpath.MustParse("0"))
+	r.Forget(5)
+
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	census := r.Census()
+	if len(census) != 2 {
+		t.Fatalf("census = %v, want 2 paths", census)
+	}
+	got01 := census[bitpath.MustParse("01")]
+	if len(got01) != 2 || got01[0] != 1 || got01[1] != 3 {
+		t.Errorf("census[01] = %v, want sorted [1 3]", got01)
+	}
+	got10 := census[bitpath.MustParse("10")]
+	if len(got10) != 2 || got10[0] != 2 || got10[1] != 4 {
+		t.Errorf("census[10] = %v, want sorted [2 4]", got10)
+	}
+
+	// The returned map is a copy: mutating it must not corrupt the registry.
+	delete(census, bitpath.MustParse("01"))
+	if len(r.Census()) != 2 {
+		t.Error("census copy aliased registry state")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p, _ := bitpath.Parse(fmt.Sprintf("%b", 2+i%4))
+				r.Record(addr.Addr(w*1000+i), p)
+				r.Census()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 1600 {
+		t.Errorf("len = %d, want 1600", r.Len())
+	}
+}

@@ -1,0 +1,163 @@
+package health
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/peer"
+	"pgrid/internal/store"
+)
+
+func TestTrackerSnapshot(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(1, true)
+	tr.Observe(1, true)
+	tr.Observe(1, false)
+	tr.Observe(3, false)
+	tr.RoundDone()
+
+	probes := tr.Snapshot()
+	want := []LevelProbe{{Level: 1, Live: 2, Dead: 1}, {Level: 3, Live: 0, Dead: 1}}
+	if len(probes) != len(want) {
+		t.Fatalf("snapshot = %+v, want %+v", probes, want)
+	}
+	for i := range want {
+		if probes[i] != want[i] {
+			t.Errorf("snapshot[%d] = %+v, want %+v", i, probes[i], want[i])
+		}
+	}
+	if tr.Rounds() != 1 {
+		t.Errorf("rounds = %d, want 1", tr.Rounds())
+	}
+
+	if r, ok := probes[0].Ratio(); !ok || r < 0.66 || r > 0.67 {
+		t.Errorf("level 1 ratio = %v/%v, want 2/3", r, ok)
+	}
+	if r, ok := OverallRatio(probes); !ok || r != 0.5 {
+		t.Errorf("overall ratio = %v/%v, want 0.5", r, ok)
+	}
+	if r, ok := MinLevelRatio(probes); !ok || r != 0 {
+		t.Errorf("min level ratio = %v/%v, want 0 (level 3 is all dead)", r, ok)
+	}
+}
+
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *Tracker
+	tr.Observe(1, true) // must not panic
+	tr.RoundDone()
+	if tr.Rounds() != 0 || tr.Snapshot() != nil {
+		t.Error("nil tracker reported data")
+	}
+}
+
+func TestTrackerClampsLevels(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(-3, true)
+	tr.Observe(MaxLevels+10, false)
+	probes := tr.Snapshot()
+	if len(probes) != 2 || probes[0].Level != 0 || probes[1].Level != MaxLevels {
+		t.Fatalf("clamped snapshot = %+v", probes)
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Observe(1+i%4, i%2 == 0)
+			}
+			tr.RoundDone()
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for _, l := range tr.Snapshot() {
+		total += l.Live + l.Dead
+	}
+	if total != 8000 || tr.Rounds() != 8 {
+		t.Errorf("total probes = %d rounds = %d, want 8000/8", total, tr.Rounds())
+	}
+}
+
+func TestRatiosWithoutData(t *testing.T) {
+	if _, ok := OverallRatio(nil); ok {
+		t.Error("OverallRatio(nil) reported data")
+	}
+	if _, ok := MinLevelRatio(nil); ok {
+		t.Error("MinLevelRatio(nil) reported data")
+	}
+	if _, ok := (LevelProbe{Level: 2}).Ratio(); ok {
+		t.Error("empty LevelProbe reported a ratio")
+	}
+}
+
+func TestDigestOf(t *testing.T) {
+	p := peer.New(7)
+	if !p.ExtendFrom(bitpath.Empty, 0, addr.NewSet(1, 2)) {
+		t.Fatal("extend failed")
+	}
+	if !p.ExtendFrom(bitpath.MustParse("0"), 1, addr.NewSet(3)) {
+		t.Fatal("extend failed")
+	}
+	p.AddBuddy(9)
+	p.Store().Apply(store.Entry{Key: bitpath.MustParse("0101"), Name: "a", Holder: 1, Version: 5})
+	p.Store().Apply(store.Entry{Key: bitpath.MustParse("0110"), Name: "b", Holder: 2, Version: 9})
+
+	probes := []LevelProbe{{Level: 1, Live: 3, Dead: 1}}
+	d := Of(p, probes)
+	if d.Addr != 7 || d.Path != bitpath.MustParse("01") {
+		t.Fatalf("digest identity wrong: %+v", d)
+	}
+	if d.Entries != 2 || d.MaxVersion != 9 || d.IndexHash == 0 {
+		t.Errorf("store fingerprint wrong: %+v", d)
+	}
+	if len(d.RefCounts) != 2 || d.RefCounts[0] != 2 || d.RefCounts[1] != 1 {
+		t.Errorf("ref counts = %v, want [2 1]", d.RefCounts)
+	}
+	if d.Buddies != 1 {
+		t.Errorf("buddies = %d, want 1", d.Buddies)
+	}
+	if len(d.Liveness) != 1 || d.Liveness[0] != probes[0] {
+		t.Errorf("liveness = %+v", d.Liveness)
+	}
+
+	s := d.String()
+	for _, want := range []string{"addr(7)", "path=01", "entries=2", "liveness=0.75"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if empty := Of(peer.New(1), nil).String(); !strings.Contains(empty, "path=ε") {
+		t.Errorf("empty-path digest renders %q", empty)
+	}
+}
+
+// TestDigestHashDivergence pins what the crawler's divergence check relies
+// on: replicas with identical indexes share a hash, replicas that differ in
+// any entry do not.
+func TestDigestHashDivergence(t *testing.T) {
+	mk := func(versions ...uint64) Digest {
+		p := peer.New(1)
+		for i, v := range versions {
+			p.Store().Apply(store.Entry{Key: bitpath.MustParse("01"), Name: string(rune('a' + i)), Holder: 2, Version: v})
+		}
+		return Of(p, nil)
+	}
+	a, b, c := mk(3, 8), mk(3, 8), mk(3, 9)
+	if a.IndexHash != b.IndexHash {
+		t.Errorf("equal indexes hash differently: %x vs %x", a.IndexHash, b.IndexHash)
+	}
+	if a.IndexHash == c.IndexHash {
+		t.Errorf("diverged indexes share hash %x", a.IndexHash)
+	}
+	if a.MaxVersion != 8 || c.MaxVersion != 9 {
+		t.Errorf("max versions: %d, %d", a.MaxVersion, c.MaxVersion)
+	}
+}

@@ -1,0 +1,249 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/health"
+	"pgrid/internal/wire"
+)
+
+// EnableHealth attaches a liveness tracker to the node (idempotent) and
+// returns it. Call before the node starts serving; the field is not
+// synchronized. Without a tracker the node still answers KindHealth with a
+// structural digest, just without probe data.
+func (n *Node) EnableHealth() *health.Tracker {
+	if n.htr == nil {
+		n.htr = health.NewTracker()
+	}
+	return n.htr
+}
+
+// HealthTracker returns the attached tracker (possibly nil).
+func (n *Node) HealthTracker() *health.Tracker { return n.htr }
+
+// Digest returns the node's current replica digest, including whatever
+// probe data the tracker has accumulated.
+func (n *Node) Digest() health.Digest {
+	return health.Of(n.self, n.htr.Snapshot())
+}
+
+// handleHealth answers KindHealth. A nil request payload (an old or
+// minimal client) is treated as WantLiveness=true — the digest is cheap
+// and complete by default.
+func (n *Node) handleHealth(req *wire.HealthReq) *wire.HealthResp {
+	probes := n.htr.Snapshot()
+	if req != nil && !req.WantLiveness {
+		probes = nil
+	}
+	return &wire.HealthResp{Digest: health.Of(n.self, probes), Rounds: n.htr.Rounds()}
+}
+
+// refreshHealthGauges pushes the node's current digest into the telemetry
+// gauges (no-op without instruments). The prober calls it after every
+// round so /metrics tracks the live structure.
+func (n *Node) refreshHealthGauges() {
+	if n.tel == nil {
+		return
+	}
+	probes := n.htr.Snapshot()
+	s := n.self.Snapshot()
+	perm := func(r float64, ok bool) int64 {
+		if !ok {
+			return -1
+		}
+		return int64(r*1000 + 0.5)
+	}
+	overall, overallOK := health.OverallRatio(probes)
+	worst, worstOK := health.MinLevelRatio(probes)
+	n.tel.ObserveHealth(s.Path.Len(), n.Store().Len(), s.Buddies.Len(),
+		perm(overall, overallOK), perm(worst, worstOK), n.htr.Rounds())
+}
+
+// Prober is the node's reference-liveness sampler: every interval
+// (jittered ±25% so a community started together does not probe in
+// lockstep) it pings up to budget referenced peers, spread across the
+// node's levels, and records per-level live/dead tallies in the health
+// tracker. Unlike Maintain it never mutates the reference table — it only
+// measures, which is what makes its numbers comparable across nodes and
+// safe to run at a much higher frequency.
+type Prober struct {
+	node   *Node
+	every  time.Duration
+	budget int
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewProber returns a prober for n waking every interval and spending at
+// most budget probe messages per round. It attaches a health tracker to
+// the node if none is present, and panics on a non-positive interval or
+// budget.
+func NewProber(n *Node, every time.Duration, budget int, seed int64) *Prober {
+	if every <= 0 {
+		panic("node: NewProber with non-positive interval")
+	}
+	if budget <= 0 {
+		panic("node: NewProber with non-positive budget")
+	}
+	n.EnableHealth()
+	return &Prober{node: n, every: every, budget: budget,
+		rng: rand.New(rand.NewSource(seed))}
+}
+
+// Run probes until ctx is done, with a jittered interval.
+func (p *Prober) Run(ctx context.Context) {
+	for {
+		p.mu.Lock()
+		// Jitter uniformly in [0.75, 1.25]·every.
+		d := p.every/4*3 + time.Duration(p.rng.Int63n(int64(p.every)/2+1))
+		p.mu.Unlock()
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+			p.Tick()
+		}
+	}
+}
+
+// Tick runs one probe round immediately; exported so tests drive probing
+// without wall-clock timers. An offline node skips its turn.
+func (p *Prober) Tick() {
+	n := p.node
+	if !n.Online() {
+		return
+	}
+	type cand struct {
+		level int
+		to    addr.Addr
+	}
+	path := n.self.Path()
+	perLevel := make([][]cand, 0, path.Len())
+	for level := 1; level <= path.Len(); level++ {
+		refs := n.self.RefsAt(level).Slice()
+		p.mu.Lock()
+		p.rng.Shuffle(len(refs), func(i, j int) { refs[i], refs[j] = refs[j], refs[i] })
+		p.mu.Unlock()
+		cs := make([]cand, len(refs))
+		for i, r := range refs {
+			cs[i] = cand{level: level, to: r}
+		}
+		perLevel = append(perLevel, cs)
+	}
+
+	// Interleave levels so a small budget still samples the whole spine
+	// rather than exhausting level 1 first.
+	var picks []cand
+	for round := 0; len(picks) < p.budget; round++ {
+		took := false
+		for _, cs := range perLevel {
+			if round < len(cs) && len(picks) < p.budget {
+				picks = append(picks, cs[round])
+				took = true
+			}
+		}
+		if !took {
+			break
+		}
+	}
+
+	for _, c := range picks {
+		resp, err := n.tr.Call(c.to, &wire.Message{Kind: wire.KindInfo, From: n.Addr()})
+		ok := err == nil && resp.InfoResp != nil &&
+			resp.InfoResp.Path.Len() >= c.level &&
+			resp.InfoResp.Path.Prefix(c.level-1) == path.Prefix(c.level-1) &&
+			resp.InfoResp.Path.Bit(c.level) != path.Bit(c.level)
+		n.htr.Observe(c.level, ok)
+		n.tel.RefLiveness(c.level, ok)
+	}
+	n.htr.RoundDone()
+	n.refreshHealthGauges()
+}
+
+// --- client surface --------------------------------------------------------
+
+// FetchHealth fetches a peer's replica digest and completed probe rounds.
+// Pre-health peers answer with KindError, surfaced here as an error.
+func (c *Client) FetchHealth(a addr.Addr, wantLiveness bool) (health.Digest, int64, error) {
+	resp, err := c.tr.Call(a, &wire.Message{Kind: wire.KindHealth, From: addr.Nil,
+		Health: &wire.HealthReq{WantLiveness: wantLiveness}})
+	if err != nil {
+		return health.Digest{}, 0, err
+	}
+	if resp.HealthResp == nil {
+		return health.Digest{}, 0, fmt.Errorf("node %v: bad response kind %v to health request", a, resp.Kind)
+	}
+	return resp.HealthResp.Digest, resp.HealthResp.Rounds, nil
+}
+
+// CrawlResult is one community crawl: the digests collected, the peers
+// that were referenced but never answered, and the message cost.
+type CrawlResult struct {
+	Digests []health.Digest
+	// Unreachable lists peers some reachable peer referenced that did not
+	// answer the crawl (offline, crashed, or unknown to the transport).
+	Unreachable []addr.Addr
+	Messages    int
+}
+
+// Crawl walks the whole community from one entry peer, following every
+// reference and buddy link breadth-first, and collects a health digest
+// per reachable peer — the decentralized census behind `pgridctl crawl`.
+// Peers too old to answer KindHealth still contribute a structural digest
+// synthesized from their Info response (without probe data), so a
+// mixed-version community crawls cleanly. Digests come back sorted by
+// address.
+func (c *Client) Crawl(start addr.Addr) CrawlResult {
+	var res CrawlResult
+	visited := map[addr.Addr]bool{start: true}
+	queue := []addr.Addr{start}
+
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		info := c.nodeInfo(a)
+		res.Messages++
+		if info == nil {
+			res.Unreachable = append(res.Unreachable, a)
+			continue
+		}
+		enqueue := func(r addr.Addr) {
+			if !visited[r] {
+				visited[r] = true
+				queue = append(queue, r)
+			}
+		}
+		for _, rs := range info.Refs {
+			for _, r := range rs.Addrs {
+				enqueue(r)
+			}
+		}
+		for _, b := range info.Buddies.Addrs {
+			enqueue(b)
+		}
+
+		d, _, err := c.FetchHealth(a, true)
+		res.Messages++
+		if err != nil {
+			// Pre-health peer: fall back to what Info already told us.
+			d = health.Digest{Addr: info.Addr, Path: info.Path, Entries: info.Entries,
+				Buddies: info.Buddies.ToSet().Len()}
+			for _, rs := range info.Refs {
+				d.RefCounts = append(d.RefCounts, rs.ToSet().Len())
+			}
+		}
+		res.Digests = append(res.Digests, d)
+	}
+	sort.Slice(res.Digests, func(i, j int) bool { return res.Digests[i].Addr < res.Digests[j].Addr })
+	sort.Slice(res.Unreachable, func(i, j int) bool { return res.Unreachable[i] < res.Unreachable[j] })
+	return res
+}

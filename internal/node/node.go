@@ -16,6 +16,7 @@ import (
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
 	"pgrid/internal/core"
+	"pgrid/internal/health"
 	"pgrid/internal/peer"
 	"pgrid/internal/store"
 	"pgrid/internal/telemetry"
@@ -43,6 +44,8 @@ type Node struct {
 
 	rec        *trace.Recorder
 	sampleProb float64
+
+	htr *health.Tracker
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -129,6 +132,8 @@ func (n *Node) Handle(m *wire.Message) *wire.Message {
 		}
 		return &wire.Message{Kind: wire.KindTracesResp, From: n.Addr(),
 			TracesResp: &wire.TracesResp{Total: n.rec.Total(), Traces: n.rec.Snapshot(limit)}}
+	case wire.KindHealth:
+		return &wire.Message{Kind: wire.KindHealthResp, From: n.Addr(), HealthResp: n.handleHealth(m.Health)}
 	default:
 		return &wire.Message{Kind: wire.KindError, From: n.Addr(),
 			Error: fmt.Sprintf("unexpected message kind %v", m.Kind)}

@@ -13,6 +13,7 @@ package store
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -147,6 +148,39 @@ func (s *Store) Len() int {
 		n += len(byName)
 	}
 	return n
+}
+
+// Summary condenses the index into the fixed-size fingerprint the health
+// digests carry: entry count, the highest Version over all entries (the
+// staleness clock the Section 5.2 update strategies compare), and an
+// order-independent hash of the full content, so two replicas of one path
+// can be compared for divergence without shipping their indexes.
+type Summary struct {
+	Entries    int
+	MaxVersion uint64
+	Hash       uint64
+}
+
+// Summary computes the store's index fingerprint in one pass. The hash is
+// a wrapping sum of per-entry FNV-1a hashes, so it is independent of
+// iteration order: equal indexes hash equal, and replicas that diverge in
+// any entry (almost surely) differ.
+func (s *Store) Summary() Summary {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var sum Summary
+	for key, byName := range s.index {
+		for _, e := range byName {
+			sum.Entries++
+			if e.Version > sum.MaxVersion {
+				sum.MaxVersion = e.Version
+			}
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d", key, e.Name, int64(e.Holder), e.Version)
+			sum.Hash += h.Sum64()
+		}
+	}
+	return sum
 }
 
 // Delete removes the entry for (key, name) and reports whether it existed.

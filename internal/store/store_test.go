@@ -233,3 +233,36 @@ func TestPropEvictPartition(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSummary(t *testing.T) {
+	s := New()
+	if sum := s.Summary(); sum != (Summary{}) {
+		t.Fatalf("empty store summary = %+v", sum)
+	}
+	s.Apply(Entry{Key: bitpath.MustParse("01"), Name: "a", Holder: 1, Version: 3})
+	s.Apply(Entry{Key: bitpath.MustParse("10"), Name: "b", Holder: 2, Version: 7})
+	sum := s.Summary()
+	if sum.Entries != 2 || sum.MaxVersion != 7 || sum.Hash == 0 {
+		t.Fatalf("summary = %+v, want 2 entries, max version 7, non-zero hash", sum)
+	}
+
+	// The hash is content-defined and order-independent: a second store
+	// filled in reverse order fingerprints identically, and any change to
+	// an entry changes it.
+	s2 := New()
+	s2.Apply(Entry{Key: bitpath.MustParse("10"), Name: "b", Holder: 2, Version: 7})
+	s2.Apply(Entry{Key: bitpath.MustParse("01"), Name: "a", Holder: 1, Version: 3})
+	if sum2 := s2.Summary(); sum2 != sum {
+		t.Errorf("order-dependent summary: %+v vs %+v", sum, sum2)
+	}
+	s2.Apply(Entry{Key: bitpath.MustParse("10"), Name: "b", Holder: 2, Version: 8})
+	if sum2 := s2.Summary(); sum2.Hash == sum.Hash || sum2.MaxVersion != 8 {
+		t.Errorf("fresher entry did not move the fingerprint: %+v", sum2)
+	}
+
+	// Hosting is not indexing: hosted items stay out of the fingerprint.
+	s.Host(Entry{Key: bitpath.MustParse("11"), Name: "c", Holder: 3, Version: 9})
+	if got := s.Summary(); got != sum {
+		t.Errorf("hosted item leaked into the index summary: %+v vs %+v", got, sum)
+	}
+}

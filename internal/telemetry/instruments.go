@@ -78,6 +78,13 @@ type Instruments struct {
 	rpcLatency *Histogram
 	served     *Counter
 
+	healthPathLen  *Gauge
+	healthEntries  *Gauge
+	healthBuddies  *Gauge
+	healthLiveness *Gauge
+	healthMinLevel *Gauge
+	healthRounds   *Gauge
+
 	labeledMu sync.RWMutex
 	labeled   map[string]*Counter
 }
@@ -115,6 +122,12 @@ func New(node int) *Instruments {
 	t.rpcDropped = r.Counter("pgrid_rpc_dropped_total", "RPCs dropped by failure injection")
 	t.rpcLatency = r.Histogram("pgrid_rpc_latency_ns", "outbound RPC round-trip latency in nanoseconds", LatencyBounds)
 	t.served = r.Counter("pgrid_rpc_served_total", "inbound RPCs handled")
+	t.healthPathLen = r.Gauge("pgrid_health_path_len", "length of this peer's responsibility path")
+	t.healthEntries = r.Gauge("pgrid_health_entries", "index entries in this peer's store")
+	t.healthBuddies = r.Gauge("pgrid_health_buddies", "known replicas of this peer's path")
+	t.healthLiveness = r.Gauge("pgrid_health_liveness_permille", "overall reference liveness ratio in permille (-1 before any probe)")
+	t.healthMinLevel = r.Gauge("pgrid_health_level_liveness_min_permille", "worst per-level reference liveness ratio in permille (-1 before any probe)")
+	t.healthRounds = r.Gauge("pgrid_health_probe_rounds", "completed background probe rounds")
 	return t
 }
 
@@ -234,6 +247,23 @@ func (t *Instruments) RefLiveness(level int, live bool) {
 		t.refsDead.Inc()
 		p.dead.Inc()
 	}
+}
+
+// ObserveHealth updates the structural health gauges from one self-digest
+// refresh: path length, store size, known replica count, liveness ratios
+// (in permille; pass -1 while no probe data exists), and completed probe
+// rounds. Gauges hold the most recent refresh, so /metrics shows current
+// structure rather than an accumulation.
+func (t *Instruments) ObserveHealth(pathLen, entries, buddies int, livenessPermille, minLevelPermille, rounds int64) {
+	if t == nil {
+		return
+	}
+	t.healthPathLen.Set(int64(pathLen))
+	t.healthEntries.Set(int64(entries))
+	t.healthBuddies.Set(int64(buddies))
+	t.healthLiveness.Set(livenessPermille)
+	t.healthMinLevel.Set(minLevelPermille)
+	t.healthRounds.Set(rounds)
 }
 
 // ClientRPC records one outbound RPC of the given kind, its round-trip

@@ -18,7 +18,7 @@ import (
 type Registry struct {
 	mu    sync.Mutex
 	order []string
-	insts map[string]any // *Counter or *Histogram
+	insts map[string]any // *Counter, *Gauge, or *Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -46,6 +46,28 @@ func (r *Registry) Counter(name, help string) *Counter {
 	r.insts[name] = c
 	r.order = append(r.order, name)
 	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// It panics if name is already registered as a different instrument kind.
+// Nil-safe like Counter.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.insts[name]; ok {
+		g, ok := in.(*Gauge)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: %q already registered as %T", name, in))
+		}
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.insts[name] = g
+	r.order = append(r.order, name)
+	return g
 }
 
 // Histogram returns the histogram registered under name, creating it with
@@ -96,6 +118,8 @@ func (r *Registry) Snapshot() []Stat {
 		switch in := r.insts[name].(type) {
 		case *Counter:
 			out = append(out, Stat{Name: name, Value: in.Value()})
+		case *Gauge:
+			out = append(out, Stat{Name: name, Value: in.Value()})
 		case *Histogram:
 			cum := int64(0)
 			for i := range in.buckets {
@@ -130,6 +154,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if !seen[family] {
 				seen[family] = true
 				if err := writeHeader(w, family, in.help, "counter"); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, in.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if !seen[family] {
+				seen[family] = true
+				if err := writeHeader(w, family, in.help, "gauge"); err != nil {
 					return err
 				}
 			}

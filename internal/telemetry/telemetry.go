@@ -50,6 +50,39 @@ func (c *Counter) Name() string {
 	return c.name
 }
 
+// Gauge is a settable atomic level (a current value, not a count): path
+// length, store size, a liveness ratio in permille. Like every instrument
+// it is nil-safe and lock-free.
+type Gauge struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Set stores the gauge's current value. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
 // Histogram is a fixed-bucket histogram over int64 observations (hop
 // counts, exchange depths, latencies in nanoseconds). Bounds are inclusive
 // upper bounds in ascending order; an implicit +Inf bucket catches the

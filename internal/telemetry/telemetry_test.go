@@ -206,3 +206,78 @@ func TestInstrumentsConcurrency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("pgrid_test_level", "help")
+	g.Set(42)
+	g.Set(-7) // gauges go down too
+	if g.Value() != -7 || g.Name() != "pgrid_test_level" {
+		t.Errorf("gauge = %d (%q), want -7", g.Value(), g.Name())
+	}
+	if again := r.Gauge("pgrid_test_level", "help"); again != g {
+		t.Error("re-registration returned a different gauge")
+	}
+
+	found := false
+	for _, s := range r.Snapshot() {
+		if s.Name == "pgrid_test_level" && s.Value == -7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("snapshot missing gauge: %+v", r.Snapshot())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# TYPE pgrid_test_level gauge", "pgrid_test_level -7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output %q missing %q", out, want)
+		}
+	}
+
+	var nilG *Gauge
+	nilG.Set(5)
+	if nilG.Value() != 0 || nilG.Name() != "" {
+		t.Error("nil gauge not inert")
+	}
+	var nilR *Registry
+	if nilR.Gauge("x", "") != nil {
+		t.Error("nil registry returned a gauge")
+	}
+}
+
+func TestObserveHealth(t *testing.T) {
+	in := New(3)
+	in.ObserveHealth(4, 17, 2, 750, 500, 9)
+	got := map[string]int64{}
+	for _, s := range in.Registry().Snapshot() {
+		got[s.Name] = s.Value
+	}
+	want := map[string]int64{
+		"pgrid_health_path_len":                    4,
+		"pgrid_health_entries":                     17,
+		"pgrid_health_buddies":                     2,
+		"pgrid_health_liveness_permille":           750,
+		"pgrid_health_level_liveness_min_permille": 500,
+		"pgrid_health_probe_rounds":                9,
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %d, want %d", name, got[name], v)
+		}
+	}
+	// Gauges hold the latest refresh, not an accumulation.
+	in.ObserveHealth(4, 17, 2, -1, -1, 10)
+	for _, s := range in.Registry().Snapshot() {
+		if s.Name == "pgrid_health_liveness_permille" && s.Value != -1 {
+			t.Errorf("liveness gauge = %d, want -1 after refresh", s.Value)
+		}
+	}
+
+	var nilIn *Instruments
+	nilIn.ObserveHealth(1, 2, 3, 4, 5, 6) // must not panic
+}

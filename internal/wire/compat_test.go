@@ -8,6 +8,7 @@ import (
 
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
+	"pgrid/internal/health"
 	"pgrid/internal/trace"
 )
 
@@ -179,5 +180,139 @@ func TestKindNumbering(t *testing.T) {
 	}
 	if KindTraces != 16 || KindTracesResp != 17 {
 		t.Fatalf("KindTraces = %d/%d, want 16/17", KindTraces, KindTracesResp)
+	}
+	if KindHealth != 18 || KindHealthResp != 19 {
+		t.Fatalf("KindHealth = %d/%d, want 18/19", KindHealth, KindHealthResp)
+	}
+	if KindHealth%2 != 0 {
+		t.Fatal("KindHealth is odd: requests must stay even")
+	}
+	if KindHealth.String() != "health" || KindHealthResp.String() != "health-resp" {
+		t.Fatalf("kind names: %v %v", KindHealth, KindHealthResp)
+	}
+}
+
+// legacyPreHealthMessage replicates the message envelope exactly as it was
+// encoded before the health kinds existed: no Health/HealthResp pointers.
+type legacyPreHealthMessage struct {
+	Kind      Kind
+	From      addr.Addr
+	Query     *legacyQueryReq
+	QueryResp *legacyQueryResp
+	Error     string
+}
+
+// TestDecodePreHealthFrame proves a pre-health peer's frames still decode
+// on a current node: gob leaves the absent health payloads nil.
+func TestDecodePreHealthFrame(t *testing.T) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(&legacyPreHealthMessage{
+		Kind: KindInfo, From: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(body.Len()))
+	out.Write(lenb[:])
+	out.Write(body.Bytes())
+
+	m, err := ReadMessage(&out)
+	if err != nil {
+		t.Fatalf("pre-health frame did not decode: %v", err)
+	}
+	if m.Kind != KindInfo || m.From != 4 {
+		t.Fatalf("envelope mismatch: %+v", m)
+	}
+	if m.Health != nil || m.HealthResp != nil {
+		t.Fatalf("absent health payloads decoded non-nil: %+v", m)
+	}
+}
+
+// TestOldDecoderIgnoresHealthFields covers the opposite direction: a
+// digest-carrying frame produced by a current node must still decode on a
+// pre-health receiver (gob skips fields the receiver does not know), so a
+// crawler polling a mixed-version community never wedges old peers.
+func TestOldDecoderIgnoresHealthFields(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteMessage(&buf, &Message{
+		Kind: KindHealthResp, From: 6,
+		HealthResp: &HealthResp{
+			Rounds: 3,
+			Digest: health.Digest{
+				Addr: 6, Path: bitpath.MustParse("011"),
+				Entries: 2, MaxVersion: 9, IndexHash: 0xdeadbeef,
+				RefCounts: []int{2, 1, 1}, Buddies: 1,
+				Liveness: []health.LevelProbe{{Level: 1, Live: 5, Dead: 1}},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := buf.Bytes()[4:] // strip the length prefix
+	var legacy legacyPreHealthMessage
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&legacy); err != nil {
+		t.Fatalf("pre-health decoder rejected a digest frame: %v", err)
+	}
+	if legacy.Kind != KindHealthResp || legacy.From != 6 {
+		t.Fatalf("legacy decode mismatch: %+v", legacy)
+	}
+}
+
+func TestHealthRoundTrip(t *testing.T) {
+	m := &Message{
+		Kind: KindHealthResp, From: 2,
+		HealthResp: &HealthResp{
+			Rounds: 7,
+			Digest: health.Digest{
+				Addr: 2, Path: bitpath.MustParse("10"),
+				Entries: 5, MaxVersion: 41, IndexHash: 0x1234,
+				RefCounts: []int{3, 2}, Buddies: 2,
+				Liveness: []health.LevelProbe{
+					{Level: 1, Live: 9, Dead: 0},
+					{Level: 2, Live: 4, Dead: 2},
+				},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := got.HealthResp
+	if h == nil || h.Rounds != 7 {
+		t.Fatalf("health response did not round-trip: %+v", h)
+	}
+	d, want := h.Digest, m.HealthResp.Digest
+	if d.Addr != want.Addr || d.Path != want.Path || d.Entries != want.Entries ||
+		d.MaxVersion != want.MaxVersion || d.IndexHash != want.IndexHash || d.Buddies != want.Buddies {
+		t.Fatalf("digest mismatch: %+v vs %+v", d, want)
+	}
+	if len(d.RefCounts) != 2 || d.RefCounts[0] != 3 || d.RefCounts[1] != 2 {
+		t.Fatalf("ref counts did not round-trip: %v", d.RefCounts)
+	}
+	if len(d.Liveness) != 2 || d.Liveness[0] != want.Liveness[0] || d.Liveness[1] != want.Liveness[1] {
+		t.Fatalf("liveness did not round-trip: %+v", d.Liveness)
+	}
+
+	// The request side, with and without the liveness flag.
+	for _, wantLiveness := range []bool{true, false} {
+		var rb bytes.Buffer
+		if err := WriteMessage(&rb, &Message{Kind: KindHealth, From: 1,
+			Health: &HealthReq{WantLiveness: wantLiveness}}); err != nil {
+			t.Fatal(err)
+		}
+		req, err := ReadMessage(&rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.Health == nil || req.Health.WantLiveness != wantLiveness {
+			t.Fatalf("health request did not round-trip: %+v", req.Health)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
+	"pgrid/internal/health"
 	"pgrid/internal/trace"
 )
 
@@ -53,6 +54,19 @@ func FuzzReadMessage(f *testing.F) {
 	legacy.Write(lenb[:])
 	legacy.Write(legacyBody.Bytes())
 	f.Add(legacy.Bytes())
+	// A digest-carrying health response and a liveness-requesting health
+	// request, so the corpus mutates around the digest encoding too.
+	var hr bytes.Buffer
+	WriteMessage(&hr, &Message{Kind: KindHealthResp, From: 4, HealthResp: &HealthResp{
+		Rounds: 2,
+		Digest: health.Digest{Addr: 4, Path: bitpath.MustParse("01"),
+			Entries: 3, MaxVersion: 17, IndexHash: 0xabcdef,
+			RefCounts: []int{2, 1}, Buddies: 1,
+			Liveness: []health.LevelProbe{{Level: 1, Live: 4, Dead: 2}}}}})
+	f.Add(hr.Bytes())
+	var hq bytes.Buffer
+	WriteMessage(&hq, &Message{Kind: KindHealth, From: 0, Health: &HealthReq{WantLiveness: true}})
+	f.Add(hq.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{0, 0, 0, 5, 1, 2, 3})
@@ -88,7 +102,7 @@ func FuzzRoundTrip(f *testing.F) {
 		if err != nil {
 			return
 		}
-		m := &Message{Kind: Kind(kind % 18), From: addrOf(from),
+		m := &Message{Kind: Kind(kind % 20), From: addrOf(from),
 			Query: &QueryReq{Key: p, Level: level}}
 		if traced {
 			m.Query.Ctx = &trace.SpanContext{TraceID: traceID, Parent: traceID / 2,
@@ -113,6 +127,52 @@ func FuzzRoundTrip(f *testing.F) {
 		}
 		if traced && (got.Query.Ctx == nil || *got.Query.Ctx != *m.Query.Ctx) {
 			t.Fatalf("trace context mismatch: %+v vs %+v", got.Query.Ctx, m.Query.Ctx)
+		}
+	})
+}
+
+// FuzzHealthRoundTrip encodes fuzz-shaped digest payloads and verifies
+// they decode to the same digest — the health twin of FuzzRoundTrip, so
+// the crawler's wire surface holds up under arbitrary census shapes.
+func FuzzHealthRoundTrip(f *testing.F) {
+	f.Add(int32(0), "", 0, uint64(0), uint64(0), uint8(0), int64(0), int64(0))
+	f.Add(int32(3), "0110", 12, uint64(99), uint64(0xfeed), uint8(3), int64(7), int64(1))
+	f.Add(int32(1000), "1", 1, uint64(1)<<63, ^uint64(0), uint8(40), int64(1)<<40, int64(0))
+	f.Fuzz(func(t *testing.T, from int32, path string, entries int, maxVer, hash uint64, levels uint8, live, dead int64) {
+		p, err := bitpath.Parse(path)
+		if err != nil {
+			return
+		}
+		d := health.Digest{Addr: addrOf(from), Path: p, Entries: entries,
+			MaxVersion: maxVer, IndexHash: hash, Buddies: int(levels)}
+		for l := 1; l <= int(levels%8); l++ {
+			d.RefCounts = append(d.RefCounts, l)
+			d.Liveness = append(d.Liveness, health.LevelProbe{Level: l, Live: live, Dead: dead})
+		}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, &Message{Kind: KindHealthResp, From: addrOf(from),
+			HealthResp: &HealthResp{Digest: d, Rounds: live + dead}}); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.HealthResp == nil {
+			t.Fatal("health payload lost")
+		}
+		g := got.HealthResp.Digest
+		if g.Addr != d.Addr || g.Path != d.Path || g.Entries != d.Entries ||
+			g.MaxVersion != d.MaxVersion || g.IndexHash != d.IndexHash || g.Buddies != d.Buddies {
+			t.Fatalf("digest mismatch: %+v vs %+v", g, d)
+		}
+		if len(g.RefCounts) != len(d.RefCounts) || len(g.Liveness) != len(d.Liveness) {
+			t.Fatalf("slices mismatch: %+v vs %+v", g, d)
+		}
+		for i := range d.Liveness {
+			if g.Liveness[i] != d.Liveness[i] || g.RefCounts[i] != d.RefCounts[i] {
+				t.Fatalf("level %d mismatch: %+v vs %+v", i, g, d)
+			}
 		}
 	})
 }

@@ -15,6 +15,7 @@ import (
 
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
+	"pgrid/internal/health"
 	"pgrid/internal/store"
 	"pgrid/internal/trace"
 )
@@ -46,6 +47,8 @@ const (
 	_ // reserved: keeps requests even after the unpaired KindError
 	KindTraces
 	KindTracesResp
+	KindHealth
+	KindHealthResp
 )
 
 // String names the kind for logs.
@@ -53,7 +56,7 @@ func (k Kind) String() string {
 	names := [...]string{"query", "query-resp", "exchange", "exchange-resp",
 		"apply", "apply-resp", "get", "get-resp", "info", "info-resp",
 		"scan", "scan-resp", "stats", "stats-resp", "error", "kind(15)",
-		"traces", "traces-resp"}
+		"traces", "traces-resp", "health", "health-resp"}
 	if int(k) < len(names) {
 		return names[k]
 	}
@@ -80,6 +83,8 @@ type Message struct {
 	StatsResp    *StatsResp
 	Traces       *TracesReq
 	TracesResp   *TracesResp
+	Health       *HealthReq
+	HealthResp   *HealthResp
 	Error        string
 }
 
@@ -219,6 +224,24 @@ type TracesReq struct {
 type TracesResp struct {
 	Total  uint64
 	Traces []trace.Trace
+}
+
+// HealthReq asks the receiver for its health digest. WantLiveness asks the
+// receiver to include its per-level probe tally (the default pgridctl and
+// the crawler use; false keeps the response minimal for high-frequency
+// pollers).
+type HealthReq struct {
+	WantLiveness bool
+}
+
+// HealthResp returns the receiver's replica digest. Rounds counts the
+// probe rounds the receiver's background prober has completed (0 when
+// probing is off). Pre-health peers answer KindHealth with KindError, and
+// digests decoded from pre-health encodings come back zero-valued — both
+// directions interoperate (see compat tests).
+type HealthResp struct {
+	Digest health.Digest
+	Rounds int64
 }
 
 // InfoResp describes the receiver's current state (used by diagnostics and
