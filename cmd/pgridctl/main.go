@@ -25,6 +25,7 @@ import (
 	"pgrid/internal/analysis"
 	"pgrid/internal/bitpath"
 	"pgrid/internal/node"
+	"pgrid/internal/resilience"
 	"pgrid/internal/store"
 	"pgrid/internal/wire"
 )
@@ -34,9 +35,11 @@ func main() {
 	log.SetPrefix("pgridctl: ")
 
 	var (
-		peers   = flag.String("peers", "", "community endpoints: id=host:port,... (required)")
-		keybits = flag.Int("keybits", 8, "bits for keys hashed from names")
-		timeout = flag.Duration("timeout", 3*time.Second, "global bound on every RPC dial and roundtrip (must be > 0, or a dead peer would hang the CLI)")
+		peers     = flag.String("peers", "", "community endpoints: id=host:port,... (required)")
+		keybits   = flag.Int("keybits", 8, "bits for keys hashed from names")
+		timeout   = flag.Duration("timeout", 3*time.Second, "global bound on every RPC dial and roundtrip (must be > 0, or a dead peer would hang the CLI)")
+		retries   = flag.Int("retries", 3, "max attempts per RPC (1 = no retries)")
+		retryBase = flag.Duration("retry-base", 25*time.Millisecond, "base retry backoff (doubles per retry, jittered)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, `usage: pgridctl -peers <endpoints> <command> [args]
@@ -69,9 +72,15 @@ commands:
 		log.Fatalf("-timeout must be positive, got %v (an unbounded wait on a dead peer would hang forever)", *timeout)
 	}
 
+	if *retries < 1 {
+		log.Fatalf("-retries must be at least 1, got %d", *retries)
+	}
+
 	// Every command talks through this one transport, so the -timeout
 	// bound applies to every dial and roundtrip the CLI ever makes.
-	tr := node.NewTCPTransport(*timeout)
+	// Retries wrap around it: a CLI run is short-lived, so transient
+	// blips get the retry loop but no budget and no breakers.
+	tcp := node.NewTCPTransport(*timeout)
 	var all []addr.Addr
 	for _, pair := range strings.Split(*peers, ",") {
 		id, ep, ok := strings.Cut(strings.TrimSpace(pair), "=")
@@ -82,9 +91,14 @@ commands:
 		if err != nil {
 			log.Fatalf("bad peer id %q", id)
 		}
-		tr.SetEndpoint(addr.Addr(v), ep)
+		tcp.SetEndpoint(addr.Addr(v), ep)
 		all = append(all, addr.Addr(v))
 	}
+	var tr node.Transport = resilience.Wrap(tcp, resilience.Options{
+		Retry:    resilience.Policy{MaxAttempts: *retries, BaseDelay: *retryBase},
+		Classify: node.Classify,
+		Seed:     time.Now().UnixNano(),
+	})
 	client := node.NewClient(tr, time.Now().UnixNano())
 
 	cmd, args := args[0], args[1:]
@@ -321,7 +335,7 @@ func mustID(args []string, i int) addr.Addr {
 	return addr.Addr(v)
 }
 
-func mustCall(tr *node.TCPTransport, to addr.Addr, m *wire.Message) *wire.Message {
+func mustCall(tr node.Transport, to addr.Addr, m *wire.Message) *wire.Message {
 	resp, err := tr.Call(to, m)
 	if err != nil {
 		log.Fatal(err)

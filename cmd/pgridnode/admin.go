@@ -12,6 +12,7 @@ import (
 
 	"pgrid/internal/health"
 	"pgrid/internal/node"
+	"pgrid/internal/resilience"
 	"pgrid/internal/telemetry"
 	"pgrid/internal/trace"
 )
@@ -27,12 +28,16 @@ import (
 //	/debug/traces   the flight recorder: recent sampled query routes,
 //	                JSON by default, ?format=text for the arrow rendering,
 //	                ?limit=N to cap the count
+//	/debug/breakers the per-peer circuit breakers of the outgoing
+//	                transport: JSON by default, ?format=text for a table
 //	/debug/vars     expvar (includes the pgrid counter snapshot)
 //	/debug/pprof/   the standard pprof handlers
 //
 // The mux is self-contained (nothing is registered on
 // http.DefaultServeMux), so tests can build several independent instances.
-func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool, minLiveness float64) *http.ServeMux {
+// rt may be nil (a test without the resilient transport); /debug/breakers
+// then reports an empty set.
+func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool, minLiveness float64, rt *resilience.ResilientTransport) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -98,6 +103,28 @@ func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool,
 			Total  uint64        `json:"total"`
 			Traces []trace.Trace `json:"traces"`
 		}{rec.Total(), traces})
+	})
+	mux.HandleFunc("/debug/breakers", func(w http.ResponseWriter, r *http.Request) {
+		views := []resilience.BreakerView{}
+		if rt != nil {
+			views = rt.Breakers()
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "%-6s %-9s %6s %6s %s\n", "peer", "state", "fails", "opens", "retry_at")
+			for _, v := range views {
+				until := "-"
+				if !v.Until.IsZero() {
+					until = v.Until.Format("15:04:05.000")
+				}
+				fmt.Fprintf(w, "%-6v %-9s %6d %6d %s\n", v.Peer, v.State, v.Fails, v.Opens, until)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Breakers []resilience.BreakerView `json:"breakers"`
+		}{views})
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -14,7 +14,11 @@
 //	pgridnode -id 2 -listen :7002 -peers 0=:7000,1=:7001,2=:7002 -meet 200ms
 //
 // Interrogate it with pgridctl, or give it -admin :9090 and watch
-// /metrics, /healthz, /debug/health, /debug/vars, and /debug/pprof live.
+// /metrics, /healthz, /debug/health, /debug/breakers, /debug/vars, and
+// /debug/pprof live. Outgoing calls go through a resilient transport:
+// -retries attempts with jittered exponential backoff from -retry-base,
+// globally bounded by the -retry-budget token bucket, behind per-peer
+// circuit breakers (-breaker-fails, -breaker-cooldown).
 // With -probe-interval the node samples its references for liveness in the
 // background, which feeds the health digest, the pgrid_health_* gauges,
 // and the -health-min-liveness readiness check. With -events the
@@ -40,6 +44,7 @@ import (
 	"pgrid/internal/addr"
 	"pgrid/internal/core"
 	"pgrid/internal/node"
+	"pgrid/internal/resilience"
 	"pgrid/internal/telemetry"
 	"pgrid/internal/trace"
 )
@@ -60,6 +65,13 @@ func main() {
 		stateFile = flag.String("state", "", "persist node state to this file (load at boot, save periodically and on shutdown)")
 		saveEvery = flag.Duration("save-every", 30*time.Second, "state checkpoint interval when -state is set")
 		maintain  = flag.Duration("maintain", 0, "interval between reference-maintenance rounds (0 = off)")
+		dialTO    = flag.Duration("dial-timeout", 3*time.Second, "TCP connect timeout per outgoing call")
+		ioTO      = flag.Duration("io-timeout", 3*time.Second, "request/response timeout per outgoing call, started after the dial")
+		retries   = flag.Int("retries", 3, "max attempts per outgoing call (1 = no retries)")
+		retryBase = flag.Duration("retry-base", 25*time.Millisecond, "base retry backoff (doubles per retry, jittered)")
+		retryBud  = flag.Float64("retry-budget", 0.1, "retry tokens earned per call; bounds retries to this fraction of call volume (0 = unlimited)")
+		brkFails  = flag.Int("breaker-fails", 5, "consecutive failures that open a peer's circuit breaker (0 = breakers off)")
+		brkCool   = flag.Duration("breaker-cooldown", 2*time.Second, "how long an open breaker waits before probing the peer again")
 		probeInt  = flag.Duration("probe-interval", 0, "interval between reference-liveness probe rounds, jittered ±25% (0 = off)")
 		probeBud  = flag.Int("probe-budget", 16, "max probe messages per round when -probe-interval is set")
 		healthMin = flag.Float64("health-min-liveness", 0, "/healthz reports 503 while the worst per-level reference liveness is below this (0 = disabled)")
@@ -110,7 +122,7 @@ func main() {
 		tel.SetSink(sink)
 	}
 
-	tcp := node.NewTCPTransport(3 * time.Second)
+	tcp := node.NewTCPTransportTimeouts(*dialTO, *ioTO)
 	var others []addr.Addr
 	for a, ep := range endpoints {
 		tcp.SetEndpoint(a, ep)
@@ -118,11 +130,34 @@ func main() {
 			others = append(others, a)
 		}
 	}
+	if *retries < 1 {
+		fatal("configuration", fmt.Errorf("-retries %d must be at least 1", *retries))
+	}
+	if *retryBud < 0 {
+		fatal("configuration", fmt.Errorf("-retry-budget %v must not be negative", *retryBud))
+	}
+	var budget *resilience.Budget
+	if *retryBud > 0 {
+		budget = resilience.NewBudget(*retryBud, 0)
+	}
+	// The resilient layer sits between the raw TCP transport and the
+	// instrumented one: retries, the retry budget, and per-peer breakers
+	// apply to every outgoing call, and the instrument layer above counts
+	// each logical call once (the resilience layer exports its own
+	// pgrid_resilience_* series for the attempts underneath).
+	rt := resilience.Wrap(tcp, resilience.Options{
+		Retry:    resilience.Policy{MaxAttempts: *retries, BaseDelay: *retryBase},
+		Budget:   budget,
+		Breaker:  resilience.BreakerConfig{Threshold: *brkFails, Cooldown: *brkCool},
+		Classify: node.Classify,
+		Seed:     *seed,
+		Tel:      tel,
+	})
 	cfg := core.Config{MaxL: *maxl, RefMax: *refmax, RecMax: *recmax, RecFanout: *fanout}
 	if err := cfg.Validate(); err != nil {
 		fatal("configuration", err)
 	}
-	n := node.New(addr.Addr(*id), cfg, node.InstrumentTransport(tcp, tel), *seed)
+	n := node.New(addr.Addr(*id), cfg, node.InstrumentTransport(rt, tel), *seed)
 	n.SetTelemetry(tel)
 	if *traceBuf > 0 {
 		n.EnableTracing(trace.NewRecorder(*traceBuf), *traceProb)
@@ -159,7 +194,7 @@ func main() {
 			fatal("admin listen", err)
 		}
 		publishExpvar(tel)
-		asrv := &http.Server{Handler: newAdminMux(n, tel, serving, *healthMin)}
+		asrv := &http.Server{Handler: newAdminMux(n, tel, serving, *healthMin, rt)}
 		go asrv.Serve(aln)
 		go func() {
 			<-ctx.Done()

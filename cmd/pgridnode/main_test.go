@@ -16,7 +16,9 @@ import (
 	"pgrid/internal/core"
 	"pgrid/internal/health"
 	"pgrid/internal/node"
+	"pgrid/internal/resilience"
 	"pgrid/internal/telemetry"
+	"pgrid/internal/wire"
 )
 
 func TestParseEndpoints(t *testing.T) {
@@ -136,7 +138,7 @@ func TestAdminMetricsEndpoint(t *testing.T) {
 	n, tel := testNode(t)
 	serving := &atomic.Bool{}
 	serving.Store(true)
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil))
 	defer srv.Close()
 
 	scrape := func() (string, string) {
@@ -251,7 +253,7 @@ func TestAdminHealthz(t *testing.T) {
 			}
 			serving := &atomic.Bool{}
 			serving.Store(tc.serving)
-			srv := httptest.NewServer(newAdminMux(n, tel, serving, tc.minLiveness))
+			srv := httptest.NewServer(newAdminMux(n, tel, serving, tc.minLiveness, nil))
 			defer srv.Close()
 
 			resp, err := http.Get(srv.URL + "/healthz")
@@ -274,7 +276,7 @@ func TestAdminHealthz(t *testing.T) {
 func TestAdminHealthzTransition(t *testing.T) {
 	n, tel := testNode(t)
 	serving := &atomic.Bool{}
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil))
 	defer srv.Close()
 
 	get := func() int {
@@ -308,7 +310,7 @@ func TestAdminDebugHealth(t *testing.T) {
 	n.HealthTracker().RoundDone()
 	serving := &atomic.Bool{}
 	serving.Store(true)
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/health")
@@ -351,7 +353,7 @@ func TestAdminExpvarAndPprof(t *testing.T) {
 	publishExpvar(tel)
 	serving := &atomic.Bool{}
 	serving.Store(true)
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/vars")
@@ -390,5 +392,69 @@ func TestAdminExpvarAndPprof(t *testing.T) {
 	io.Copy(io.Discard, pprofResp.Body)
 	if pprofResp.StatusCode != http.StatusOK {
 		t.Errorf("pprof cmdline: status %d", pprofResp.StatusCode)
+	}
+}
+
+func TestAdminBreakersEndpoint(t *testing.T) {
+	n, tel := testNode(t)
+	serving := &atomic.Bool{}
+	serving.Store(true)
+
+	// A resilient transport over an always-offline peer: two calls at
+	// threshold 2 open the breaker, which the endpoint must then report.
+	rt := resilience.Wrap(node.NewLocalTransport(), resilience.Options{
+		Retry:    resilience.Policy{MaxAttempts: 1},
+		Breaker:  resilience.BreakerConfig{Threshold: 2, Cooldown: time.Hour},
+		Classify: node.Classify,
+		Tel:      tel,
+	})
+	for i := 0; i < 2; i++ {
+		rt.Call(7, &wire.Message{Kind: wire.KindInfo})
+	}
+
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, rt))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/breakers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Breakers []resilience.BreakerView `json:"breakers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Breakers) != 1 || out.Breakers[0].Peer != 7 || out.Breakers[0].State != "open" {
+		t.Fatalf("breakers = %+v, want peer 7 open", out.Breakers)
+	}
+	if out.Breakers[0].Until.IsZero() {
+		t.Error("open breaker reports no retry_at time")
+	}
+
+	text, err := http.Get(srv.URL + "/debug/breakers?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer text.Body.Close()
+	body, _ := io.ReadAll(text.Body)
+	if !strings.Contains(string(body), "open") {
+		t.Errorf("text rendering missing the open breaker:\n%s", body)
+	}
+
+	// A mux without a resilient transport reports an empty set, not a 500.
+	bare := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil))
+	defer bare.Close()
+	emptyResp, err := http.Get(bare.URL + "/debug/breakers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer emptyResp.Body.Close()
+	if err := json.NewDecoder(emptyResp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Breakers) != 0 {
+		t.Errorf("nil transport reported breakers: %+v", out.Breakers)
 	}
 }

@@ -1,0 +1,182 @@
+package node
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/resilience"
+	"pgrid/internal/wire"
+)
+
+// infoStub answers every call with a well-formed InfoResp — the minimal
+// inner transport for fault-injection unit tests.
+type infoStub struct{ calls atomic.Int64 }
+
+func (s *infoStub) Call(to addr.Addr, msg *wire.Message) (*wire.Message, error) {
+	s.calls.Add(1)
+	return &wire.Message{Kind: wire.KindInfoResp, From: to, InfoResp: &wire.InfoResp{Addr: to}}, nil
+}
+
+func TestChaosDropRate(t *testing.T) {
+	ct := NewChaosTransport(&infoStub{}, ChaosConfig{Drop: 0.25, Seed: 1})
+	const calls = 4000
+	dropped := 0
+	for i := 0; i < calls; i++ {
+		if _, err := ct.Call(1, &wire.Message{Kind: wire.KindInfo}); err != nil {
+			if !errors.Is(err, ErrOffline) {
+				t.Fatalf("drop surfaced as %v, want ErrOffline", err)
+			}
+			dropped++
+		}
+	}
+	rate := float64(dropped) / calls
+	if rate < 0.20 || rate > 0.30 {
+		t.Errorf("drop rate %.3f, want ≈0.25", rate)
+	}
+	st := ct.Stats()
+	if st.Total != calls || st.Dropped != int64(dropped) {
+		t.Errorf("stats %+v disagree with observed total=%d dropped=%d", st, calls, dropped)
+	}
+}
+
+func TestChaosAsymmetricPartition(t *testing.T) {
+	ct := NewChaosTransport(&infoStub{}, ChaosConfig{Seed: 2})
+	ct.Block(1, 2) // 1 can no longer reach 2; 2 can still reach 1
+
+	if _, err := ct.Call(2, &wire.Message{Kind: wire.KindInfo, From: 1}); !errors.Is(err, ErrOffline) {
+		t.Errorf("blocked direction 1→2: err = %v, want ErrOffline", err)
+	}
+	if _, err := ct.Call(1, &wire.Message{Kind: wire.KindInfo, From: 2}); err != nil {
+		t.Errorf("open direction 2→1 failed: %v", err)
+	}
+	if got := ct.Stats().Blocked; got != 1 {
+		t.Errorf("blocked count = %d, want 1", got)
+	}
+
+	ct.Unblock(1, 2)
+	if _, err := ct.Call(2, &wire.Message{Kind: wire.KindInfo, From: 1}); err != nil {
+		t.Errorf("healed direction 1→2 failed: %v", err)
+	}
+}
+
+func TestChaosPartitionAndHeal(t *testing.T) {
+	ct := NewChaosTransport(&infoStub{}, ChaosConfig{Seed: 3})
+	ct.Partition([]addr.Addr{1, 2}, []addr.Addr{3})
+	for _, pair := range [][2]addr.Addr{{1, 3}, {3, 1}, {2, 3}, {3, 2}} {
+		if _, err := ct.Call(pair[1], &wire.Message{Kind: wire.KindInfo, From: pair[0]}); !errors.Is(err, ErrOffline) {
+			t.Errorf("%v→%v crossed the partition: err = %v", pair[0], pair[1], err)
+		}
+	}
+	// Within a side the network is intact.
+	if _, err := ct.Call(2, &wire.Message{Kind: wire.KindInfo, From: 1}); err != nil {
+		t.Errorf("intra-side call failed: %v", err)
+	}
+	ct.Heal()
+	if _, err := ct.Call(3, &wire.Message{Kind: wire.KindInfo, From: 1}); err != nil {
+		t.Errorf("call after Heal failed: %v", err)
+	}
+}
+
+func TestChaosSlowPeerAndLatency(t *testing.T) {
+	ct := NewChaosTransport(&infoStub{}, ChaosConfig{Seed: 4})
+	var slept time.Duration
+	ct.sleep = func(d time.Duration) { slept += d }
+
+	ct.SetSlow(2, 5*time.Millisecond)
+	ct.Call(2, &wire.Message{Kind: wire.KindInfo})
+	if slept < 5*time.Millisecond {
+		t.Errorf("slow peer slept %v, want ≥5ms", slept)
+	}
+	slept = 0
+	ct.Call(3, &wire.Message{Kind: wire.KindInfo})
+	if slept != 0 {
+		t.Errorf("fast peer slept %v, want 0", slept)
+	}
+	ct.SetSlow(2, 0) // clears
+	slept = 0
+	ct.Call(2, &wire.Message{Kind: wire.KindInfo})
+	if slept != 0 {
+		t.Errorf("cleared slow peer slept %v, want 0", slept)
+	}
+	if ct.Stats().Delayed != 1 {
+		t.Errorf("delayed count = %d, want 1", ct.Stats().Delayed)
+	}
+}
+
+func TestChaosCorruptionModes(t *testing.T) {
+	ct := NewChaosTransport(&infoStub{}, ChaosConfig{Corrupt: 0.9, Seed: 5})
+	var garbage, stripped, wrongKind, clean int
+	for i := 0; i < 400; i++ {
+		resp, err := ct.Call(1, &wire.Message{Kind: wire.KindInfo})
+		switch {
+		case err != nil:
+			if !errors.Is(err, wire.ErrCorrupt) {
+				t.Fatalf("corruption surfaced as %v, want wire.ErrCorrupt", err)
+			}
+			if Classify(err) != resilience.Corrupt {
+				t.Fatalf("Classify(%v) = %v, want Corrupt", err, Classify(err))
+			}
+			garbage++
+		case resp.Kind == wire.KindInfoResp && resp.InfoResp == nil:
+			stripped++
+		case resp.Kind != wire.KindInfoResp:
+			wrongKind++
+		default:
+			clean++
+		}
+	}
+	if garbage == 0 || stripped == 0 || wrongKind == 0 {
+		t.Errorf("corruption modes not all exercised: garbage=%d stripped=%d wrongKind=%d", garbage, stripped, wrongKind)
+	}
+	if clean == 0 {
+		t.Error("every response corrupted at p=0.9 over 400 calls — rng suspect")
+	}
+	if got := ct.Stats().Corrupted; got != int64(garbage+stripped+wrongKind) {
+		t.Errorf("corrupted stat = %d, want %d", got, garbage+stripped+wrongKind)
+	}
+}
+
+func TestChaosConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewChaosTransport(Drop=1) did not panic")
+		}
+	}()
+	NewChaosTransport(&infoStub{}, ChaosConfig{Drop: 1})
+}
+
+func TestClassifyTable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want resilience.Class
+	}{
+		{"offline", errLostPeer(7), resilience.Transient},
+		{"breaker open", resilience.ErrBreakerOpen, resilience.Transient},
+		{"corrupt frame", wire.ErrCorrupt, resilience.Corrupt},
+		{"malformed response", ErrMalformed, resilience.Corrupt},
+		{"application error", errors.New("node 3: no such entry"), resilience.Terminal},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func errLostPeer(a addr.Addr) error {
+	return &wrapped{ErrOffline, a}
+}
+
+// wrapped is a hand-rolled wrapper so the table exercises errors.Is
+// through a chain, not just the sentinel itself.
+type wrapped struct {
+	inner error
+	peer  addr.Addr
+}
+
+func (w *wrapped) Error() string { return "call failed" }
+func (w *wrapped) Unwrap() error { return w.inner }

@@ -1,0 +1,38 @@
+package node
+
+import (
+	"errors"
+
+	"pgrid/internal/resilience"
+	"pgrid/internal/wire"
+)
+
+// ErrMalformed reports a peer that answered, but with a response whose
+// shape does not match the request — a nil payload or a mismatched kind.
+// It is kept distinct from ErrOffline so misbehaving peers are not
+// mistaken for churned ones: offline peers are worth retrying and probing,
+// malformed ones are worth neither.
+var ErrMalformed = errors.New("node: malformed response")
+
+// Classify sorts this package's transport and protocol errors into
+// resilience classes — the classifier wired into ResilientTransport by
+// pgridnode, pgridctl, and the chaos tests:
+//
+//   - ErrOffline (lost datagrams, dead peers, dial failures) and breaker
+//     fast-fails are Transient: a retry or an alternative reference may
+//     succeed.
+//   - wire.ErrCorrupt (undecodable frames) and ErrMalformed (wrong-shape
+//     responses) are Corrupt: the peer is reachable but misbehaving.
+//   - Everything else — application errors relayed from a live peer — is
+//     Terminal: retrying the same request is waste; routing should
+//     backtrack instead.
+func Classify(err error) resilience.Class {
+	switch {
+	case errors.Is(err, wire.ErrCorrupt), errors.Is(err, ErrMalformed):
+		return resilience.Corrupt
+	case errors.Is(err, ErrOffline), errors.Is(err, resilience.ErrBreakerOpen):
+		return resilience.Transient
+	default:
+		return resilience.Terminal
+	}
+}

@@ -4,10 +4,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"time"
 
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
 	"pgrid/internal/store"
+	"pgrid/internal/telemetry"
 	"pgrid/internal/trace"
 	"pgrid/internal/wire"
 )
@@ -23,7 +26,18 @@ import (
 type Client struct {
 	tr  Transport
 	rng *rand.Rand
+	tel *telemetry.Instruments
+
+	hedge *HedgeConfig
+	latMu sync.Mutex
+	lats  []time.Duration // recent readOnce round trips, ring-buffered
+	latAt int
 }
+
+// latWindow bounds the latency samples the hedge threshold is computed
+// over — enough history to estimate a percentile, recent enough to track
+// a shifting network.
+const latWindow = 64
 
 // NewClient returns a client over the given transport, seeded for
 // reproducible walks.
@@ -31,13 +45,26 @@ func NewClient(tr Transport, seed int64) *Client {
 	return &Client{tr: tr, rng: rand.New(rand.NewSource(seed))}
 }
 
-// nodeInfo fetches a peer's path and reference table; nil on failure.
-func (c *Client) nodeInfo(a addr.Addr) *wire.InfoResp {
+// SetTelemetry attaches instruments counting malformed responses and
+// hedge outcomes (nil disables). Call before the client is used; the
+// field is not synchronized.
+func (c *Client) SetTelemetry(tel *telemetry.Instruments) { c.tel = tel }
+
+// nodeInfo fetches a peer's path and reference table. Errors distinguish
+// unreachable peers (ErrOffline et al., via the transport) from reachable
+// peers that answered garbage (ErrMalformed) — the latter counted
+// separately in telemetry, because a misbehaving peer is operationally a
+// different problem from a churned one.
+func (c *Client) nodeInfo(a addr.Addr) (*wire.InfoResp, error) {
 	resp, err := c.tr.Call(a, &wire.Message{Kind: wire.KindInfo, From: addr.Nil})
-	if err != nil || resp.InfoResp == nil {
-		return nil
+	if err != nil {
+		return nil, err
 	}
-	return resp.InfoResp
+	if resp.InfoResp == nil {
+		c.tel.MalformedResponse("info")
+		return nil, fmt.Errorf("%w: node %v answered info with kind %v", ErrMalformed, a, resp.Kind)
+	}
+	return resp.InfoResp, nil
 }
 
 // TraceQuery routes one fully-sampled search for key via the peer at
@@ -57,7 +84,8 @@ func (c *Client) TraceQuery(start addr.Addr, key bitpath.Path) (trace.Trace, err
 		return trace.Trace{}, err
 	}
 	if resp.QueryResp == nil {
-		return trace.Trace{}, fmt.Errorf("node %v: bad response kind %v to traced query", start, resp.Kind)
+		c.tel.MalformedResponse("query")
+		return trace.Trace{}, fmt.Errorf("%w: node %v answered traced query with kind %v", ErrMalformed, start, resp.Kind)
 	}
 	q := resp.QueryResp
 	return trace.Trace{TraceID: ctx.TraceID, Key: key, Found: q.Found,
@@ -74,7 +102,8 @@ func (c *Client) FetchTraces(a addr.Addr, limit int) (total uint64, traces []tra
 		return 0, nil, err
 	}
 	if resp.TracesResp == nil {
-		return 0, nil, fmt.Errorf("node %v: bad response kind %v to traces request", a, resp.Kind)
+		c.tel.MalformedResponse("traces")
+		return 0, nil, fmt.Errorf("%w: node %v answered traces request with kind %v", ErrMalformed, a, resp.Kind)
 	}
 	return resp.TracesResp.Total, resp.TracesResp.Traces, nil
 }
@@ -97,10 +126,10 @@ func (c *Client) ReplicaSearch(start addr.Addr, key bitpath.Path, recbreadth int
 	for len(queue) > 0 {
 		a := queue[0]
 		queue = queue[1:]
-		info := c.nodeInfo(a)
+		info, err := c.nodeInfo(a)
 		res.Messages++ // the info fetch (counts even if it fails: it was sent)
-		if info == nil {
-			continue
+		if err != nil {
+			continue // unreachable or malformed: the walk routes around it
 		}
 		path := info.Path
 		cl := bitpath.CommonPrefixLen(path, key)
@@ -171,13 +200,20 @@ type ReadResult struct {
 }
 
 // readOnce routes a query via the peer at start and fetches the entry from
-// the responsible peer found.
+// the responsible peer found. Its round-trip time feeds the latency window
+// the hedge threshold is computed over.
 func (c *Client) readOnce(start addr.Addr, key bitpath.Path, name string) (ReadResult, addr.Addr) {
+	began := time.Now()
+	defer func() { c.recordLatency(time.Since(began)) }()
 	var out ReadResult
 	out.Queries = 1
 	resp, err := c.tr.Call(start, &wire.Message{Kind: wire.KindQuery, From: addr.Nil,
 		Query: &wire.QueryReq{Key: key}})
-	if err != nil || resp.QueryResp == nil {
+	if err != nil {
+		return out, addr.Nil
+	}
+	if resp.QueryResp == nil {
+		c.tel.MalformedResponse("query")
 		return out, addr.Nil
 	}
 	out.Messages += 1 + resp.QueryResp.Messages
@@ -187,7 +223,11 @@ func (c *Client) readOnce(start addr.Addr, key bitpath.Path, name string) (ReadR
 	replica := resp.QueryResp.Peer
 	got, err := c.tr.Call(replica, &wire.Message{Kind: wire.KindGet, From: addr.Nil,
 		Get: &wire.GetReq{Key: key, Name: name}})
-	if err != nil || got.GetResp == nil {
+	if err != nil {
+		return out, addr.Nil
+	}
+	if got.GetResp == nil {
+		c.tel.MalformedResponse("get")
 		return out, addr.Nil
 	}
 	out.Messages++
@@ -197,6 +237,119 @@ func (c *Client) readOnce(start addr.Addr, key bitpath.Path, name string) (ReadR
 	out.Entry = got.GetResp.Entry
 	out.Found = true
 	return out, replica
+}
+
+// recordLatency pushes one readOnce round trip into the ring the hedge
+// threshold is estimated from.
+func (c *Client) recordLatency(d time.Duration) {
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	if len(c.lats) < latWindow {
+		c.lats = append(c.lats, d)
+		return
+	}
+	c.lats[c.latAt] = d
+	c.latAt = (c.latAt + 1) % latWindow
+}
+
+// HedgeConfig parameterizes hedged majority reads: once a read has been in
+// flight longer than the configured percentile of recent read latencies
+// (clamped to [MinDelay, MaxDelay]), a second read is raced against a
+// different entry point and the first answer wins. Hedging trades a bounded
+// amount of extra load for tail-latency protection — the slow peer no
+// longer holds the whole majority read hostage.
+type HedgeConfig struct {
+	// Percentile of the recent-latency window that arms the hedge
+	// (default 0.9).
+	Percentile float64
+	// MinDelay floors the hedge delay so a burst of fast reads cannot
+	// turn hedging into duplicate-everything (default 1ms).
+	MinDelay time.Duration
+	// MaxDelay caps the delay and is used before any samples exist
+	// (default 250ms).
+	MaxDelay time.Duration
+}
+
+// EnableHedging turns on hedged reads for MajorityRead. Call before the
+// client is used; the field is not synchronized.
+func (c *Client) EnableHedging(cfg HedgeConfig) {
+	if cfg.Percentile <= 0 || cfg.Percentile >= 1 {
+		cfg.Percentile = 0.9
+	}
+	if cfg.MinDelay <= 0 {
+		cfg.MinDelay = time.Millisecond
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 250 * time.Millisecond
+	}
+	if cfg.MaxDelay < cfg.MinDelay {
+		cfg.MaxDelay = cfg.MinDelay
+	}
+	c.hedge = &cfg
+}
+
+// hedgeDelay estimates how long a read may stay in flight before the
+// hedge fires: the configured percentile over the latency window, clamped.
+func (c *Client) hedgeDelay() time.Duration {
+	cfg := c.hedge
+	c.latMu.Lock()
+	samples := append([]time.Duration(nil), c.lats...)
+	c.latMu.Unlock()
+	d := cfg.MaxDelay
+	if len(samples) > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		i := int(cfg.Percentile * float64(len(samples)))
+		if i >= len(samples) {
+			i = len(samples) - 1
+		}
+		d = samples[i]
+	}
+	if d < cfg.MinDelay {
+		d = cfg.MinDelay
+	}
+	if d > cfg.MaxDelay {
+		d = cfg.MaxDelay
+	}
+	return d
+}
+
+// readMaybeHedged performs one majority-read attempt from entries[idx],
+// racing a second attempt from the next entry point if the first is still
+// in flight past the hedge delay. Both attempts write into a buffered
+// channel sized for both, so the losing goroutine always completes its
+// send and exits — abandoned, never leaked. The loser's messages are not
+// billed to the result (they were spent, but the caller's accounting
+// follows the answer it used, matching the non-hedged cost model).
+func (c *Client) readMaybeHedged(entries []addr.Addr, idx int, key bitpath.Path, name string) (ReadResult, addr.Addr) {
+	primary := entries[idx]
+	if c.hedge == nil || len(entries) < 2 {
+		return c.readOnce(primary, key, name)
+	}
+	backup := entries[(idx+1)%len(entries)]
+	type attempt struct {
+		res     ReadResult
+		replica addr.Addr
+		hedged  bool
+	}
+	ch := make(chan attempt, 2)
+	go func() {
+		res, rep := c.readOnce(primary, key, name)
+		ch <- attempt{res, rep, false}
+	}()
+	timer := time.NewTimer(c.hedgeDelay())
+	defer timer.Stop()
+	select {
+	case a := <-ch:
+		return a.res, a.replica
+	case <-timer.C:
+	}
+	go func() {
+		res, rep := c.readOnce(backup, key, name)
+		ch <- attempt{res, rep, true}
+	}()
+	a := <-ch
+	c.tel.Hedge(a.hedged)
+	return a.res, a.replica
 }
 
 // Lookup reads (key, name) once via the peer at start — the non-repetitive
@@ -222,8 +375,8 @@ func (c *Client) MajorityRead(entries []addr.Addr, key bitpath.Path, name string
 	seen := map[addr.Addr]bool{}
 	var out ReadResult
 	for out.Queries < maxQueries && len(entries) > 0 {
-		start := entries[c.rng.Intn(len(entries))]
-		r, replica := c.readOnce(start, key, name)
+		idx := c.rng.Intn(len(entries))
+		r, replica := c.readMaybeHedged(entries, idx, key, name)
 		out.Queries++
 		out.Messages += r.Messages
 		if !r.Found || replica == addr.Nil || seen[replica] {
@@ -294,7 +447,7 @@ func (c *Client) Audit(all []addr.Addr) AuditReport {
 	var rep AuditReport
 	infos := make(map[addr.Addr]*wire.InfoResp)
 	for _, a := range all {
-		if info := c.nodeInfo(a); info != nil {
+		if info, err := c.nodeInfo(a); err == nil {
 			infos[a] = info
 		} else {
 			rep.Unreachable = append(rep.Unreachable, a)

@@ -180,7 +180,8 @@ func (c *Client) FetchHealth(a addr.Addr, wantLiveness bool) (health.Digest, int
 		return health.Digest{}, 0, err
 	}
 	if resp.HealthResp == nil {
-		return health.Digest{}, 0, fmt.Errorf("node %v: bad response kind %v to health request", a, resp.Kind)
+		c.tel.MalformedResponse("health")
+		return health.Digest{}, 0, fmt.Errorf("%w: node %v answered health request with kind %v", ErrMalformed, a, resp.Kind)
 	}
 	return resp.HealthResp.Digest, resp.HealthResp.Rounds, nil
 }
@@ -210,9 +211,9 @@ func (c *Client) Crawl(start addr.Addr) CrawlResult {
 	for len(queue) > 0 {
 		a := queue[0]
 		queue = queue[1:]
-		info := c.nodeInfo(a)
+		info, err := c.nodeInfo(a)
 		res.Messages++
-		if info == nil {
+		if err != nil {
 			res.Unreachable = append(res.Unreachable, a)
 			continue
 		}

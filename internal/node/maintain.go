@@ -1,16 +1,19 @@
 package node
 
 import (
+	"fmt"
+
 	"pgrid/internal/addr"
 	"pgrid/internal/wire"
 )
 
 // MaintainResult reports one self-maintenance round of a networked node.
 type MaintainResult struct {
-	Probed   int // references probed over the wire
-	Dropped  int // dead or invalid references removed
-	Added    int // fresh references learned from live buddies
-	Messages int // wire messages spent
+	Probed    int // references probed over the wire
+	Dropped   int // dead or invalid references removed
+	Added     int // fresh references learned from live buddies
+	Malformed int // peers that answered, but with the wrong shape
+	Messages  int // wire messages spent
 }
 
 // Maintain runs one reference-maintenance round over the transport — the
@@ -30,13 +33,21 @@ func (n *Node) Maintain(fetch int) MaintainResult {
 			info.Path.Prefix(level-1) == path.Prefix(level-1) &&
 			info.Path.Bit(level) != path.Bit(level)
 	}
-	fetchInfo := func(a addr.Addr) *wire.InfoResp {
+	fetchInfo := func(a addr.Addr) (*wire.InfoResp, error) {
 		res.Messages++
 		resp, err := n.tr.Call(a, &wire.Message{Kind: wire.KindInfo, From: n.Addr()})
-		if err != nil || resp.InfoResp == nil {
-			return nil
+		if err != nil {
+			return nil, err
 		}
-		return resp.InfoResp
+		if resp.InfoResp == nil {
+			// The peer answered, just not with an Info — a misbehaving peer,
+			// counted apart from churned ones so the two failure modes stay
+			// distinguishable in MaintainResult and in telemetry.
+			res.Malformed++
+			n.tel.MalformedResponse("info")
+			return nil, fmt.Errorf("%w: node %v answered info with kind %v", ErrMalformed, a, resp.Kind)
+		}
+		return resp.InfoResp, nil
 	}
 
 	for level := 1; level <= path.Len(); level++ {
@@ -45,7 +56,7 @@ func (n *Node) Maintain(fetch int) MaintainResult {
 		var liveInfos []*wire.InfoResp
 		for _, r := range refs.Slice() {
 			res.Probed++
-			info := fetchInfo(r)
+			info, _ := fetchInfo(r)
 			ok := valid(level, info)
 			n.tel.RefLiveness(level, ok)
 			if ok {
@@ -71,7 +82,7 @@ func (n *Node) Maintain(fetch int) MaintainResult {
 				if b == n.Addr() || kept.Contains(b) {
 					continue
 				}
-				if bi := fetchInfo(b); valid(level, bi) {
+				if bi, err := fetchInfo(b); err == nil && valid(level, bi) {
 					kept.Add(b)
 					res.Added++
 				}

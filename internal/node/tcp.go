@@ -20,16 +20,30 @@ import (
 type TCPTransport struct {
 	mu        sync.RWMutex
 	endpoints map[addr.Addr]string
-	timeout   time.Duration
+	dial      time.Duration
+	io        time.Duration
 }
 
-// NewTCPTransport returns a transport with the given dial/IO timeout
-// (0 means 5s).
+// NewTCPTransport returns a transport with the given timeout applied to
+// the dial and, separately, to the request/response IO (0 means 5s each).
+// Use NewTCPTransportTimeouts to bound the two independently.
 func NewTCPTransport(timeout time.Duration) *TCPTransport {
-	if timeout == 0 {
-		timeout = 5 * time.Second
+	return NewTCPTransportTimeouts(timeout, timeout)
+}
+
+// NewTCPTransportTimeouts returns a transport with separate dial and IO
+// timeouts (0 means 5s each). A shared deadline would let a slow dial
+// steal the IO budget — the connection would be established with almost
+// no time left to exchange the frames — so the IO deadline starts only
+// once the dial has succeeded.
+func NewTCPTransportTimeouts(dial, io time.Duration) *TCPTransport {
+	if dial == 0 {
+		dial = 5 * time.Second
 	}
-	return &TCPTransport{endpoints: make(map[addr.Addr]string), timeout: timeout}
+	if io == 0 {
+		io = 5 * time.Second
+	}
+	return &TCPTransport{endpoints: make(map[addr.Addr]string), dial: dial, io: io}
 }
 
 // SetEndpoint maps a logical peer address to host:port.
@@ -53,13 +67,14 @@ func (t *TCPTransport) Call(to addr.Addr, msg *wire.Message) (*wire.Message, err
 	if !ok {
 		return nil, fmt.Errorf("%w: no endpoint for %v", ErrOffline, to)
 	}
-	conn, err := net.DialTimeout("tcp", ep, t.timeout)
+	conn, err := net.DialTimeout("tcp", ep, t.dial)
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial %v (%s): %v", ErrOffline, to, ep, err)
 	}
 	defer conn.Close()
-	deadline := time.Now().Add(t.timeout)
-	if err := conn.SetDeadline(deadline); err != nil {
+	// The IO deadline starts now, after the dial: a slow dial must not
+	// eat the budget for the round trip itself.
+	if err := conn.SetDeadline(time.Now().Add(t.io)); err != nil {
 		return nil, fmt.Errorf("node: set deadline: %w", err)
 	}
 	if err := wire.WriteMessage(conn, msg); err != nil {
@@ -67,6 +82,11 @@ func (t *TCPTransport) Call(to addr.Addr, msg *wire.Message) (*wire.Message, err
 	}
 	resp, err := wire.ReadMessage(conn)
 	if err != nil {
+		if errors.Is(err, wire.ErrCorrupt) {
+			// The peer answered garbage: corrupt, not offline — callers
+			// (resilience layer) must not burn retries on it.
+			return nil, fmt.Errorf("receive from %v: %w", to, err)
+		}
 		return nil, fmt.Errorf("%w: receive from %v: %v", ErrOffline, to, err)
 	}
 	if resp.Kind == wire.KindError {

@@ -72,11 +72,23 @@ type Instruments struct {
 	refsDead    *Counter
 	refsByLevel [MaxLevels + 1]levelPair
 
-	rpcTotal   *Counter
-	rpcErrors  *Counter
-	rpcDropped *Counter
-	rpcLatency *Histogram
-	served     *Counter
+	rpcTotal     *Counter
+	rpcErrors    *Counter
+	rpcDropped   *Counter
+	rpcMalformed *Counter
+	rpcLatency   *Histogram
+	served       *Counter
+
+	resCalls            *Counter
+	resRetries          *Counter
+	resBudgetExhausted  *Counter
+	resBreakerOpens     *Counter
+	resFastFails        *Counter
+	resHedges           *Counter
+	resHedgeWins        *Counter
+	resBreakersOpen     *Gauge
+	resBreakersHalfOpen *Gauge
+	resBudgetTokens     *Gauge
 
 	healthPathLen  *Gauge
 	healthEntries  *Gauge
@@ -120,6 +132,17 @@ func New(node int) *Instruments {
 	t.rpcTotal = r.Counter("pgrid_rpc_client_total", "outbound RPCs issued")
 	t.rpcErrors = r.Counter("pgrid_rpc_client_errors_total", "outbound RPCs that failed")
 	t.rpcDropped = r.Counter("pgrid_rpc_dropped_total", "RPCs dropped by failure injection")
+	t.rpcMalformed = r.Counter("pgrid_rpc_malformed_total", "responses whose payload did not match the request kind")
+	t.resCalls = r.Counter("pgrid_resilience_calls_total", "logical calls entering the resilient transport")
+	t.resRetries = r.Counter("pgrid_resilience_retries_total", "retry attempts issued after transient failures")
+	t.resBudgetExhausted = r.Counter("pgrid_resilience_retry_budget_exhausted_total", "retries refused because the retry budget was empty")
+	t.resBreakerOpens = r.Counter("pgrid_resilience_breaker_opens_total", "circuit-breaker transitions into the open state")
+	t.resFastFails = r.Counter("pgrid_resilience_breaker_fastfail_total", "calls refused locally by an open breaker")
+	t.resHedges = r.Counter("pgrid_resilience_hedges_total", "majority-read attempts that launched a hedge request")
+	t.resHedgeWins = r.Counter("pgrid_resilience_hedge_wins_total", "hedged reads where the hedge answered first")
+	t.resBreakersOpen = r.Gauge("pgrid_resilience_breakers_open", "peer circuit breakers currently open")
+	t.resBreakersHalfOpen = r.Gauge("pgrid_resilience_breakers_half_open", "peer circuit breakers currently half-open")
+	t.resBudgetTokens = r.Gauge("pgrid_resilience_retry_budget_tokens_milli", "retry budget balance in millitokens")
 	t.rpcLatency = r.Histogram("pgrid_rpc_latency_ns", "outbound RPC round-trip latency in nanoseconds", LatencyBounds)
 	t.served = r.Counter("pgrid_rpc_served_total", "inbound RPCs handled")
 	t.healthPathLen = r.Gauge("pgrid_health_path_len", "length of this peer's responsibility path")
@@ -288,6 +311,98 @@ func (t *Instruments) ServedRPC(kind string) {
 	}
 	t.served.Inc()
 	t.labeledCounter("pgrid_rpc_served_kind_total", "kind", kind, "inbound RPCs by message kind").Inc()
+}
+
+// MalformedResponse records one response whose payload did not match the
+// request kind — a peer answered, but with garbage. Counted separately
+// from offline peers so misbehavior is distinguishable from churn.
+func (t *Instruments) MalformedResponse(kind string) {
+	if t == nil {
+		return
+	}
+	t.rpcMalformed.Inc()
+	t.labeledCounter("pgrid_rpc_malformed_kind_total", "kind", kind, "malformed responses by request kind").Inc()
+}
+
+// ResilienceCall records one logical call entering the resilient
+// transport (retries excluded — those are counted by ResilienceRetry).
+func (t *Instruments) ResilienceCall() {
+	if t == nil {
+		return
+	}
+	t.resCalls.Inc()
+}
+
+// ResilienceRetry records one retry attempt of the given message kind.
+func (t *Instruments) ResilienceRetry(kind string) {
+	if t == nil {
+		return
+	}
+	t.resRetries.Inc()
+	t.labeledCounter("pgrid_resilience_retries_kind_total", "kind", kind, "retries by message kind").Inc()
+}
+
+// ResilienceBudgetExhausted records one retry refused for lack of budget.
+func (t *Instruments) ResilienceBudgetExhausted() {
+	if t == nil {
+		return
+	}
+	t.resBudgetExhausted.Inc()
+}
+
+// ResilienceBreakerOpened records one breaker opening.
+func (t *Instruments) ResilienceBreakerOpened() {
+	if t == nil {
+		return
+	}
+	t.resBreakerOpens.Inc()
+}
+
+// ResilienceFastFail records one call refused locally by an open breaker.
+func (t *Instruments) ResilienceFastFail() {
+	if t == nil {
+		return
+	}
+	t.resFastFails.Inc()
+}
+
+// ResilienceOutcome records the final outcome class of one resilient call
+// ("ok", "ok-retried", "transient", "terminal", "corrupt", "fastfail",
+// "budget-exhausted").
+func (t *Instruments) ResilienceOutcome(class string) {
+	if t == nil {
+		return
+	}
+	t.labeledCounter("pgrid_resilience_outcome_total", "class", class, "resilient calls by final outcome").Inc()
+}
+
+// ResilienceBreakerGauges publishes the current number of open and
+// half-open breakers.
+func (t *Instruments) ResilienceBreakerGauges(open, halfOpen int64) {
+	if t == nil {
+		return
+	}
+	t.resBreakersOpen.Set(open)
+	t.resBreakersHalfOpen.Set(halfOpen)
+}
+
+// ResilienceBudgetTokens publishes the retry budget balance (millitokens).
+func (t *Instruments) ResilienceBudgetTokens(milli int64) {
+	if t == nil {
+		return
+	}
+	t.resBudgetTokens.Set(milli)
+}
+
+// Hedge records one launched hedge request and whether it won the race.
+func (t *Instruments) Hedge(won bool) {
+	if t == nil {
+		return
+	}
+	t.resHedges.Inc()
+	if won {
+		t.resHedgeWins.Inc()
+	}
 }
 
 // RPCDropped records one RPC dropped by failure injection

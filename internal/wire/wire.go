@@ -258,8 +258,15 @@ type InfoResp struct {
 // rejected as corrupt rather than allocated.
 const MaxFrameSize = 16 << 20
 
-// ErrFrameTooLarge reports an oversized or corrupt length prefix.
-var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+// ErrCorrupt reports a frame that arrived but could not be decoded — an
+// oversized length prefix or a gob stream that does not parse. Corruption
+// is classified apart from unreachability (internal/resilience): the peer
+// answered, with garbage, so retrying the same request is waste.
+var ErrCorrupt = errors.New("wire: corrupt frame")
+
+// ErrFrameTooLarge reports an oversized or corrupt length prefix. It
+// matches ErrCorrupt under errors.Is.
+var ErrFrameTooLarge = fmt.Errorf("%w: exceeds maximum size", ErrCorrupt)
 
 // WriteMessage encodes m as a length-prefixed gob frame.
 func WriteMessage(w io.Writer, m *Message) error {
@@ -297,7 +304,7 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	}
 	var m Message
 	if err := gob.NewDecoder(&frameBuffer{b: body}).Decode(&m); err != nil {
-		return nil, fmt.Errorf("wire: decode: %w", err)
+		return nil, fmt.Errorf("%w: decode: %v", ErrCorrupt, err)
 	}
 	return &m, nil
 }
