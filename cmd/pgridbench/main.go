@@ -86,6 +86,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "scale factor for the 20000-peer experiments (0 < scale ≤ 1)")
 		csvDir   = flag.String("csv", "", "also write each experiment as CSV into this directory")
 		jsonPath = flag.String("json", "", "write a machine-readable report (per-experiment wall-clock + rows) to this file")
+		wireJSON = flag.String("wire-json", "", "with -run wire: write the codec × transport A/B matrix to this file")
 	)
 	flag.Parse()
 	if *scale <= 0 || *scale > 1 {
@@ -351,6 +352,14 @@ func main() {
 		check(err)
 		experiments.RenderAntiEntropy(out, rows)
 		csvOut("antientropy", func(w *os.File) error { return experiments.AntiEntropyCSV(w, rows) })
+	}
+	// "wire" is opt-in (not part of "all"): it spins a real TCP server and
+	// benchmarks the RPC wire — gob vs binary codec, dial-per-call vs
+	// pooled multiplexed connections.
+	if want["wire"] {
+		start := time.Now()
+		wireBench(out, *seed, *wireJSON)
+		record("wire", start, nil)
 	}
 	// "scale" is opt-in (not part of "all"): the 80k build takes minutes.
 	if want["scale"] {

@@ -40,6 +40,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 3*time.Second, "global bound on every RPC dial and roundtrip (must be > 0, or a dead peer would hang the CLI)")
 		retries   = flag.Int("retries", 3, "max attempts per RPC (1 = no retries)")
 		retryBase = flag.Duration("retry-base", 25*time.Millisecond, "base retry backoff (doubles per retry, jittered)")
+		codec     = flag.String("codec", "binary", "wire codec: binary (negotiated per peer, gob fallback) or gob")
+		poolSize  = flag.Int("pool-size", 2, "pooled connections per peer (0 = dial per call)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, `usage: pgridctl -peers <endpoints> <command> [args]
@@ -76,11 +78,23 @@ commands:
 		log.Fatalf("-retries must be at least 1, got %d", *retries)
 	}
 
+	if *codec != "binary" && *codec != "gob" {
+		log.Fatalf("-codec %q must be binary or gob", *codec)
+	}
+
 	// Every command talks through this one transport, so the -timeout
 	// bound applies to every dial and roundtrip the CLI ever makes.
 	// Retries wrap around it: a CLI run is short-lived, so transient
-	// blips get the retry loop but no budget and no breakers.
-	tcp := node.NewTCPTransport(*timeout)
+	// blips get the retry loop but no budget and no breakers. Multi-call
+	// commands (crawl, audit, mlookup) reuse pooled connections instead
+	// of re-dialing each peer per request.
+	pool := node.NewPoolTransport(node.PoolConfig{
+		DialTimeout: *timeout,
+		IOTimeout:   *timeout,
+		Size:        *poolSize,
+		ForceGob:    *codec == "gob",
+	})
+	defer pool.Close()
 	var all []addr.Addr
 	for _, pair := range strings.Split(*peers, ",") {
 		id, ep, ok := strings.Cut(strings.TrimSpace(pair), "=")
@@ -91,10 +105,10 @@ commands:
 		if err != nil {
 			log.Fatalf("bad peer id %q", id)
 		}
-		tcp.SetEndpoint(addr.Addr(v), ep)
+		pool.SetEndpoint(addr.Addr(v), ep)
 		all = append(all, addr.Addr(v))
 	}
-	var tr node.Transport = resilience.Wrap(tcp, resilience.Options{
+	var tr node.Transport = resilience.Wrap(pool, resilience.Options{
 		Retry:    resilience.Policy{MaxAttempts: *retries, BaseDelay: *retryBase},
 		Classify: node.Classify,
 		Seed:     time.Now().UnixNano(),

@@ -67,6 +67,9 @@ func main() {
 		maintain  = flag.Duration("maintain", 0, "interval between reference-maintenance rounds (0 = off)")
 		dialTO    = flag.Duration("dial-timeout", 3*time.Second, "TCP connect timeout per outgoing call")
 		ioTO      = flag.Duration("io-timeout", 3*time.Second, "request/response timeout per outgoing call, started after the dial")
+		codec     = flag.String("codec", "binary", "wire codec for outgoing calls: binary (negotiated per peer, gob fallback) or gob")
+		poolSize  = flag.Int("pool-size", 2, "pooled connections per peer (0 = dial per call, the legacy behaviour)")
+		poolIdle  = flag.Duration("pool-idle", 60*time.Second, "close pooled connections idle this long")
 		retries   = flag.Int("retries", 3, "max attempts per outgoing call (1 = no retries)")
 		retryBase = flag.Duration("retry-base", 25*time.Millisecond, "base retry backoff (doubles per retry, jittered)")
 		retryBud  = flag.Float64("retry-budget", 0.1, "retry tokens earned per call; bounds retries to this fraction of call volume (0 = unlimited)")
@@ -122,10 +125,21 @@ func main() {
 		tel.SetSink(sink)
 	}
 
-	tcp := node.NewTCPTransportTimeouts(*dialTO, *ioTO)
+	if *codec != "binary" && *codec != "gob" {
+		fatal("configuration", fmt.Errorf("-codec %q must be binary or gob", *codec))
+	}
+	pool := node.NewPoolTransport(node.PoolConfig{
+		DialTimeout: *dialTO,
+		IOTimeout:   *ioTO,
+		Size:        *poolSize,
+		IdleTimeout: *poolIdle,
+		ForceGob:    *codec == "gob",
+	})
+	pool.SetTelemetry(tel)
+	defer pool.Close()
 	var others []addr.Addr
 	for a, ep := range endpoints {
-		tcp.SetEndpoint(a, ep)
+		pool.SetEndpoint(a, ep)
 		if a != addr.Addr(*id) {
 			others = append(others, a)
 		}
@@ -140,18 +154,26 @@ func main() {
 	if *retryBud > 0 {
 		budget = resilience.NewBudget(*retryBud, 0)
 	}
-	// The resilient layer sits between the raw TCP transport and the
+	// The resilient layer sits between the pooled transport and the
 	// instrumented one: retries, the retry budget, and per-peer breakers
 	// apply to every outgoing call, and the instrument layer above counts
 	// each logical call once (the resilience layer exports its own
-	// pgrid_resilience_* series for the attempts underneath).
-	rt := resilience.Wrap(tcp, resilience.Options{
+	// pgrid_resilience_* series for the attempts underneath). A breaker
+	// opening evicts the peer's pooled connections — a peer judged
+	// unhealthy keeps no warm sockets, and the half-open probe decides
+	// afresh on a new dial.
+	rt := resilience.Wrap(pool, resilience.Options{
 		Retry:    resilience.Policy{MaxAttempts: *retries, BaseDelay: *retryBase},
 		Budget:   budget,
 		Breaker:  resilience.BreakerConfig{Threshold: *brkFails, Cooldown: *brkCool},
 		Classify: node.Classify,
 		Seed:     *seed,
 		Tel:      tel,
+		OnPeerState: func(peer addr.Addr, from, to resilience.BreakerState) {
+			if to == resilience.StateOpen {
+				pool.Evict(peer)
+			}
+		},
 	})
 	cfg := core.Config{MaxL: *maxl, RefMax: *refmax, RecMax: *recmax, RecFanout: *fanout}
 	if err := cfg.Validate(); err != nil {

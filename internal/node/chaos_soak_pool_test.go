@@ -1,0 +1,248 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/analysis"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/core"
+	"pgrid/internal/health"
+	"pgrid/internal/resilience"
+	"pgrid/internal/sim"
+	"pgrid/internal/telemetry"
+	"pgrid/internal/wire"
+)
+
+// connKillingChaos injects drops the way a real network fails a pooled
+// transport: a dropped call evicts the target peer's warm connections —
+// killing them mid-stream under whatever other requests are multiplexed
+// on them — and reports Transient. Unlike the in-process ChaosTransport,
+// the damage here outlives the dropped call: the next caller must re-dial
+// and every in-flight request on the killed connections fails too.
+type connKillingChaos struct {
+	pt   *PoolTransport
+	drop float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	dropped atomic.Int64
+	total   atomic.Int64
+}
+
+func (c *connKillingChaos) Call(to addr.Addr, m *wire.Message) (*wire.Message, error) {
+	c.total.Add(1)
+	c.mu.Lock()
+	hit := c.rng.Float64() < c.drop
+	c.mu.Unlock()
+	if hit {
+		c.dropped.Add(1)
+		c.pt.Evict(to)
+		return nil, fmt.Errorf("%w: chaos killed the connection to %v", ErrOffline, to)
+	}
+	return c.pt.Call(to, m)
+}
+
+// TestChaosSoakPooledTCP is the PR-5 resilience soak rebuilt on the fast
+// wire: a 64-peer community served over real TCP, all traffic multiplexed
+// through one pooled binary transport under a resilient wrapper whose
+// breaker-open transitions evict pooled connections. Chaos drops kill a
+// connection, not the process — in-flight requests on the killed socket
+// fail Transient and retry — and a fifth of the peers go offline. The
+// promises checked are the same as the in-process soak:
+//
+//  1. Fidelity: measured availability stays within 10 percentage points
+//     of the Eq. 3 prediction — the pooled wire must not bend the
+//     community away from the Section 4 model.
+//  2. Boundedness: retries respect the token budget.
+//  3. Cleanliness: every goroutine — servers, demux readers, probers,
+//     the pool janitor — drains; nothing leaks.
+func TestChaosSoakPooledTCP(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	const (
+		peers       = 64
+		offlineN    = 12
+		seed        = 42
+		budgetRatio = 0.5
+		budgetBurst = 50
+	)
+	cfg := core.Config{MaxL: 4, RefMax: 2, RecMax: 2, RecFanout: 2}
+	built, err := sim.Build(sim.Options{N: peers, Config: cfg, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !built.Converged {
+		t.Fatal("construction did not converge")
+	}
+
+	tel := telemetry.New(0)
+	pt := NewPoolTransport(PoolConfig{DialTimeout: 2 * time.Second, IOTimeout: 2 * time.Second, Size: 2})
+	pt.SetTelemetry(tel)
+	chaos := &connKillingChaos{pt: pt, drop: 0.15, rng: rand.New(rand.NewSource(seed))}
+	budget := resilience.NewBudget(budgetRatio, budgetBurst)
+	rt := resilience.Wrap(chaos, resilience.Options{
+		Retry:    resilience.Policy{MaxAttempts: 3, BaseDelay: 200 * time.Microsecond, MaxDelay: 2 * time.Millisecond},
+		Budget:   budget,
+		Breaker:  resilience.BreakerConfig{Threshold: 8, Cooldown: 250 * time.Millisecond},
+		Classify: Classify,
+		Seed:     seed,
+		Tel:      tel,
+		OnPeerState: func(peer addr.Addr, from, to resilience.BreakerState) {
+			if to == resilience.StateOpen {
+				pt.Evict(peer)
+			}
+		},
+	})
+
+	// Transplant the converged grid into TCP-served nodes whose own
+	// outbound traffic — probes, routed queries, everything — goes through
+	// the resilient pooled stack.
+	rng := rand.New(rand.NewSource(seed))
+	nodes := make([]*Node, 0, peers)
+	servers := make([]*Server, 0, peers)
+	ctx, cancel := context.WithCancel(context.Background())
+	for _, p := range built.Dir.All() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := New(p.Addr(), cfg, rt, int64(p.Addr()))
+		if err := n.Peer().Restore(p.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(n, ln)
+		pt.SetEndpoint(p.Addr(), ln.Addr().String())
+		go srv.Serve(ctx)
+		nodes = append(nodes, n)
+		servers = append(servers, srv)
+	}
+	stop := func() {
+		cancel()
+		for _, s := range servers {
+			s.Close()
+		}
+		pt.Close()
+	}
+	defer stop()
+
+	offline := map[addr.Addr]bool{}
+	for len(offline) < offlineN {
+		a := nodes[rng.Intn(peers)].Addr()
+		if !offline[a] {
+			offline[a] = true
+			// The listener stays up; the server drops frames unanswered —
+			// a dead peer, not a dead port.
+			for _, n := range nodes {
+				if n.Addr() == a {
+					n.SetOnline(false)
+				}
+			}
+		}
+	}
+
+	// Probe rounds over the pooled wire, one goroutine per online node.
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		if offline[n.Addr()] {
+			continue
+		}
+		p := NewProber(n, time.Second, 8, int64(1000+i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				p.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+
+	var digests []health.Digest
+	for _, n := range nodes {
+		if !offline[n.Addr()] {
+			digests = append(digests, n.Digest())
+		}
+	}
+	rep := analysis.AnalyzeGrid(digests)
+
+	online := make([]addr.Addr, 0, peers-offlineN)
+	for _, n := range nodes {
+		if !offline[n.Addr()] {
+			online = append(online, n.Addr())
+		}
+	}
+	const queries = 300
+	found := 0
+	for i := 0; i < queries; i++ {
+		start := online[rng.Intn(len(online))]
+		key := bitpath.Random(rng, 4)
+		resp, err := rt.Call(start, &wire.Message{Kind: wire.KindQuery, From: addr.Nil,
+			Query: &wire.QueryReq{Key: key}})
+		if err == nil && resp.QueryResp != nil && resp.QueryResp.Found {
+			found++
+		}
+	}
+	querySuccess := float64(found) / queries
+
+	calls := counterVal(t, tel, "pgrid_resilience_calls_total")
+	retries := counterVal(t, tel, "pgrid_resilience_retries_total")
+	opens := counterVal(t, tel, "pgrid_resilience_breaker_opens_total")
+	st := pt.Stats()
+	t.Logf("pooled soak: %d peers (%d offline), %d calls (%d chaos-killed), %d retries, %d breaker opens",
+		peers, offlineN, chaos.total.Load(), chaos.dropped.Load(), retries, opens)
+	t.Logf("pool: %d dials, %d reuses, %d evictions, %d conns lost mid-flight, %d open at end",
+		st.Dials, st.Reuses, st.Evictions, st.ConnLost, st.Open)
+	t.Logf("availability: p̂=%.3f measured=%.3f predicted=%.3f querySuccess=%.3f",
+		rep.ProbeLiveness, rep.MeasuredAvailability, rep.PredictedAvailability, querySuccess)
+
+	// 1. Fidelity under connection-killing chaos.
+	if !rep.AvailabilityAgrees(0.10) {
+		t.Errorf("measured availability %.3f diverges from Eq.3 prediction %.3f by more than 0.10",
+			rep.MeasuredAvailability, rep.PredictedAvailability)
+	}
+	if rep.ProbeLiveness <= 0.5 || rep.ProbeLiveness >= 1 {
+		t.Errorf("probe liveness %.3f implausible for %d/%d online with retries", rep.ProbeLiveness, peers-offlineN, peers)
+	}
+
+	// 2. Boundedness: the retry budget holds on the pooled wire too.
+	if retries == 0 {
+		t.Error("15% connection-killing chaos produced zero retries — the resilience layer is not wired in")
+	}
+	if max := budgetRatio*float64(calls) + budgetBurst; float64(retries) > max {
+		t.Errorf("retries %d exceed budget bound %.0f (ratio %.2f over %d calls + burst %d)",
+			retries, max, budgetRatio, calls, budgetBurst)
+	}
+
+	// The drops must actually have exercised the pool's failure paths:
+	// connections were reused, killed, and re-dialed — not one socket per
+	// call, not one immortal socket.
+	if st.Reuses == 0 {
+		t.Error("soak never reused a pooled connection")
+	}
+	if st.Evictions == 0 {
+		t.Error("chaos never evicted a warm connection — drops did not kill connections")
+	}
+	if st.Dials < 2 {
+		t.Errorf("dials = %d; killed connections should force re-dials", st.Dials)
+	}
+
+	// 3. Cleanliness: servers, readLoops, janitor, probers all drain.
+	stop()
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutine leak: %d before soak, %d after settling", before, after)
+	}
+}

@@ -181,13 +181,27 @@ func (c *Client) Publish(entries []addr.Addr, e store.Entry, recbreadth, repetit
 			found[a] = true
 		}
 	}
+	// The apply pushes are independent — one per replica — so they fan out
+	// concurrently: over the pooled transport they ride the multiplexed
+	// connections in parallel instead of queueing one round trip at a time.
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
 	for a := range found {
-		if _, err := c.tr.Call(a, &wire.Message{Kind: wire.KindApply, From: addr.Nil,
-			Apply: &wire.ApplyReq{Entry: e}}); err == nil {
-			replicas++
-			messages++
-		}
+		wg.Add(1)
+		go func(a addr.Addr) {
+			defer wg.Done()
+			if _, err := c.tr.Call(a, &wire.Message{Kind: wire.KindApply, From: addr.Nil,
+				Apply: &wire.ApplyReq{Entry: e}}); err == nil {
+				mu.Lock()
+				replicas++
+				messages++
+				mu.Unlock()
+			}
+		}(a)
 	}
+	wg.Wait()
 	return replicas, messages
 }
 

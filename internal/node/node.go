@@ -134,10 +134,70 @@ func (n *Node) Handle(m *wire.Message) *wire.Message {
 			TracesResp: &wire.TracesResp{Total: n.rec.Total(), Traces: n.rec.Snapshot(limit)}}
 	case wire.KindHealth:
 		return &wire.Message{Kind: wire.KindHealthResp, From: n.Addr(), HealthResp: n.handleHealth(m.Health)}
+	case wire.KindBatch:
+		return n.handleBatch(m)
+	case wire.KindHello:
+		// Codec negotiation: accept the highest version both sides speak.
+		// A hello only ever arrives on a binary-framed connection (gob-only
+		// dialers cannot express it), so answering is enough — the framing
+		// is already agreed by the time the payload is read.
+		c := uint8(wire.BinaryVersion)
+		if m.Hello != nil && m.Hello.MaxCodec < c {
+			c = m.Hello.MaxCodec
+		}
+		return &wire.Message{Kind: wire.KindHelloResp, From: n.Addr(),
+			HelloResp: &wire.HelloResp{Codec: c}}
 	default:
 		return &wire.Message{Kind: wire.KindError, From: n.Addr(),
 			Error: fmt.Sprintf("unexpected message kind %v", m.Kind)}
 	}
+}
+
+// callBatch sends msgs to one peer as a single batch frame and returns the
+// per-slot responses. The error surface mirrors Transport.Call: transport
+// failures come back as-is (a pre-batch peer answers the envelope with
+// KindError, which transports surface as a Terminal error), and a response
+// whose shape does not match the request is ErrMalformed.
+func callBatch(tr Transport, to, from addr.Addr, msgs []wire.Message) ([]wire.Message, error) {
+	resp, err := tr.Call(to, &wire.Message{Kind: wire.KindBatch, From: from,
+		Batch: &wire.BatchReq{Msgs: msgs}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.BatchResp == nil || len(resp.BatchResp.Msgs) != len(msgs) {
+		return nil, fmt.Errorf("%w: node %v answered batch with kind %v (%d slots for %d requests)",
+			ErrMalformed, to, resp.Kind, len(batchSlots(resp)), len(msgs))
+	}
+	return resp.BatchResp.Msgs, nil
+}
+
+func batchSlots(m *wire.Message) []wire.Message {
+	if m.BatchResp == nil {
+		return nil
+	}
+	return m.BatchResp.Msgs
+}
+
+// handleBatch serves each sub-request in order and returns one response
+// per slot. A sub-request the node cannot serve yields a KindError
+// sub-message in its slot; the batch frame itself still succeeds, so one
+// bad element does not void its neighbours. Nested batches are refused at
+// the envelope level (and the binary codec refuses to carry them at all).
+func (n *Node) handleBatch(m *wire.Message) *wire.Message {
+	if m.Batch == nil {
+		return &wire.Message{Kind: wire.KindError, From: n.Addr(), Error: "empty batch"}
+	}
+	out := make([]wire.Message, len(m.Batch.Msgs))
+	for i := range m.Batch.Msgs {
+		sub := &m.Batch.Msgs[i]
+		if sub.Kind == wire.KindBatch || sub.Kind == wire.KindBatchResp {
+			out[i] = wire.Message{Kind: wire.KindError, From: n.Addr(), Error: "nested batch"}
+			continue
+		}
+		out[i] = *n.Handle(sub)
+	}
+	return &wire.Message{Kind: wire.KindBatchResp, From: n.Addr(),
+		BatchResp: &wire.BatchResp{Msgs: out}}
 }
 
 // stats flattens the node's telemetry registry for the ctl tool. With
@@ -371,10 +431,21 @@ func (n *Node) applyExchange(from addr.Addr, r *wire.ExchangeResp, depth int) {
 	// responder's handover.
 	if r.Extend {
 		keep := r.BasePath.Append(r.ExtendBit)
-		for _, entry := range n.Store().Evict(keep) {
-			// Best-effort: the responder covers the vacated side.
-			n.tr.Call(from, &wire.Message{Kind: wire.KindApply, From: n.Addr(),
-				Apply: &wire.ApplyReq{Entry: entry}})
+		if evicted := n.Store().Evict(keep); len(evicted) > 0 {
+			// Best-effort: the responder covers the vacated side. Every
+			// push targets the same peer, so the whole handover rides one
+			// batch frame; a peer that cannot serve batches (or an error
+			// mid-flight) gets the sequential per-entry pushes instead.
+			msgs := make([]wire.Message, len(evicted))
+			for i, entry := range evicted {
+				msgs[i] = wire.Message{Kind: wire.KindApply, From: n.Addr(),
+					Apply: &wire.ApplyReq{Entry: entry}}
+			}
+			if _, err := callBatch(n.tr, from, n.Addr(), msgs); err != nil {
+				for i := range msgs {
+					n.tr.Call(from, &msgs[i])
+				}
+			}
 		}
 	}
 	for _, entry := range r.Handover {

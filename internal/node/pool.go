@@ -1,0 +1,633 @@
+package node
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/telemetry"
+	"pgrid/internal/wire"
+)
+
+// PoolConfig parameterizes PoolTransport.
+type PoolConfig struct {
+	// DialTimeout bounds connection establishment (0 means 5s).
+	DialTimeout time.Duration
+	// IOTimeout bounds one request/response round trip (0 means 5s). On a
+	// multiplexed connection a request that misses the deadline kills the
+	// whole connection — a stream with one stuck response cannot be
+	// trusted for the others either.
+	IOTimeout time.Duration
+	// Size is the maximum pooled connections per peer. 0 disables pooling:
+	// every call dials, speaks, and closes — the legacy behaviour, kept as
+	// the A/B baseline for the wire benchmark.
+	Size int
+	// IdleTimeout reaps pooled connections with no traffic for this long
+	// (0 means 60s). Reaping keeps a big community from pinning a socket
+	// per peer it talked to once.
+	IdleTimeout time.Duration
+	// ForceGob skips binary negotiation and speaks the legacy gob codec on
+	// every connection — the operator escape hatch (-codec=gob) and the
+	// other axis of the A/B benchmark.
+	ForceGob bool
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.IOTimeout == 0 {
+		c.IOTimeout = 5 * time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// PoolStats is a snapshot of the pool's lifetime counters, for tests and
+// status lines. The gauges (Open, InFlight) are instantaneous.
+type PoolStats struct {
+	Dials     int64
+	Reuses    int64
+	Evictions int64
+	IdleClose int64
+	ConnLost  int64
+	Open      int64
+	InFlight  int64
+}
+
+// PoolTransport is the fast-wire Transport: per-peer pools of long-lived
+// connections, each multiplexing concurrent in-flight requests over the
+// binary frame codec via sequence ids. Dialing negotiates the codec with a
+// hello frame; peers that predate the binary codec drop the hello and the
+// pool falls back to a dedicated gob connection (sequential, like the old
+// transport), remembering the peer as gob-only once a gob call succeeds.
+//
+// Every transport-level failure — dial errors, timeouts, connections dying
+// mid-flight — wraps ErrOffline, so the resilience stack classifies pool
+// failures as Transient and may retry; only undecodable responses surface
+// wire.ErrCorrupt.
+type PoolTransport struct {
+	mu        sync.RWMutex
+	endpoints map[addr.Addr]string
+	peers     map[addr.Addr]*peerPool
+	closed    bool
+
+	cfg PoolConfig
+	tel *telemetry.Instruments
+
+	dials     atomic.Int64
+	reuses    atomic.Int64
+	evictions atomic.Int64
+	idleClose atomic.Int64
+	connLost  atomic.Int64
+	open      atomic.Int64
+	inFlight  atomic.Int64
+
+	janitorStop chan struct{}
+	janitorOnce sync.Once
+}
+
+// NewPoolTransport returns a pooled transport with the given configuration.
+// Call Close when done to release connections and the idle janitor.
+func NewPoolTransport(cfg PoolConfig) *PoolTransport {
+	p := &PoolTransport{
+		endpoints:   make(map[addr.Addr]string),
+		peers:       make(map[addr.Addr]*peerPool),
+		cfg:         cfg.withDefaults(),
+		janitorStop: make(chan struct{}),
+	}
+	if p.cfg.Size > 0 {
+		go p.janitor()
+	}
+	return p
+}
+
+// SetTelemetry attaches pool instruments (nil disables). Call before the
+// transport is used; the field is not synchronized.
+func (p *PoolTransport) SetTelemetry(tel *telemetry.Instruments) { p.tel = tel }
+
+// SetEndpoint maps a logical peer address to host:port.
+func (p *PoolTransport) SetEndpoint(a addr.Addr, hostport string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.endpoints[a] = hostport
+}
+
+// Endpoint returns the mapping for a, if known.
+func (p *PoolTransport) Endpoint(a addr.Addr) (string, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	ep, ok := p.endpoints[a]
+	return ep, ok
+}
+
+// Stats snapshots the pool counters.
+func (p *PoolTransport) Stats() PoolStats {
+	return PoolStats{
+		Dials:     p.dials.Load(),
+		Reuses:    p.reuses.Load(),
+		Evictions: p.evictions.Load(),
+		IdleClose: p.idleClose.Load(),
+		ConnLost:  p.connLost.Load(),
+		Open:      p.open.Load(),
+		InFlight:  p.inFlight.Load(),
+	}
+}
+
+func (p *PoolTransport) publishGauges() {
+	p.tel.PoolGauges(p.open.Load(), p.inFlight.Load())
+}
+
+// Call implements Transport.
+func (p *PoolTransport) Call(to addr.Addr, msg *wire.Message) (*wire.Message, error) {
+	ep, ok := p.Endpoint(to)
+	if !ok {
+		return nil, fmt.Errorf("%w: no endpoint for %v", ErrOffline, to)
+	}
+	p.inFlight.Add(1)
+	defer func() {
+		p.inFlight.Add(-1)
+		p.publishGauges()
+	}()
+
+	if p.cfg.Size <= 0 {
+		// Unpooled mode: dial, one call, close.
+		mc, err := p.dialConn(to, ep, p.peerState(to))
+		if err != nil {
+			return nil, err
+		}
+		defer mc.close()
+		return p.callOn(mc, to, msg)
+	}
+
+	pp := p.pool(to)
+	mc, reused, err := pp.acquire(p, to, ep)
+	if err != nil {
+		return nil, err
+	}
+	if reused {
+		p.reuses.Add(1)
+		p.tel.PoolReuse()
+	}
+	resp, err := p.callOn(mc, to, msg)
+	if err != nil && errors.Is(err, ErrOffline) {
+		// The connection failed under us; it has already removed itself
+		// from the pool. The caller's retry (if any) will re-acquire.
+		return nil, err
+	}
+	return resp, err
+}
+
+// callOn runs one round trip on mc and applies the KindError convention.
+// A successful call on a fallback gob connection marks the peer gob-only,
+// so later dials skip the doomed binary hello.
+func (p *PoolTransport) callOn(mc *muxConn, to addr.Addr, msg *wire.Message) (*wire.Message, error) {
+	resp, err := mc.call(msg, p.cfg.IOTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if mc.fellBack {
+		p.pool(to).markGobOnly()
+	}
+	if resp.Kind == wire.KindError {
+		return nil, fmt.Errorf("node %v: %s", to, resp.Error)
+	}
+	return resp, nil
+}
+
+// Evict closes every pooled connection to the peer. Wired to the breaker's
+// open transition: a peer judged unhealthy should not keep warm sockets,
+// and the half-open probe decides afresh. In-flight requests on evicted
+// connections fail Transient. The gob-only memory survives eviction — the
+// peer's codec does not change because its breaker tripped.
+func (p *PoolTransport) Evict(to addr.Addr) {
+	p.mu.RLock()
+	pp := p.peers[to]
+	p.mu.RUnlock()
+	if pp == nil {
+		return
+	}
+	n := pp.evictAll()
+	if n > 0 {
+		p.evictions.Add(int64(n))
+		p.tel.PoolEviction(n)
+		p.publishGauges()
+	}
+}
+
+// Close evicts every pool and stops the idle janitor. The transport is
+// unusable afterwards.
+func (p *PoolTransport) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	peers := make([]*peerPool, 0, len(p.peers))
+	for _, pp := range p.peers {
+		peers = append(peers, pp)
+	}
+	p.mu.Unlock()
+	p.janitorOnce.Do(func() { close(p.janitorStop) })
+	for _, pp := range peers {
+		pp.evictAll()
+	}
+}
+
+// janitor reaps idle connections in the background.
+func (p *PoolTransport) janitor() {
+	interval := p.cfg.IdleTimeout / 2
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.janitorStop:
+			return
+		case <-t.C:
+			p.reapIdle()
+		}
+	}
+}
+
+func (p *PoolTransport) reapIdle() {
+	cutoff := time.Now().Add(-p.cfg.IdleTimeout).UnixNano()
+	p.mu.RLock()
+	pools := make([]*peerPool, 0, len(p.peers))
+	for _, pp := range p.peers {
+		pools = append(pools, pp)
+	}
+	p.mu.RUnlock()
+	for _, pp := range pools {
+		for _, mc := range pp.idleBefore(cutoff) {
+			p.idleClose.Add(1)
+			p.tel.PoolIdleClose()
+			mc.close()
+		}
+	}
+	p.publishGauges()
+}
+
+func (p *PoolTransport) pool(to addr.Addr) *peerPool {
+	p.mu.RLock()
+	pp := p.peers[to]
+	p.mu.RUnlock()
+	if pp != nil {
+		return pp
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pp = p.peers[to]; pp == nil {
+		pp = &peerPool{}
+		p.peers[to] = pp
+	}
+	return pp
+}
+
+// peerState reports whether the peer is known to be gob-only.
+func (p *PoolTransport) peerState(to addr.Addr) bool {
+	p.mu.RLock()
+	pp := p.peers[to]
+	p.mu.RUnlock()
+	return pp != nil && pp.isGobOnly()
+}
+
+// peerPool holds one peer's connections and its negotiated-codec memory.
+type peerPool struct {
+	mu      sync.Mutex
+	conns   []*muxConn
+	next    int
+	gobOnly bool
+}
+
+func (pp *peerPool) isGobOnly() bool {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	return pp.gobOnly
+}
+
+func (pp *peerPool) markGobOnly() {
+	pp.mu.Lock()
+	pp.gobOnly = true
+	pp.mu.Unlock()
+}
+
+// acquire returns a live connection for the peer, reusing round-robin when
+// the pool is warm and dialing otherwise. Dialing happens outside the pool
+// lock, so a thundering herd may transiently exceed Size by the number of
+// concurrent first callers; the idle janitor trims the surplus.
+func (pp *peerPool) acquire(p *PoolTransport, to addr.Addr, ep string) (mc *muxConn, reused bool, err error) {
+	pp.mu.Lock()
+	if len(pp.conns) > 0 {
+		pp.next = (pp.next + 1) % len(pp.conns)
+		mc = pp.conns[pp.next]
+		pp.mu.Unlock()
+		return mc, true, nil
+	}
+	gobOnly := pp.gobOnly
+	pp.mu.Unlock()
+
+	mc, err = p.dialConn(to, ep, gobOnly)
+	if err != nil {
+		return nil, false, err
+	}
+	mc.pool = pp
+	pp.mu.Lock()
+	pp.conns = append(pp.conns, mc)
+	pp.mu.Unlock()
+	return mc, false, nil
+}
+
+func (pp *peerPool) remove(mc *muxConn) {
+	pp.mu.Lock()
+	for i, c := range pp.conns {
+		if c == mc {
+			pp.conns = append(pp.conns[:i], pp.conns[i+1:]...)
+			break
+		}
+	}
+	pp.mu.Unlock()
+}
+
+func (pp *peerPool) evictAll() int {
+	pp.mu.Lock()
+	conns := pp.conns
+	pp.conns = nil
+	pp.mu.Unlock()
+	for _, mc := range conns {
+		mc.close()
+	}
+	return len(conns)
+}
+
+func (pp *peerPool) idleBefore(cutoff int64) []*muxConn {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	var idle []*muxConn
+	kept := pp.conns[:0]
+	for _, mc := range pp.conns {
+		if mc.inflight.Load() == 0 && mc.lastUse.Load() < cutoff {
+			idle = append(idle, mc)
+		} else {
+			kept = append(kept, mc)
+		}
+	}
+	pp.conns = kept
+	return idle
+}
+
+// dialConn establishes one connection, negotiating the codec: a binary
+// hello first (unless gob is forced or the peer is known gob-only), and a
+// fresh gob dial when the peer drops the hello unanswered — exactly what a
+// pre-binary listener does with an unparseable length prefix.
+func (p *PoolTransport) dialConn(to addr.Addr, ep string, gobOnly bool) (*muxConn, error) {
+	if p.cfg.ForceGob || gobOnly {
+		return p.dialGob(to, ep, false)
+	}
+	conn, err := net.DialTimeout("tcp", ep, p.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %v (%s): %v", ErrOffline, to, ep, err)
+	}
+	// Negotiate sequentially before the demux reader exists: one hello
+	// frame out, one response in, under a deadline.
+	deadline := time.Now().Add(p.cfg.IOTimeout)
+	conn.SetDeadline(deadline)
+	hello := &wire.Message{Kind: wire.KindHello, From: addr.Nil,
+		Hello: &wire.HelloReq{MaxCodec: wire.BinaryVersion}}
+	br := bufio.NewReader(conn)
+	var resp *wire.Message
+	if err := wire.WriteFrame(conn, 0, 0, hello); err == nil {
+		_, _, resp, err = wire.ReadFrame(br)
+	}
+	if resp == nil || resp.HelloResp == nil || resp.HelloResp.Codec < wire.BinaryVersion {
+		// The peer dropped or refused the hello: assume pre-binary and
+		// fall back to a fresh gob connection. The gob-only memory is only
+		// written after that connection completes a successful call — an
+		// offline peer must not be mistaken for a gob-only one.
+		conn.Close()
+		return p.dialGob(to, ep, true)
+	}
+	conn.SetDeadline(time.Time{})
+	mc := &muxConn{
+		pt:      p,
+		peer:    to,
+		conn:    conn,
+		br:      br,
+		pending: make(map[uint32]chan *wire.Message),
+	}
+	mc.lastUse.Store(time.Now().UnixNano())
+	p.dials.Add(1)
+	p.open.Add(1)
+	p.tel.PoolDial("binary")
+	p.publishGauges()
+	go mc.readLoop()
+	return mc, nil
+}
+
+func (p *PoolTransport) dialGob(to addr.Addr, ep string, fellBack bool) (*muxConn, error) {
+	conn, err := net.DialTimeout("tcp", ep, p.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %v (%s): %v", ErrOffline, to, ep, err)
+	}
+	mc := &muxConn{
+		pt:       p,
+		peer:     to,
+		conn:     conn,
+		br:       bufio.NewReader(conn),
+		gob:      true,
+		fellBack: fellBack,
+	}
+	mc.lastUse.Store(time.Now().UnixNano())
+	p.dials.Add(1)
+	p.open.Add(1)
+	p.tel.PoolDial("gob")
+	p.publishGauges()
+	return mc, nil
+}
+
+// muxConn is one pooled connection. In binary mode a background reader
+// demultiplexes response frames to waiting callers by sequence id; in gob
+// mode (negotiated fallback) calls serialize over the connection exactly
+// like the legacy transport.
+type muxConn struct {
+	pt   *PoolTransport
+	pool *peerPool // nil in unpooled mode
+	peer addr.Addr
+	conn net.Conn
+	br   *bufio.Reader
+
+	// wmu serializes writers; in gob mode it spans the whole round trip.
+	wmu sync.Mutex
+	seq uint32 // next sequence id, under wmu
+
+	mu      sync.Mutex
+	pending map[uint32]chan *wire.Message
+	dead    bool
+	deadErr error
+
+	gob      bool
+	fellBack bool // gob via failed binary negotiation, not by configuration
+
+	lastUse  atomic.Int64
+	inflight atomic.Int32
+}
+
+// call runs one round trip. Errors are Transient (ErrOffline-wrapped)
+// unless the response itself was undecodable (ErrCorrupt via the reader).
+func (m *muxConn) call(msg *wire.Message, ioTimeout time.Duration) (*wire.Message, error) {
+	m.inflight.Add(1)
+	defer func() {
+		m.inflight.Add(-1)
+		m.lastUse.Store(time.Now().UnixNano())
+	}()
+	if m.gob {
+		return m.callGob(msg, ioTimeout)
+	}
+
+	ch := make(chan *wire.Message, 1)
+	m.wmu.Lock()
+	m.seq++
+	seq := m.seq
+	m.mu.Lock()
+	if m.dead {
+		// Registered against a dying connection: fail now, before writing.
+		err := m.deadErr
+		m.mu.Unlock()
+		m.wmu.Unlock()
+		return nil, err
+	}
+	m.pending[seq] = ch
+	m.mu.Unlock()
+	m.conn.SetWriteDeadline(time.Now().Add(ioTimeout))
+	err := wire.WriteFrame(m.conn, seq, 0, msg)
+	m.wmu.Unlock()
+	if err != nil {
+		m.fail(fmt.Errorf("%w: send to %v: %v", ErrOffline, m.peer, err))
+		m.mu.Lock()
+		err := m.deadErr
+		m.mu.Unlock()
+		return nil, err
+	}
+
+	timer := time.NewTimer(ioTimeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		if resp == nil {
+			m.mu.Lock()
+			err := m.deadErr
+			m.mu.Unlock()
+			return nil, err
+		}
+		return resp, nil
+	case <-timer.C:
+		// One stuck response poisons the stream ordering for everyone:
+		// kill the connection, failing the other in-flight calls Transient.
+		m.fail(fmt.Errorf("%w: %v: response %d timed out", ErrOffline, m.peer, seq))
+		if resp := <-ch; resp != nil {
+			return resp, nil // raced the kill and won
+		}
+		m.mu.Lock()
+		err := m.deadErr
+		m.mu.Unlock()
+		return nil, err
+	}
+}
+
+func (m *muxConn) callGob(msg *wire.Message, ioTimeout time.Duration) (*wire.Message, error) {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	m.mu.Lock()
+	if m.dead {
+		err := m.deadErr
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.mu.Unlock()
+	m.conn.SetDeadline(time.Now().Add(ioTimeout))
+	if err := wire.WriteMessage(m.conn, msg); err != nil {
+		m.fail(fmt.Errorf("%w: send to %v: %v", ErrOffline, m.peer, err))
+		return nil, fmt.Errorf("%w: send to %v: %v", ErrOffline, m.peer, err)
+	}
+	resp, err := wire.ReadMessage(m.br)
+	if err != nil {
+		if errors.Is(err, wire.ErrCorrupt) {
+			m.fail(err)
+			return nil, fmt.Errorf("receive from %v: %w", m.peer, err)
+		}
+		m.fail(fmt.Errorf("%w: receive from %v: %v", ErrOffline, m.peer, err))
+		return nil, fmt.Errorf("%w: receive from %v: %v", ErrOffline, m.peer, err)
+	}
+	return resp, nil
+}
+
+// readLoop demultiplexes binary response frames to their callers.
+func (m *muxConn) readLoop() {
+	for {
+		seq, flags, resp, err := wire.ReadFrame(m.br)
+		if err != nil {
+			if errors.Is(err, wire.ErrCorrupt) {
+				m.fail(fmt.Errorf("receive from %v: %w", m.peer, err))
+			} else {
+				m.fail(fmt.Errorf("%w: %v: connection lost: %v", ErrOffline, m.peer, err))
+			}
+			return
+		}
+		if flags&wire.FlagResponse == 0 {
+			continue // servers do not send requests on this stream
+		}
+		m.mu.Lock()
+		ch := m.pending[seq]
+		delete(m.pending, seq)
+		m.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// fail marks the connection dead with the given error, closes it, removes
+// it from its pool, and drains every pending caller with a nil send (their
+// error is deadErr). Idempotent; the first error wins.
+func (m *muxConn) fail(err error) {
+	m.mu.Lock()
+	if m.dead {
+		m.mu.Unlock()
+		return
+	}
+	m.dead = true
+	m.deadErr = err
+	pending := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+
+	m.conn.Close()
+	if m.pool != nil {
+		m.pool.remove(m)
+	}
+	m.pt.open.Add(-1)
+	if len(pending) > 0 {
+		m.pt.connLost.Add(1)
+		m.pt.tel.PoolConnLost()
+	}
+	for _, ch := range pending {
+		ch <- nil
+	}
+	m.pt.publishGauges()
+}
+
+// close shuts the connection down without an error cause (eviction, idle
+// reaping, unpooled teardown). In-flight calls fail Transient.
+func (m *muxConn) close() {
+	m.fail(fmt.Errorf("%w: %v: connection closed by pool", ErrOffline, m.peer))
+}

@@ -1,0 +1,591 @@
+package node
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/resilience"
+	"pgrid/internal/store"
+	"pgrid/internal/telemetry"
+	"pgrid/internal/wire"
+)
+
+// startPooledCluster is startTCPCluster over the pooled multiplexed
+// transport: n nodes, each served on a loopback listener, all routing
+// their own traffic through one shared PoolTransport.
+func startPooledCluster(t *testing.T, n int, cfg PoolConfig) ([]*Node, *PoolTransport, func()) {
+	t.Helper()
+	pt := NewPoolTransport(cfg)
+	nodes := make([]*Node, n)
+	servers := make([]*Server, n)
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = New(addr.Addr(i), smallCfg(), pt, int64(2000+i))
+		servers[i] = NewServer(nodes[i], ln)
+		pt.SetEndpoint(addr.Addr(i), ln.Addr().String())
+		go servers[i].Serve(ctx)
+	}
+	return nodes, pt, func() {
+		cancel()
+		for _, s := range servers {
+			s.Close()
+		}
+		pt.Close()
+	}
+}
+
+// startLegacyGobServer serves a node exactly the way the pre-binary
+// release did: sequential gob frames, no sniffing. A binary hello arrives
+// as an impossible gob length prefix, so ReadMessage errors and the
+// connection drops unanswered — the behaviour the pool's negotiation
+// fallback is built against. Returns the endpoint and an accept counter
+// so tests can see how many dials actually reached the peer.
+func startLegacyGobServer(t *testing.T, n *Node) (string, *atomic.Int64, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepts := &atomic.Int64{}
+	var wg sync.WaitGroup
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepts.Add(1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				for {
+					m, err := wire.ReadMessage(br)
+					if err != nil {
+						return
+					}
+					if !n.Online() {
+						return
+					}
+					if err := wire.WriteMessage(conn, n.Handle(m)); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), accepts, func() { ln.Close(); wg.Wait() }
+}
+
+func TestPoolReusesConnections(t *testing.T) {
+	_, pt, stop := startPooledCluster(t, 1, PoolConfig{
+		DialTimeout: 2 * time.Second, IOTimeout: 2 * time.Second, Size: 2})
+	defer stop()
+
+	const calls = 20
+	for i := 0; i < calls; i++ {
+		resp, err := pt.Call(0, &wire.Message{Kind: wire.KindInfo, From: addr.Nil})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.InfoResp == nil || resp.InfoResp.Addr != 0 {
+			t.Fatalf("call %d: %+v", i, resp)
+		}
+	}
+	st := pt.Stats()
+	if st.Dials != 1 {
+		t.Errorf("dials = %d, want 1 (every later call reuses)", st.Dials)
+	}
+	if st.Reuses != calls-1 {
+		t.Errorf("reuses = %d, want %d", st.Reuses, calls-1)
+	}
+	if st.Open != 1 {
+		t.Errorf("open = %d, want 1", st.Open)
+	}
+}
+
+// TestPoolMultiplexesConcurrentCalls pins the core mux property: many
+// concurrent callers share the single warm connection (no per-call dials)
+// and every one of them gets its own response back.
+func TestPoolMultiplexesConcurrentCalls(t *testing.T) {
+	nodes, pt, stop := startPooledCluster(t, 1, PoolConfig{
+		DialTimeout: 2 * time.Second, IOTimeout: 2 * time.Second, Size: 2})
+	defer stop()
+
+	e := store.Entry{Key: bitpath.MustParse("01"), Name: "x", Holder: 3, Version: 1}
+	if !nodes[0].Store().Apply(e) {
+		t.Fatal("seed apply failed")
+	}
+	// Warm the pool so the herd below can never be first-caller dials.
+	if _, err := pt.Call(0, &wire.Message{Kind: wire.KindInfo, From: addr.Nil}); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, perWorker = 16, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				resp, err := pt.Call(0, &wire.Message{Kind: wire.KindGet, From: addr.Nil,
+					Get: &wire.GetReq{Key: e.Key, Name: "x"}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.GetResp == nil || !resp.GetResp.Found || resp.GetResp.Entry != e {
+					errs <- fmt.Errorf("mux returned wrong payload: %+v", resp)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := pt.Stats()
+	if st.Dials != 1 {
+		t.Errorf("dials = %d, want 1: %d concurrent calls must multiplex, not dial", st.Dials, workers*perWorker)
+	}
+	if st.Reuses != workers*perWorker {
+		t.Errorf("reuses = %d, want %d", st.Reuses, workers*perWorker)
+	}
+}
+
+// TestPoolUnpooledMode: Size 0 is the dial-per-call A/B baseline.
+func TestPoolUnpooledMode(t *testing.T) {
+	_, pt, stop := startPooledCluster(t, 1, PoolConfig{
+		DialTimeout: 2 * time.Second, IOTimeout: 2 * time.Second, Size: 0})
+	defer stop()
+
+	const calls = 5
+	for i := 0; i < calls; i++ {
+		if _, err := pt.Call(0, &wire.Message{Kind: wire.KindInfo, From: addr.Nil}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pt.Stats()
+	if st.Dials != calls || st.Reuses != 0 {
+		t.Errorf("unpooled stats = %+v, want %d dials and 0 reuses", st, calls)
+	}
+	if st.Open != 0 {
+		t.Errorf("unpooled mode left %d connections open", st.Open)
+	}
+}
+
+// TestPoolConnDeathFailsTransient: a connection dying under in-flight
+// requests fails them all with an ErrOffline-wrapped (Transient) error,
+// and the next call recovers on a fresh dial.
+func TestPoolConnDeathFailsTransient(t *testing.T) {
+	nodes, pt, stop := startPooledCluster(t, 1, PoolConfig{
+		DialTimeout: 2 * time.Second, IOTimeout: 2 * time.Second, Size: 2})
+	defer stop()
+
+	if _, err := pt.Call(0, &wire.Message{Kind: wire.KindInfo, From: addr.Nil}); err != nil {
+		t.Fatal(err)
+	}
+	// The server drops the connection on the next frame it reads.
+	nodes[0].SetOnline(false)
+
+	const callers = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := pt.Call(0, &wire.Message{Kind: wire.KindInfo, From: addr.Nil})
+			errc <- err
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err == nil {
+			t.Fatal("call to an offline peer succeeded")
+		}
+		if !errors.Is(err, ErrOffline) {
+			t.Fatalf("conn death error = %v, want ErrOffline wrap", err)
+		}
+		if Classify(err) != resilience.Transient {
+			t.Fatalf("conn death classified %v, want Transient", Classify(err))
+		}
+	}
+	st := pt.Stats()
+	if st.ConnLost == 0 {
+		t.Error("no connection recorded as lost with requests in flight")
+	}
+
+	nodes[0].SetOnline(true)
+	if _, err := pt.Call(0, &wire.Message{Kind: wire.KindInfo, From: addr.Nil}); err != nil {
+		t.Fatalf("pool did not recover after peer came back: %v", err)
+	}
+	if got := pt.Stats().Dials; got <= st.Dials {
+		t.Errorf("recovery did not dial fresh: dials %d → %d", st.Dials, got)
+	}
+}
+
+// TestPoolIdleReap: a connection with no traffic is reaped by the janitor.
+func TestPoolIdleReap(t *testing.T) {
+	_, pt, stop := startPooledCluster(t, 1, PoolConfig{
+		DialTimeout: 2 * time.Second, IOTimeout: 2 * time.Second, Size: 2,
+		IdleTimeout: 50 * time.Millisecond})
+	defer stop()
+
+	if _, err := pt.Call(0, &wire.Message{Kind: wire.KindInfo, From: addr.Nil}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		st := pt.Stats()
+		if st.IdleClose >= 1 && st.Open == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("idle connection not reaped: %+v", pt.Stats())
+}
+
+// TestPoolGobFallback: dialing a legacy gob-only peer, the binary hello is
+// dropped, the pool falls back to gob, and — once a gob call succeeds —
+// remembers the peer so later dials skip the doomed hello entirely.
+func TestPoolGobFallback(t *testing.T) {
+	n := New(1, smallCfg(), NewLocalTransport(), 1)
+	ep, accepts, stopSrv := startLegacyGobServer(t, n)
+	defer stopSrv()
+
+	tel := telemetry.New(-1)
+	pt := NewPoolTransport(PoolConfig{DialTimeout: 2 * time.Second, IOTimeout: 2 * time.Second, Size: 2})
+	pt.SetTelemetry(tel)
+	defer pt.Close()
+	pt.SetEndpoint(1, ep)
+
+	resp, err := pt.Call(1, &wire.Message{Kind: wire.KindInfo, From: addr.Nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.InfoResp == nil || resp.InfoResp.Addr != 1 {
+		t.Fatalf("fallback call answered %+v", resp)
+	}
+	// Two connections reached the peer: the dropped binary hello and the
+	// gob retry. Only the surviving gob connection counts as a dial.
+	if got := accepts.Load(); got != 2 {
+		t.Errorf("legacy server accepted %d conns, want 2 (hello + gob fallback)", got)
+	}
+	if st := pt.Stats(); st.Dials != 1 {
+		t.Errorf("dials = %d, want 1", st.Dials)
+	}
+	if got := counterVal(t, tel, telemetry.Label("pgrid_pool_dials_codec_total", "codec", "gob")); got != 1 {
+		t.Errorf("gob-labeled dials = %d, want 1", got)
+	}
+
+	// Reuse does not re-dial.
+	if _, err := pt.Call(1, &wire.Message{Kind: wire.KindInfo, From: addr.Nil}); err != nil {
+		t.Fatal(err)
+	}
+	if got := accepts.Load(); got != 2 {
+		t.Errorf("reused call re-dialed: %d accepts", got)
+	}
+
+	// After eviction the peer is remembered as gob-only: exactly one new
+	// connection, no binary hello attempt.
+	pt.Evict(1)
+	if _, err := pt.Call(1, &wire.Message{Kind: wire.KindInfo, From: addr.Nil}); err != nil {
+		t.Fatal(err)
+	}
+	if got := accepts.Load(); got != 3 {
+		t.Errorf("gob-only redial accepted %d conns total, want 3 (no repeated hello)", got)
+	}
+}
+
+// TestMixedCodecInterop is the acceptance interop matrix: a binary pooled
+// dialer against the sniffing server, the same pool against a legacy
+// gob-only peer, a forced-gob pool against the sniffing server, and the
+// legacy one-shot transport against the sniffing server — data written
+// through one codec reads back through the other.
+func TestMixedCodecInterop(t *testing.T) {
+	newNode := New(0, smallCfg(), NewLocalTransport(), 10)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(newNode, ln)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.Serve(ctx)
+	defer srv.Close()
+
+	oldNode := New(1, smallCfg(), NewLocalTransport(), 11)
+	legacyEP, _, stopLegacy := startLegacyGobServer(t, oldNode)
+	defer stopLegacy()
+
+	tel := telemetry.New(-1)
+	pt := NewPoolTransport(PoolConfig{DialTimeout: 2 * time.Second, IOTimeout: 2 * time.Second, Size: 2})
+	pt.SetTelemetry(tel)
+	defer pt.Close()
+	pt.SetEndpoint(0, ln.Addr().String())
+	pt.SetEndpoint(1, legacyEP)
+
+	// Binary pool → sniffing server: write an entry over the binary codec.
+	e := store.Entry{Key: bitpath.MustParse("10"), Name: "interop", Holder: 7, Version: 3}
+	if _, err := pt.Call(0, &wire.Message{Kind: wire.KindApply, From: addr.Nil,
+		Apply: &wire.ApplyReq{Entry: e}}); err != nil {
+		t.Fatalf("binary apply: %v", err)
+	}
+	// Binary pool → legacy gob peer: negotiation falls back, call works.
+	if resp, err := pt.Call(1, &wire.Message{Kind: wire.KindInfo, From: addr.Nil}); err != nil ||
+		resp.InfoResp == nil || resp.InfoResp.Addr != 1 {
+		t.Fatalf("pool → legacy peer = %+v, %v", resp, err)
+	}
+
+	// Legacy one-shot gob transport → sniffing server: read the entry the
+	// binary codec wrote.
+	old := NewTCPTransport(2 * time.Second)
+	old.SetEndpoint(0, ln.Addr().String())
+	got, err := old.Call(0, &wire.Message{Kind: wire.KindGet, From: addr.Nil,
+		Get: &wire.GetReq{Key: e.Key, Name: "interop"}})
+	if err != nil {
+		t.Fatalf("legacy get: %v", err)
+	}
+	if got.GetResp == nil || !got.GetResp.Found || got.GetResp.Entry != e {
+		t.Fatalf("entry written via binary, read via gob = %+v", got.GetResp)
+	}
+
+	// Forced-gob pool → sniffing server: the escape hatch speaks legacy
+	// frames to a new server.
+	gobPool := NewPoolTransport(PoolConfig{DialTimeout: 2 * time.Second, IOTimeout: 2 * time.Second,
+		Size: 2, ForceGob: true})
+	defer gobPool.Close()
+	gobPool.SetEndpoint(0, ln.Addr().String())
+	if resp, err := gobPool.Call(0, &wire.Message{Kind: wire.KindGet, From: addr.Nil,
+		Get: &wire.GetReq{Key: e.Key, Name: "interop"}}); err != nil ||
+		resp.GetResp == nil || resp.GetResp.Entry != e {
+		t.Fatalf("forced-gob pool read = %+v, %v", resp, err)
+	}
+
+	// The telemetry saw both codecs dialed by the main pool.
+	if bin := counterVal(t, tel, telemetry.Label("pgrid_pool_dials_codec_total", "codec", "binary")); bin < 1 {
+		t.Errorf("binary dials = %d, want ≥ 1", bin)
+	}
+	if gob := counterVal(t, tel, telemetry.Label("pgrid_pool_dials_codec_total", "codec", "gob")); gob < 1 {
+		t.Errorf("gob fallback dials = %d, want ≥ 1", gob)
+	}
+}
+
+// TestTCPPooledExchangeAndQuery runs the full P-Grid protocol — meetings,
+// splits, recursion, then routing — over the pooled multiplexed binary
+// transport, proving the fast wire carries the actual algorithm and not
+// just echo RPCs.
+func TestTCPPooledExchangeAndQuery(t *testing.T) {
+	nodes, pt, stop := startPooledCluster(t, 8, PoolConfig{
+		DialTimeout: 2 * time.Second, IOTimeout: 2 * time.Second, Size: 2})
+	defer stop()
+
+	rng := rand.New(rand.NewSource(5))
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		a := rng.Intn(len(nodes))
+		b := rng.Intn(len(nodes) - 1)
+		if b >= a {
+			b++
+		}
+		nodes[a].Exchange(addr.Addr(b))
+		sum := 0
+		for _, n := range nodes {
+			sum += n.Path().Len()
+		}
+		if float64(sum)/float64(len(nodes)) >= 2 {
+			break
+		}
+	}
+	sum := 0
+	for _, n := range nodes {
+		sum += n.Path().Len()
+	}
+	if float64(sum)/float64(len(nodes)) < 2 {
+		t.Fatalf("pooled cluster did not reach depth 2 (avg %.2f)", float64(sum)/8)
+	}
+
+	for i := 0; i < 50; i++ {
+		key := bitpath.Random(rng, 4)
+		start := nodes[rng.Intn(len(nodes))]
+		res := start.Query(key)
+		if !res.Found {
+			continue
+		}
+		var resp *Node
+		for _, n := range nodes {
+			if n.Addr() == res.Peer {
+				resp = n
+			}
+		}
+		if !bitpath.Comparable(resp.Path(), key) {
+			t.Fatalf("query %s over pooled wire ended at %q", key, resp.Path())
+		}
+	}
+	if st := pt.Stats(); st.Reuses <= st.Dials {
+		t.Errorf("pool barely reused: %+v", st)
+	}
+}
+
+// flakySwitch injects Transient failures between the resilient layer and
+// the pool without touching the pool's own connections — the breaker sees
+// failures while the warm sockets stay open, which is exactly the state
+// the eviction hook exists for.
+type flakySwitch struct {
+	inner Transport
+	fail  atomic.Bool
+}
+
+func (f *flakySwitch) Call(to addr.Addr, m *wire.Message) (*wire.Message, error) {
+	if f.fail.Load() {
+		return nil, fmt.Errorf("%w: injected failure for %v", ErrOffline, to)
+	}
+	return f.inner.Call(to, m)
+}
+
+// TestPoolBreakerEviction wires resilience onto the pool the way the
+// binaries do — OnPeerState evicts on open — and pins the satellite
+// contract: the breaker opening closes the peer's warm connections, and
+// after recovery the half-open probe's single dial repopulates the pool
+// so subsequent calls reuse it rather than re-dialing.
+func TestPoolBreakerEviction(t *testing.T) {
+	_, pt, stop := startPooledCluster(t, 1, PoolConfig{
+		DialTimeout: 2 * time.Second, IOTimeout: 2 * time.Second, Size: 2})
+	defer stop()
+
+	flaky := &flakySwitch{inner: pt}
+	var evicted atomic.Int64
+	rt := resilience.Wrap(flaky, resilience.Options{
+		Retry:    resilience.Policy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+		Breaker:  resilience.BreakerConfig{Threshold: 3, Cooldown: 100 * time.Millisecond},
+		Classify: Classify,
+		Seed:     1,
+		Sleep:    func(time.Duration) {},
+		OnPeerState: func(peer addr.Addr, from, to resilience.BreakerState) {
+			if to == resilience.StateOpen {
+				evicted.Add(1)
+				pt.Evict(peer)
+			}
+		},
+	})
+
+	info := &wire.Message{Kind: wire.KindInfo, From: addr.Nil}
+	if _, err := rt.Call(0, info); err != nil {
+		t.Fatal(err)
+	}
+	if st := pt.Stats(); st.Open != 1 || st.Dials != 1 {
+		t.Fatalf("warmup stats = %+v", st)
+	}
+
+	// Trip the breaker: Threshold consecutive Transient failures.
+	flaky.fail.Store(true)
+	for i := 0; i < 3; i++ {
+		if _, err := rt.Call(0, info); err == nil {
+			t.Fatal("injected failure succeeded")
+		}
+	}
+	if evicted.Load() != 1 {
+		t.Fatalf("breaker open fired OnPeerState %d times, want 1", evicted.Load())
+	}
+	st := pt.Stats()
+	if st.Evictions != 1 || st.Open != 0 {
+		t.Fatalf("open breaker left pool warm: %+v", st)
+	}
+
+	// While open, calls fast-fail locally: no dials reach the pool.
+	if _, err := rt.Call(0, info); !errors.Is(err, resilience.ErrBreakerOpen) {
+		t.Fatalf("open breaker let a call through: %v", err)
+	}
+	if got := pt.Stats().Dials; got != st.Dials {
+		t.Errorf("fast-fail dialed: %d → %d", st.Dials, got)
+	}
+
+	// Recovery: after the cooldown the half-open probe dials exactly once,
+	// and every later call reuses that connection.
+	flaky.fail.Store(false)
+	time.Sleep(150 * time.Millisecond)
+	if _, err := rt.Call(0, info); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	probe := pt.Stats()
+	if probe.Dials != st.Dials+1 {
+		t.Fatalf("half-open probe dials = %d, want %d", probe.Dials, st.Dials+1)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := rt.Call(0, info); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final := pt.Stats()
+	if final.Dials != probe.Dials {
+		t.Errorf("post-recovery calls re-dialed: %d → %d", probe.Dials, final.Dials)
+	}
+	if final.Reuses <= probe.Reuses {
+		t.Errorf("post-recovery calls did not reuse the probe's connection: %+v", final)
+	}
+}
+
+// TestPoolHalfOpenProbeReusesConnection covers the breaker tripping
+// WITHOUT the eviction hook (failures above the pool, warm socket still
+// healthy): the half-open probe must go out over the existing pooled
+// connection, not a fresh dial.
+func TestPoolHalfOpenProbeReusesConnection(t *testing.T) {
+	_, pt, stop := startPooledCluster(t, 1, PoolConfig{
+		DialTimeout: 2 * time.Second, IOTimeout: 2 * time.Second, Size: 2})
+	defer stop()
+
+	flaky := &flakySwitch{inner: pt}
+	rt := resilience.Wrap(flaky, resilience.Options{
+		Retry:    resilience.Policy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+		Breaker:  resilience.BreakerConfig{Threshold: 3, Cooldown: 50 * time.Millisecond},
+		Classify: Classify,
+		Seed:     2,
+		Sleep:    func(time.Duration) {},
+	})
+
+	info := &wire.Message{Kind: wire.KindInfo, From: addr.Nil}
+	if _, err := rt.Call(0, info); err != nil {
+		t.Fatal(err)
+	}
+	flaky.fail.Store(true)
+	for i := 0; i < 3; i++ {
+		rt.Call(0, info)
+	}
+	tripped := pt.Stats()
+	if tripped.Open != 1 || tripped.Dials != 1 {
+		t.Fatalf("injected failures touched the pool: %+v", tripped)
+	}
+
+	flaky.fail.Store(false)
+	time.Sleep(80 * time.Millisecond)
+	if _, err := rt.Call(0, info); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	st := pt.Stats()
+	if st.Dials != tripped.Dials {
+		t.Errorf("half-open probe re-dialed a healthy pooled connection: %d → %d dials", tripped.Dials, st.Dials)
+	}
+	if st.Reuses != tripped.Reuses+1 {
+		t.Errorf("half-open probe reuses = %d, want %d", st.Reuses, tripped.Reuses+1)
+	}
+}

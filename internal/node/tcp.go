@@ -1,6 +1,7 @@
 package node
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -149,6 +150,11 @@ func (s *Server) Serve(ctx context.Context) error {
 	}
 }
 
+// serveBinaryConcurrency bounds the request goroutines one multiplexed
+// connection may have in flight at once; further frames queue in the read
+// loop, applying backpressure through TCP itself.
+const serveBinaryConcurrency = 64
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		s.mu.Lock()
@@ -157,8 +163,21 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 		s.wg.Done()
 	}()
+	// Sniff the codec from the first byte: binary frames open with the
+	// magic, gob frames with a length prefix whose high byte is ≤ 0x01.
+	// The choice is per connection — a gob-only dialer keeps the legacy
+	// sequential protocol, a binary dialer gets the multiplexed one.
+	br := bufio.NewReader(conn)
+	isBin, err := wire.IsBinaryFrame(br)
+	if err != nil {
+		return
+	}
+	if isBin {
+		s.serveBinary(conn, br)
+		return
+	}
 	for {
-		msg, err := wire.ReadMessage(conn)
+		msg, err := wire.ReadMessage(br)
 		if err != nil {
 			return // client closed or sent garbage; drop the connection
 		}
@@ -169,6 +188,46 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := wire.WriteMessage(conn, resp); err != nil {
 			return
 		}
+	}
+}
+
+// serveBinary runs the multiplexed binary protocol: requests are decoded
+// in arrival order but handled concurrently, and each response frame
+// echoes its request's sequence id so the dialer's demux can route it.
+// Responses may therefore interleave out of order — that is the point.
+func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
+	var (
+		wmu sync.Mutex
+		wg  sync.WaitGroup
+	)
+	defer wg.Wait()
+	sem := make(chan struct{}, serveBinaryConcurrency)
+	for {
+		seq, flags, msg, err := wire.ReadFrame(br)
+		if err != nil {
+			// Corrupt frames poison the stream framing itself — there is
+			// no way to resynchronize on a byte stream — so any read
+			// error drops the connection.
+			return
+		}
+		if !s.node.Online() {
+			return // simulate an unreachable peer: no answer
+		}
+		if flags&wire.FlagResponse != 0 {
+			continue // a confused client; requests only on this side
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(seq uint32, msg *wire.Message) {
+			defer func() { <-sem; wg.Done() }()
+			resp := s.node.Handle(msg)
+			wmu.Lock()
+			err := wire.WriteFrame(conn, seq, wire.FlagResponse, resp)
+			wmu.Unlock()
+			if err != nil {
+				conn.Close() // the read loop will see the close and exit
+			}
+		}(seq, msg)
 	}
 }
 

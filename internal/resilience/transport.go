@@ -40,6 +40,13 @@ type Options struct {
 	// Tel, when non-nil, receives the pgrid_resilience_* metrics.
 	Tel *telemetry.Instruments
 
+	// OnPeerState, when non-nil, is notified of every breaker state
+	// transition with the peer it belongs to — the hook a pooling
+	// transport uses to evict a peer's connections when its breaker
+	// opens. Called under that peer's breaker lock: keep it fast and do
+	// not call back into this transport.
+	OnPeerState func(peer addr.Addr, from, to BreakerState)
+
 	// Sleep overrides backoff sleeping in tests (nil means time.Sleep).
 	Sleep func(time.Duration)
 }
@@ -97,7 +104,13 @@ func (t *ResilientTransport) breaker(to addr.Addr) *Breaker {
 	defer t.mu.Unlock()
 	if b = t.breakers[to]; b == nil {
 		b = NewBreaker(t.opt.Breaker)
-		b.onTransition = t.observeTransition
+		peer := to
+		b.onTransition = func(from, next BreakerState) {
+			t.observeTransition(from, next)
+			if t.opt.OnPeerState != nil {
+				t.opt.OnPeerState(peer, from, next)
+			}
+		}
 		t.breakers[to] = b
 	}
 	return b

@@ -97,6 +97,14 @@ type Instruments struct {
 	healthMinLevel *Gauge
 	healthRounds   *Gauge
 
+	poolOpen       *Gauge
+	poolInFlight   *Gauge
+	poolDials      *Counter
+	poolReuses     *Counter
+	poolEvictions  *Counter
+	poolIdleCloses *Counter
+	poolConnLost   *Counter
+
 	labeledMu sync.RWMutex
 	labeled   map[string]*Counter
 }
@@ -151,6 +159,13 @@ func New(node int) *Instruments {
 	t.healthLiveness = r.Gauge("pgrid_health_liveness_permille", "overall reference liveness ratio in permille (-1 before any probe)")
 	t.healthMinLevel = r.Gauge("pgrid_health_level_liveness_min_permille", "worst per-level reference liveness ratio in permille (-1 before any probe)")
 	t.healthRounds = r.Gauge("pgrid_health_probe_rounds", "completed background probe rounds")
+	t.poolOpen = r.Gauge("pgrid_pool_conns_open", "pooled connections currently open")
+	t.poolInFlight = r.Gauge("pgrid_pool_requests_in_flight", "requests currently multiplexed over pooled connections")
+	t.poolDials = r.Counter("pgrid_pool_dials_total", "connections dialed by the pool")
+	t.poolReuses = r.Counter("pgrid_pool_reuses_total", "calls served over an already-open pooled connection")
+	t.poolEvictions = r.Counter("pgrid_pool_evictions_total", "pooled connections evicted (breaker open or explicit)")
+	t.poolIdleCloses = r.Counter("pgrid_pool_idle_closes_total", "pooled connections reaped after sitting idle")
+	t.poolConnLost = r.Counter("pgrid_pool_conn_lost_total", "pooled connections that died with requests in flight")
 	return t
 }
 
@@ -392,6 +407,61 @@ func (t *Instruments) ResilienceBudgetTokens(milli int64) {
 		return
 	}
 	t.resBudgetTokens.Set(milli)
+}
+
+// PoolGauges publishes the pool's current open-connection and in-flight
+// request counts.
+func (t *Instruments) PoolGauges(open, inFlight int64) {
+	if t == nil {
+		return
+	}
+	t.poolOpen.Set(open)
+	t.poolInFlight.Set(inFlight)
+}
+
+// PoolDial records one connection dialed by the pool, labeled by the codec
+// the connection ended up speaking ("binary", "gob").
+func (t *Instruments) PoolDial(codec string) {
+	if t == nil {
+		return
+	}
+	t.poolDials.Inc()
+	t.labeledCounter("pgrid_pool_dials_codec_total", "codec", codec, "pool dials by negotiated codec").Inc()
+}
+
+// PoolReuse records one call served over an already-open pooled connection.
+// The reuse ratio — reuses / (reuses + dials) — is how warm the pool runs.
+func (t *Instruments) PoolReuse() {
+	if t == nil {
+		return
+	}
+	t.poolReuses.Inc()
+}
+
+// PoolEviction records pooled connections dropped by an eviction (breaker
+// opening, explicit flush).
+func (t *Instruments) PoolEviction(n int) {
+	if t == nil {
+		return
+	}
+	t.poolEvictions.Add(int64(n))
+}
+
+// PoolIdleClose records one pooled connection reaped after sitting idle.
+func (t *Instruments) PoolIdleClose() {
+	if t == nil {
+		return
+	}
+	t.poolIdleCloses.Inc()
+}
+
+// PoolConnLost records one pooled connection that died with requests still
+// in flight (those requests fail Transient and may retry elsewhere).
+func (t *Instruments) PoolConnLost() {
+	if t == nil {
+		return
+	}
+	t.poolConnLost.Inc()
 }
 
 // Hedge records one launched hedge request and whether it won the race.

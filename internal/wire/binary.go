@@ -1,0 +1,927 @@
+// Binary frame codec — the fast path of the wire protocol.
+//
+// The gob codec (wire.go) is convenient but allocation-heavy: every frame
+// re-encodes type descriptors, every encode walks reflection, and every
+// decode allocates through it. This file implements the negotiated
+// replacement: a hand-rolled frame format with a fixed 13-byte header and
+// varint-packed payloads, encoded into pooled buffers so a request/response
+// round trip allocates close to nothing on the encode side.
+//
+// Frame layout (all multi-byte header fields big-endian):
+//
+//	offset  size  field
+//	0       2     magic 0x50 0x47 ("PG")
+//	2       1     codec version (BinaryVersion)
+//	3       1     message kind
+//	4       1     flags (FlagResponse, FlagGob)
+//	5       4     sequence id (multiplexing: responses echo the request's)
+//	9       4     payload length N
+//	13      N     payload
+//
+// The payload is the message envelope (From as a zigzag varint) followed by
+// the kind-specific body: bools are one byte, counts and lengths are
+// uvarints, signed integers are zigzag varints, high-entropy 64-bit values
+// (trace ids, hashes, versions) are fixed 8-byte big-endian, strings are
+// length-prefixed bytes, and bit paths are bit-packed MSB-first with zero
+// padding. Decoding is strict: unknown kinds, non-zero pad bits, counts
+// that exceed the remaining payload, and trailing garbage all surface
+// ErrCorrupt — never a panic and never an oversized allocation.
+//
+// Interop: a gob frame's first byte is its length prefix's high byte, which
+// MaxFrameSize caps at 0x01 — so the 0x50 magic byte is unambiguous and a
+// receiver can sniff the codec per connection (IsBinaryFrame). A frame with
+// FlagGob carries a gob-encoded Message as its payload: the negotiated
+// fallback that lets a binary-framing connection ship a payload only gob
+// can express.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/health"
+	"pgrid/internal/store"
+	"pgrid/internal/trace"
+)
+
+// BinaryVersion is the current binary codec version. Hello negotiation
+// picks min(dialer's max, listener's BinaryVersion); parsing a frame of a
+// different version is refused as corrupt, so a version bump must ride a
+// new negotiation round, never a silent format change.
+const BinaryVersion = 1
+
+// HeaderSize is the fixed binary frame header length in bytes.
+const HeaderSize = 13
+
+// Frame flag bits.
+const (
+	// FlagResponse marks a frame answering the sequence id it carries.
+	FlagResponse uint8 = 1 << 0
+	// FlagGob marks a payload encoded with gob instead of the binary
+	// body format — the compat escape hatch on a binary connection.
+	FlagGob uint8 = 1 << 1
+)
+
+const (
+	magic0 = 0x50 // 'P'
+	magic1 = 0x47 // 'G'
+)
+
+// ErrUnknownKind reports an encode request for a kind this codec version
+// has no body format for. (Decoding an unknown kind surfaces ErrCorrupt:
+// on the wire it is indistinguishable from a flipped kind byte.)
+var ErrUnknownKind = errors.New("wire: unknown message kind")
+
+// bufPool recycles encode buffers and frame payload scratch. Oversized
+// buffers (a huge scan response, say) are dropped instead of pinned.
+var bufPool = sync.Pool{New: func() any { return new(poolBuf) }}
+
+type poolBuf struct{ b []byte }
+
+const maxPooledBuf = 64 << 10
+
+func putBuf(pb *poolBuf) {
+	if cap(pb.b) <= maxPooledBuf {
+		pb.b = pb.b[:0]
+		bufPool.Put(pb)
+	}
+}
+
+// IsBinaryFrame reports whether the next frame on br is a binary frame,
+// peeking one byte without consuming it. A gob frame's first byte is at
+// most 0x01 (the length prefix under MaxFrameSize), so the magic byte
+// decides. io errors (including EOF before any byte) pass through.
+func IsBinaryFrame(br *bufio.Reader) (bool, error) {
+	b, err := br.Peek(1)
+	if err != nil {
+		return false, err
+	}
+	return b[0] == magic0, nil
+}
+
+// AppendFrame appends one complete binary frame carrying m to dst and
+// returns the extended slice. The caller owns dst; nothing is retained.
+func AppendFrame(dst []byte, seq uint32, flags uint8, m *Message) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, magic0, magic1, BinaryVersion, byte(m.Kind), flags,
+		0, 0, 0, 0, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(dst[start+5:start+9], seq)
+	var err error
+	if flags&FlagGob != 0 {
+		var fb frameBuffer
+		if err := gob.NewEncoder(&fb).Encode(m); err != nil {
+			return dst[:start], fmt.Errorf("wire: gob payload encode: %w", err)
+		}
+		dst = append(dst, fb.b...)
+	} else if dst, err = appendMessageBody(dst, m); err != nil {
+		return dst[:start], err
+	}
+	n := len(dst) - start - HeaderSize
+	if n > MaxFrameSize {
+		return dst[:start], ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(dst[start+9:start+13], uint32(n))
+	return dst, nil
+}
+
+// WriteFrame encodes m into a pooled buffer and writes it to w as one
+// contiguous frame (a single Write call, so concurrent writers serialized
+// by a mutex never interleave partial frames).
+func WriteFrame(w io.Writer, seq uint32, flags uint8, m *Message) error {
+	pb := bufPool.Get().(*poolBuf)
+	defer putBuf(pb)
+	b, err := AppendFrame(pb.b[:0], seq, flags, m)
+	if err != nil {
+		return err
+	}
+	pb.b = b
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one binary frame from r. io.EOF before any header byte
+// is returned verbatim (clean close); any malformed header or payload is
+// ErrCorrupt. The returned message shares nothing with internal buffers.
+func ReadFrame(r io.Reader) (seq uint32, flags uint8, m *Message, err error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, 0, nil, io.EOF
+		}
+		return 0, 0, nil, fmt.Errorf("wire: read frame header: %w", err)
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return 0, 0, nil, fmt.Errorf("%w: bad frame magic %02x%02x", ErrCorrupt, hdr[0], hdr[1])
+	}
+	if hdr[2] != BinaryVersion {
+		return 0, 0, nil, fmt.Errorf("%w: unsupported binary codec version %d", ErrCorrupt, hdr[2])
+	}
+	kind := Kind(hdr[3])
+	flags = hdr[4]
+	seq = binary.BigEndian.Uint32(hdr[5:9])
+	n := binary.BigEndian.Uint32(hdr[9:13])
+	if n > MaxFrameSize {
+		return 0, 0, nil, ErrFrameTooLarge
+	}
+	pb := bufPool.Get().(*poolBuf)
+	defer putBuf(pb)
+	if cap(pb.b) < int(n) {
+		pb.b = make([]byte, n)
+	}
+	pb.b = pb.b[:n]
+	if _, err := io.ReadFull(r, pb.b); err != nil {
+		return 0, 0, nil, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	if flags&FlagGob != 0 {
+		var gm Message
+		if err := gob.NewDecoder(&frameBuffer{b: pb.b}).Decode(&gm); err != nil {
+			return 0, 0, nil, fmt.Errorf("%w: gob payload decode: %v", ErrCorrupt, err)
+		}
+		return seq, flags, &gm, nil
+	}
+	m, err = decodeMessageBody(kind, pb.b)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return seq, flags, m, nil
+}
+
+// ReadAuto reads one message in whichever codec the sender used, sniffing
+// the first byte: binary frames decode through ReadFrame (sequence id
+// discarded), anything else through the legacy gob path. This is the
+// gob-fallback read path a mixed-codec receiver runs.
+func ReadAuto(br *bufio.Reader) (*Message, error) {
+	isBin, err := IsBinaryFrame(br)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: sniff codec: %w", err)
+	}
+	if isBin {
+		_, _, m, err := ReadFrame(br)
+		return m, err
+	}
+	return ReadMessage(br)
+}
+
+// --- encode ----------------------------------------------------------------
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func appendVarint(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+func appendU64(b []byte, v uint64) []byte     { return binary.BigEndian.AppendUint64(b, v) }
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendPath bit-packs a path MSB-first: uvarint bit count, then
+// ceil(n/8) bytes with zero padding in the trailing byte.
+func appendPath(b []byte, p bitpath.Path) []byte {
+	b = appendUvarint(b, uint64(len(p)))
+	var cur byte
+	for i := 0; i < len(p); i++ {
+		cur = cur<<1 | (p[i]-'0')&1
+		if i%8 == 7 {
+			b = append(b, cur)
+			cur = 0
+		}
+	}
+	if r := len(p) % 8; r != 0 {
+		b = append(b, cur<<(8-r))
+	}
+	return b
+}
+
+func appendAddr(b []byte, a addr.Addr) []byte { return appendVarint(b, int64(a)) }
+
+func appendRefSet(b []byte, r RefSet) []byte {
+	b = appendUvarint(b, uint64(len(r.Addrs)))
+	for _, a := range r.Addrs {
+		b = appendAddr(b, a)
+	}
+	return b
+}
+
+func appendEntry(b []byte, e store.Entry) []byte {
+	b = appendPath(b, e.Key)
+	b = appendString(b, e.Name)
+	b = appendAddr(b, e.Holder)
+	return appendU64(b, e.Version)
+}
+
+func appendEntries(b []byte, es []store.Entry) []byte {
+	b = appendUvarint(b, uint64(len(es)))
+	for _, e := range es {
+		b = appendEntry(b, e)
+	}
+	return b
+}
+
+func appendSpan(b []byte, s trace.Span) []byte {
+	b = appendU64(b, s.ID)
+	b = appendU64(b, s.Parent)
+	b = appendAddr(b, s.Peer)
+	b = appendPath(b, s.Path)
+	b = appendVarint(b, int64(s.Level))
+	b = appendAddr(b, s.Ref)
+	b = appendBool(b, s.Matched)
+	b = appendBool(b, s.Backtracked)
+	return appendVarint(b, s.LatencyNS)
+}
+
+func appendSpans(b []byte, ss []trace.Span) []byte {
+	b = appendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendSpan(b, s)
+	}
+	return b
+}
+
+// appendMessageBody encodes the envelope and the kind-selected payload.
+// Payload pointers not selected by the kind are not encoded — the kind is
+// the discriminator, exactly as the handler dispatch reads it.
+func appendMessageBody(b []byte, m *Message) ([]byte, error) {
+	b = appendAddr(b, m.From)
+	switch m.Kind {
+	case KindQuery:
+		b = appendBool(b, m.Query != nil)
+		if q := m.Query; q != nil {
+			b = appendPath(b, q.Key)
+			b = appendVarint(b, int64(q.Level))
+			b = appendBool(b, q.Ctx != nil)
+			if c := q.Ctx; c != nil {
+				b = appendU64(b, c.TraceID)
+				b = appendU64(b, c.Parent)
+				b = appendVarint(b, int64(c.Budget))
+				b = appendBool(b, c.Sampled)
+			}
+		}
+	case KindQueryResp:
+		b = appendBool(b, m.QueryResp != nil)
+		if q := m.QueryResp; q != nil {
+			b = appendBool(b, q.Found)
+			b = appendAddr(b, q.Peer)
+			b = appendPath(b, q.Path)
+			b = appendVarint(b, int64(q.Messages))
+			b = appendVarint(b, int64(q.Backtracks))
+			b = appendSpans(b, q.Spans)
+		}
+	case KindExchange:
+		b = appendBool(b, m.Exchange != nil)
+		if e := m.Exchange; e != nil {
+			b = appendPath(b, e.Path)
+			b = appendUvarint(b, uint64(len(e.Refs)))
+			for _, r := range e.Refs {
+				b = appendRefSet(b, r)
+			}
+			b = appendVarint(b, int64(e.Depth))
+		}
+	case KindExchangeResp:
+		b = appendBool(b, m.ExchangeResp != nil)
+		if e := m.ExchangeResp; e != nil {
+			b = appendPath(b, e.BasePath)
+			b = appendBool(b, e.Extend)
+			b = append(b, e.ExtendBit&1)
+			b = appendRefSet(b, e.ExtendRefs)
+			b = appendUvarint(b, uint64(len(e.SetRefs)))
+			for _, level := range sortedLevels(e.SetRefs) {
+				b = appendVarint(b, int64(level))
+				b = appendRefSet(b, e.SetRefs[level])
+			}
+			b = appendBool(b, e.AddBuddy)
+			b = appendUvarint(b, uint64(len(e.ForwardTo)))
+			for _, a := range e.ForwardTo {
+				b = appendAddr(b, a)
+			}
+			b = appendEntries(b, e.Handover)
+		}
+	case KindApply:
+		b = appendBool(b, m.Apply != nil)
+		if a := m.Apply; a != nil {
+			b = appendEntry(b, a.Entry)
+		}
+	case KindApplyResp:
+		b = appendBool(b, m.ApplyResp != nil)
+		if a := m.ApplyResp; a != nil {
+			b = appendBool(b, a.Changed)
+		}
+	case KindGet:
+		b = appendBool(b, m.Get != nil)
+		if g := m.Get; g != nil {
+			b = appendPath(b, g.Key)
+			b = appendString(b, g.Name)
+		}
+	case KindGetResp:
+		b = appendBool(b, m.GetResp != nil)
+		if g := m.GetResp; g != nil {
+			b = appendEntry(b, g.Entry)
+			b = appendBool(b, g.Found)
+		}
+	case KindInfo, KindStats:
+		// No request payload.
+	case KindInfoResp:
+		b = appendBool(b, m.InfoResp != nil)
+		if i := m.InfoResp; i != nil {
+			b = appendAddr(b, i.Addr)
+			b = appendPath(b, i.Path)
+			b = appendUvarint(b, uint64(len(i.Refs)))
+			for _, r := range i.Refs {
+				b = appendRefSet(b, r)
+			}
+			b = appendRefSet(b, i.Buddies)
+			b = appendVarint(b, int64(i.Entries))
+		}
+	case KindScan:
+		b = appendBool(b, m.Scan != nil)
+		if s := m.Scan; s != nil {
+			b = appendPath(b, s.Prefix)
+		}
+	case KindScanResp:
+		b = appendBool(b, m.ScanResp != nil)
+		if s := m.ScanResp; s != nil {
+			b = appendEntries(b, s.Entries)
+		}
+	case KindStatsResp:
+		b = appendBool(b, m.StatsResp != nil)
+		if s := m.StatsResp; s != nil {
+			b = appendVarint(b, int64(s.Schema))
+			b = appendUvarint(b, uint64(len(s.Stats)))
+			for _, st := range s.Stats {
+				b = appendString(b, st.Name)
+				b = appendVarint(b, st.Value)
+			}
+		}
+	case KindError:
+		b = appendString(b, m.Error)
+	case KindTraces:
+		b = appendBool(b, m.Traces != nil)
+		if t := m.Traces; t != nil {
+			b = appendVarint(b, int64(t.Limit))
+		}
+	case KindTracesResp:
+		b = appendBool(b, m.TracesResp != nil)
+		if t := m.TracesResp; t != nil {
+			b = appendU64(b, t.Total)
+			b = appendUvarint(b, uint64(len(t.Traces)))
+			for _, dt := range t.Traces {
+				b = appendU64(b, dt.TraceID)
+				b = appendPath(b, dt.Key)
+				b = appendBool(b, dt.Found)
+				b = appendVarint(b, int64(dt.Messages))
+				b = appendVarint(b, int64(dt.Backtracks))
+				b = appendSpans(b, dt.Spans)
+			}
+		}
+	case KindHealth:
+		b = appendBool(b, m.Health != nil)
+		if h := m.Health; h != nil {
+			b = appendBool(b, h.WantLiveness)
+		}
+	case KindHealthResp:
+		b = appendBool(b, m.HealthResp != nil)
+		if h := m.HealthResp; h != nil {
+			d := h.Digest
+			b = appendAddr(b, d.Addr)
+			b = appendPath(b, d.Path)
+			b = appendVarint(b, int64(d.Entries))
+			b = appendU64(b, d.MaxVersion)
+			b = appendU64(b, d.IndexHash)
+			b = appendUvarint(b, uint64(len(d.RefCounts)))
+			for _, c := range d.RefCounts {
+				b = appendVarint(b, int64(c))
+			}
+			b = appendVarint(b, int64(d.Buddies))
+			b = appendUvarint(b, uint64(len(d.Liveness)))
+			for _, lp := range d.Liveness {
+				b = appendVarint(b, int64(lp.Level))
+				b = appendVarint(b, lp.Live)
+				b = appendVarint(b, lp.Dead)
+			}
+			b = appendVarint(b, h.Rounds)
+		}
+	case KindBatch, KindBatchResp:
+		msgs, err := batchMsgs(m)
+		if err != nil {
+			return b, err
+		}
+		b = appendUvarint(b, uint64(len(msgs)))
+		for i := range msgs {
+			sub := &msgs[i]
+			if sub.Kind == KindBatch || sub.Kind == KindBatchResp {
+				return b, fmt.Errorf("wire: nested batch message")
+			}
+			b = append(b, byte(sub.Kind))
+			var err error
+			if b, err = appendMessageBody(b, sub); err != nil {
+				return b, err
+			}
+		}
+	case KindHello:
+		b = appendBool(b, m.Hello != nil)
+		if h := m.Hello; h != nil {
+			b = append(b, h.MaxCodec)
+		}
+	case KindHelloResp:
+		b = appendBool(b, m.HelloResp != nil)
+		if h := m.HelloResp; h != nil {
+			b = append(b, h.Codec)
+		}
+	default:
+		return b, fmt.Errorf("%w: %v", ErrUnknownKind, m.Kind)
+	}
+	return b, nil
+}
+
+// batchMsgs returns the sub-message slice of a batch envelope (either
+// direction); a nil payload encodes as an empty batch.
+func batchMsgs(m *Message) ([]Message, error) {
+	if m.Kind == KindBatch {
+		if m.Batch == nil {
+			return nil, nil
+		}
+		return m.Batch.Msgs, nil
+	}
+	if m.BatchResp == nil {
+		return nil, nil
+	}
+	return m.BatchResp.Msgs, nil
+}
+
+// sortedLevels returns the SetRefs keys ascending, so the encoding is
+// deterministic (gob's map ordering is not; ours is).
+func sortedLevels(m map[int]RefSet) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ { // tiny maps: insertion sort beats sort.Ints
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// --- decode ----------------------------------------------------------------
+
+// bdec is a sticky-error payload decoder: the first malformed field poisons
+// the decoder and every later get returns a zero value, so decode functions
+// read linearly and check err once.
+type bdec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *bdec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrCorrupt, what, d.off)
+	}
+}
+
+// remaining returns the unread byte count.
+func (d *bdec) remaining() int { return len(d.b) - d.off }
+
+// need guards a count of variable-size elements against over-allocation:
+// every element costs at least min bytes, so a count the remaining payload
+// cannot hold is corrupt, not a huge make().
+func (d *bdec) need(count uint64, min int) bool {
+	if d.err != nil {
+		return false
+	}
+	if min < 1 {
+		min = 1
+	}
+	if count > uint64(d.remaining())/uint64(min) {
+		d.fail("count exceeds payload")
+		return false
+	}
+	return true
+}
+
+func (d *bdec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *bdec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *bdec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 8 {
+		d.fail("truncated u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *bdec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 1 {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *bdec) bool() bool {
+	switch d.byte() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("bad bool")
+		return false
+	}
+}
+
+func (d *bdec) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(d.remaining()) {
+		d.fail("truncated string")
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)]) // copies out of the pooled buffer
+	d.off += int(n)
+	return s
+}
+
+func (d *bdec) path() bitpath.Path {
+	nbits := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	nbytes := (nbits + 7) / 8
+	if nbytes > uint64(d.remaining()) {
+		d.fail("truncated path")
+		return ""
+	}
+	out := make([]byte, nbits)
+	for i := uint64(0); i < nbits; i++ {
+		bit := d.b[d.off+int(i/8)] >> (7 - i%8) & 1
+		out[i] = '0' + bit
+	}
+	// Canonical encoding: pad bits in the trailing byte must be zero.
+	if r := nbits % 8; r != 0 {
+		if d.b[d.off+int(nbytes)-1]&(0xff>>r) != 0 {
+			d.fail("non-zero path padding")
+			return ""
+		}
+	}
+	d.off += int(nbytes)
+	return bitpath.Path(out)
+}
+
+func (d *bdec) addr() addr.Addr {
+	v := d.varint()
+	if v < int64(addr.Nil) || v > int64(^uint32(0)>>1) {
+		d.fail("address out of range")
+		return addr.Nil
+	}
+	return addr.Addr(v)
+}
+
+func (d *bdec) int() int { return int(d.varint()) }
+
+func (d *bdec) refSet() RefSet {
+	n := d.uvarint()
+	if !d.need(n, 1) || n == 0 {
+		return RefSet{}
+	}
+	out := make([]addr.Addr, n)
+	for i := range out {
+		out[i] = d.addr()
+	}
+	return RefSet{Addrs: out}
+}
+
+func (d *bdec) entry() store.Entry {
+	return store.Entry{Key: d.path(), Name: d.string(), Holder: d.addr(), Version: d.u64()}
+}
+
+func (d *bdec) entries() []store.Entry {
+	n := d.uvarint()
+	if !d.need(n, 2) || n == 0 {
+		return nil
+	}
+	out := make([]store.Entry, n)
+	for i := range out {
+		out[i] = d.entry()
+	}
+	return out
+}
+
+func (d *bdec) span() trace.Span {
+	return trace.Span{
+		ID: d.u64(), Parent: d.u64(), Peer: d.addr(), Path: d.path(),
+		Level: d.int(), Ref: d.addr(), Matched: d.bool(),
+		Backtracked: d.bool(), LatencyNS: d.varint(),
+	}
+}
+
+func (d *bdec) spans() []trace.Span {
+	n := d.uvarint()
+	if !d.need(n, 16) || n == 0 {
+		return nil
+	}
+	out := make([]trace.Span, n)
+	for i := range out {
+		out[i] = d.span()
+	}
+	return out
+}
+
+// decodeMessageBody decodes one binary payload. Strict: the payload must
+// be consumed exactly, unknown kinds and malformed fields are ErrCorrupt.
+func decodeMessageBody(kind Kind, body []byte) (*Message, error) {
+	d := &bdec{b: body}
+	m, err := decodeInto(d, kind, false)
+	if err != nil {
+		return nil, err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %v payload", ErrCorrupt, len(d.b)-d.off, kind)
+	}
+	return m, nil
+}
+
+// decodeInto decodes the envelope and payload for kind. nested guards
+// batch recursion: sub-messages of a batch must not be batches.
+func decodeInto(d *bdec, kind Kind, nested bool) (*Message, error) {
+	m := &Message{Kind: kind, From: d.addr()}
+	switch kind {
+	case KindQuery:
+		if d.bool() {
+			q := &QueryReq{Key: d.path(), Level: d.int()}
+			if d.bool() {
+				q.Ctx = &trace.SpanContext{TraceID: d.u64(), Parent: d.u64(),
+					Budget: d.int(), Sampled: d.bool()}
+			}
+			m.Query = q
+		}
+	case KindQueryResp:
+		if d.bool() {
+			m.QueryResp = &QueryResp{Found: d.bool(), Peer: d.addr(), Path: d.path(),
+				Messages: d.int(), Backtracks: d.int(), Spans: d.spans()}
+		}
+	case KindExchange:
+		if d.bool() {
+			e := &ExchangeReq{Path: d.path()}
+			if n := d.uvarint(); d.need(n, 1) && n > 0 {
+				e.Refs = make([]RefSet, n)
+				for i := range e.Refs {
+					e.Refs[i] = d.refSet()
+				}
+			}
+			e.Depth = d.int()
+			m.Exchange = e
+		}
+	case KindExchangeResp:
+		if d.bool() {
+			e := &ExchangeResp{BasePath: d.path(), Extend: d.bool(), ExtendBit: d.byte()}
+			if e.ExtendBit > 1 {
+				d.fail("bad extend bit")
+			}
+			e.ExtendRefs = d.refSet()
+			if n := d.uvarint(); d.need(n, 2) && n > 0 {
+				e.SetRefs = make(map[int]RefSet, n)
+				for i := uint64(0); i < n; i++ {
+					level := d.int()
+					e.SetRefs[level] = d.refSet()
+				}
+				if uint64(len(e.SetRefs)) != n {
+					d.fail("duplicate SetRefs level")
+				}
+			}
+			e.AddBuddy = d.bool()
+			if n := d.uvarint(); d.need(n, 1) && n > 0 {
+				e.ForwardTo = make([]addr.Addr, n)
+				for i := range e.ForwardTo {
+					e.ForwardTo[i] = d.addr()
+				}
+			}
+			e.Handover = d.entries()
+			m.ExchangeResp = e
+		}
+	case KindApply:
+		if d.bool() {
+			m.Apply = &ApplyReq{Entry: d.entry()}
+		}
+	case KindApplyResp:
+		if d.bool() {
+			m.ApplyResp = &ApplyResp{Changed: d.bool()}
+		}
+	case KindGet:
+		if d.bool() {
+			m.Get = &GetReq{Key: d.path(), Name: d.string()}
+		}
+	case KindGetResp:
+		if d.bool() {
+			m.GetResp = &GetResp{Entry: d.entry(), Found: d.bool()}
+		}
+	case KindInfo, KindStats:
+		// No payload.
+	case KindInfoResp:
+		if d.bool() {
+			i := &InfoResp{Addr: d.addr(), Path: d.path()}
+			if n := d.uvarint(); d.need(n, 1) && n > 0 {
+				i.Refs = make([]RefSet, n)
+				for j := range i.Refs {
+					i.Refs[j] = d.refSet()
+				}
+			}
+			i.Buddies = d.refSet()
+			i.Entries = d.int()
+			m.InfoResp = i
+		}
+	case KindScan:
+		if d.bool() {
+			m.Scan = &ScanReq{Prefix: d.path()}
+		}
+	case KindScanResp:
+		if d.bool() {
+			m.ScanResp = &ScanResp{Entries: d.entries()}
+		}
+	case KindStatsResp:
+		if d.bool() {
+			s := &StatsResp{Schema: d.int()}
+			if n := d.uvarint(); d.need(n, 2) && n > 0 {
+				s.Stats = make([]Stat, n)
+				for i := range s.Stats {
+					s.Stats[i] = Stat{Name: d.string(), Value: d.varint()}
+				}
+			}
+			m.StatsResp = s
+		}
+	case KindError:
+		m.Error = d.string()
+	case KindTraces:
+		if d.bool() {
+			m.Traces = &TracesReq{Limit: d.int()}
+		}
+	case KindTracesResp:
+		if d.bool() {
+			t := &TracesResp{Total: d.u64()}
+			if n := d.uvarint(); d.need(n, 12) && n > 0 {
+				t.Traces = make([]trace.Trace, n)
+				for i := range t.Traces {
+					t.Traces[i] = trace.Trace{TraceID: d.u64(), Key: d.path(),
+						Found: d.bool(), Messages: d.int(), Backtracks: d.int(),
+						Spans: d.spans()}
+				}
+			}
+			m.TracesResp = t
+		}
+	case KindHealth:
+		if d.bool() {
+			m.Health = &HealthReq{WantLiveness: d.bool()}
+		}
+	case KindHealthResp:
+		if d.bool() {
+			h := &HealthResp{}
+			h.Digest = health.Digest{Addr: d.addr(), Path: d.path(),
+				Entries: d.int(), MaxVersion: d.u64(), IndexHash: d.u64()}
+			if n := d.uvarint(); d.need(n, 1) && n > 0 {
+				h.Digest.RefCounts = make([]int, n)
+				for i := range h.Digest.RefCounts {
+					h.Digest.RefCounts[i] = d.int()
+				}
+			}
+			h.Digest.Buddies = d.int()
+			if n := d.uvarint(); d.need(n, 3) && n > 0 {
+				h.Digest.Liveness = make([]health.LevelProbe, n)
+				for i := range h.Digest.Liveness {
+					h.Digest.Liveness[i] = health.LevelProbe{Level: d.int(),
+						Live: d.varint(), Dead: d.varint()}
+				}
+			}
+			h.Rounds = d.varint()
+			m.HealthResp = h
+		}
+	case KindBatch, KindBatchResp:
+		if nested {
+			d.fail("nested batch")
+			break
+		}
+		n := d.uvarint()
+		if d.need(n, 2) && n > 0 {
+			msgs := make([]Message, 0, n)
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				subKind := Kind(d.byte())
+				sub, err := decodeInto(d, subKind, true)
+				if err != nil {
+					return nil, err
+				}
+				msgs = append(msgs, *sub)
+			}
+			if kind == KindBatch {
+				m.Batch = &BatchReq{Msgs: msgs}
+			} else {
+				m.BatchResp = &BatchResp{Msgs: msgs}
+			}
+		}
+	case KindHello:
+		if d.bool() {
+			m.Hello = &HelloReq{MaxCodec: d.byte()}
+		}
+	case KindHelloResp:
+		if d.bool() {
+			m.HelloResp = &HelloResp{Codec: d.byte()}
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, uint8(kind))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return m, nil
+}

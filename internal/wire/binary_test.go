@@ -1,0 +1,495 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/bitpath"
+	"pgrid/internal/health"
+	"pgrid/internal/store"
+	"pgrid/internal/trace"
+)
+
+// sampleMessages returns one representative message per kind, with every
+// payload field populated (and a second, sparse variant where nil-ness
+// matters). The cross-codec and round-trip tests both iterate this set, so
+// a new kind that is added without extending it fails TestBinaryCoversAllKinds.
+func sampleMessages() []*Message {
+	p := bitpath.MustParse
+	entry := store.Entry{Key: p("0110"), Name: "doc-17", Holder: 9, Version: 0x1122334455667788}
+	span := trace.Span{ID: 0xdeadbeef01, Parent: 0xdeadbeef00, Peer: 7, Path: p("01"),
+		Level: 2, Ref: 3, Matched: true, Backtracked: true, LatencyNS: 125000}
+	return []*Message{
+		{Kind: KindQuery, From: 1, Query: &QueryReq{Key: p("010011"), Level: 3,
+			Ctx: &trace.SpanContext{TraceID: 0xfeedface, Parent: 77, Budget: 12, Sampled: true}}},
+		{Kind: KindQuery, From: 2, Query: &QueryReq{Key: p("1"), Level: 0}}, // untraced
+		{Kind: KindQuery, From: addr.Nil},                                   // nil payload
+		{Kind: KindQueryResp, From: 4, QueryResp: &QueryResp{Found: true, Peer: 11,
+			Path: p("0100"), Messages: 5, Backtracks: 2, Spans: []trace.Span{span, span}}},
+		{Kind: KindQueryResp, From: 4, QueryResp: &QueryResp{Found: false, Peer: addr.Nil}},
+		{Kind: KindExchange, From: 5, Exchange: &ExchangeReq{Path: p("110"),
+			Refs: []RefSet{{Addrs: []addr.Addr{1, 2}}, {}, {Addrs: []addr.Addr{9}}}, Depth: 2}},
+		{Kind: KindExchangeResp, From: 6, ExchangeResp: &ExchangeResp{
+			BasePath: p("110"), Extend: true, ExtendBit: 1,
+			ExtendRefs: RefSet{Addrs: []addr.Addr{4}},
+			SetRefs:    map[int]RefSet{1: {Addrs: []addr.Addr{2, 3}}, 3: {Addrs: []addr.Addr{8}}},
+			AddBuddy:   true, ForwardTo: []addr.Addr{5, 6},
+			Handover: []store.Entry{entry}}},
+		{Kind: KindExchangeResp, From: 6, ExchangeResp: &ExchangeResp{BasePath: p("")}},
+		{Kind: KindApply, From: 7, Apply: &ApplyReq{Entry: entry}},
+		{Kind: KindApplyResp, From: 8, ApplyResp: &ApplyResp{Changed: true}},
+		{Kind: KindGet, From: 9, Get: &GetReq{Key: p("00000001"), Name: "x"}},
+		{Kind: KindGetResp, From: 10, GetResp: &GetResp{Entry: entry, Found: true}},
+		{Kind: KindInfo, From: 11},
+		{Kind: KindInfoResp, From: 12, InfoResp: &InfoResp{Addr: 12, Path: p("0101"),
+			Refs:    []RefSet{{Addrs: []addr.Addr{1}}, {Addrs: []addr.Addr{2, 3}}},
+			Buddies: RefSet{Addrs: []addr.Addr{13}}, Entries: 44}},
+		{Kind: KindScan, From: 13, Scan: &ScanReq{Prefix: p("011")}},
+		{Kind: KindScanResp, From: 14, ScanResp: &ScanResp{Entries: []store.Entry{entry, entry}}},
+		{Kind: KindStats, From: 15},
+		{Kind: KindStatsResp, From: 16, StatsResp: &StatsResp{Schema: 1,
+			Stats: []Stat{{Name: "rpc_total", Value: 123}, {Name: "neg", Value: -7}}}},
+		{Kind: KindError, From: 17, Error: "node offline"},
+		{Kind: KindTraces, From: 18, Traces: &TracesReq{Limit: 32}},
+		{Kind: KindTracesResp, From: 19, TracesResp: &TracesResp{Total: 901,
+			Traces: []trace.Trace{{TraceID: 0xabc, Key: p("0101"), Found: true,
+				Messages: 3, Backtracks: 1, Spans: []trace.Span{span}}}}},
+		{Kind: KindHealth, From: 20, Health: &HealthReq{WantLiveness: true}},
+		{Kind: KindHealthResp, From: 21, HealthResp: &HealthResp{Rounds: 6,
+			Digest: health.Digest{Addr: 21, Path: p("10"), Entries: 8,
+				MaxVersion: 0x99, IndexHash: 0xdeadcafe, RefCounts: []int{2, 1, 3},
+				Buddies: 2, Liveness: []health.LevelProbe{{Level: 1, Live: 5, Dead: 1},
+					{Level: 2, Live: 2, Dead: 0}}}}},
+		{Kind: KindBatch, From: 22, Batch: &BatchReq{Msgs: []Message{
+			{Kind: KindApply, From: 22, Apply: &ApplyReq{Entry: entry}},
+			{Kind: KindInfo, From: 22},
+			{Kind: KindHealth, From: 22, Health: &HealthReq{WantLiveness: true}}}}},
+		{Kind: KindBatchResp, From: 23, BatchResp: &BatchResp{Msgs: []Message{
+			{Kind: KindApplyResp, From: 23, ApplyResp: &ApplyResp{Changed: false}},
+			{Kind: KindError, From: 23, Error: "no such handler"}}}},
+		{Kind: KindHello, From: 24, Hello: &HelloReq{MaxCodec: BinaryVersion}},
+		{Kind: KindHelloResp, From: 25, HelloResp: &HelloResp{Codec: BinaryVersion}},
+	}
+}
+
+// TestBinaryCoversAllKinds pins that the sample corpus exercises every
+// kind the codec knows, so forgetting to extend it is a test failure.
+func TestBinaryCoversAllKinds(t *testing.T) {
+	seen := map[Kind]bool{}
+	for _, m := range sampleMessages() {
+		seen[m.Kind] = true
+	}
+	for k := KindQuery; k <= KindHelloResp; k++ {
+		if k == 15 { // reserved
+			continue
+		}
+		if !seen[k] {
+			t.Errorf("sampleMessages has no %v message", k)
+		}
+	}
+}
+
+// TestBinaryRoundTrip encodes every sample through the binary codec and
+// requires an exact structural round trip, plus header fidelity.
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, 42, FlagResponse, m); err != nil {
+			t.Fatalf("%v: encode: %v", m.Kind, err)
+		}
+		seq, flags, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Kind, err)
+		}
+		if seq != 42 || flags != FlagResponse {
+			t.Fatalf("%v: header seq=%d flags=%d", m.Kind, seq, flags)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("%v round trip mismatch:\n got %+v\nwant %+v", m.Kind, got, m)
+		}
+	}
+}
+
+// TestBinaryGobFlagRoundTrip sends each sample as a FlagGob frame: binary
+// framing, gob payload — the negotiated fallback for payloads (or peers)
+// the binary body format cannot serve.
+func TestBinaryGobFlagRoundTrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, 7, FlagGob, m); err != nil {
+			t.Fatalf("%v: encode: %v", m.Kind, err)
+		}
+		_, flags, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Kind, err)
+		}
+		if flags&FlagGob == 0 {
+			t.Fatalf("%v: FlagGob lost", m.Kind)
+		}
+		if got.Kind != m.Kind || got.From != m.From {
+			t.Fatalf("%v: envelope mismatch: %+v", m.Kind, got)
+		}
+	}
+}
+
+// equivalent reports semantic equality across codecs: gob collapses empty
+// maps/slices to nil while the binary codec is already canonical about it,
+// so nil and len==0 compare equal everywhere.
+func equivalent(t *testing.T, kind Kind, a, b *Message) {
+	t.Helper()
+	norm := func(m *Message) *Message {
+		c := *m
+		if c.ExchangeResp != nil {
+			e := *c.ExchangeResp
+			if len(e.SetRefs) == 0 {
+				e.SetRefs = nil
+			}
+			if len(e.ForwardTo) == 0 {
+				e.ForwardTo = nil
+			}
+			if len(e.Handover) == 0 {
+				e.Handover = nil
+			}
+			if len(e.ExtendRefs.Addrs) == 0 {
+				e.ExtendRefs.Addrs = nil
+			}
+			c.ExchangeResp = &e
+		}
+		return &c
+	}
+	if !reflect.DeepEqual(norm(a), norm(b)) {
+		t.Fatalf("%v cross-codec mismatch:\n got %+v\nwant %+v", kind, a, b)
+	}
+}
+
+// TestCrossCodecGoldenVectors is the compat contract: every message kind
+// encoded by the legacy gob codec decodes identically through the binary
+// transport's fallback read path (ReadAuto sniffing), and every binary
+// frame is invisible to that same path's gob branch. A mixed-codec
+// community depends on exactly this.
+func TestCrossCodecGoldenVectors(t *testing.T) {
+	for _, m := range sampleMessages() {
+		// gob encoding → auto reader (fallback path).
+		var gobBuf bytes.Buffer
+		if err := WriteMessage(&gobBuf, m); err != nil {
+			t.Fatalf("%v: gob encode: %v", m.Kind, err)
+		}
+		got, err := ReadAuto(bufio.NewReader(&gobBuf))
+		if err != nil {
+			t.Fatalf("%v: auto-read of gob frame: %v", m.Kind, err)
+		}
+		equivalent(t, m.Kind, got, m)
+
+		// binary encoding → same auto reader.
+		var binBuf bytes.Buffer
+		if err := WriteFrame(&binBuf, 0, 0, m); err != nil {
+			t.Fatalf("%v: binary encode: %v", m.Kind, err)
+		}
+		got, err = ReadAuto(bufio.NewReader(&binBuf))
+		if err != nil {
+			t.Fatalf("%v: auto-read of binary frame: %v", m.Kind, err)
+		}
+		equivalent(t, m.Kind, got, m)
+	}
+}
+
+// TestBinaryFrameStream decodes several frames back to back off one
+// reader, proving the codec leaves the stream positioned exactly at the
+// next frame (no trailing-garbage slop between frames).
+func TestBinaryFrameStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := sampleMessages()
+	for i, m := range msgs {
+		if err := WriteFrame(&buf, uint32(i), 0, m); err != nil {
+			t.Fatalf("encode %v: %v", m.Kind, err)
+		}
+	}
+	for i, m := range msgs {
+		seq, _, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if seq != uint32(i) || got.Kind != m.Kind {
+			t.Fatalf("frame %d: seq=%d kind=%v", i, seq, got.Kind)
+		}
+	}
+	if _, _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected clean EOF after last frame, got %v", err)
+	}
+}
+
+// TestBinaryCorruptFrames runs the corruption table: every malformed frame
+// must surface ErrCorrupt (or clean EOF for pure truncation at a frame
+// boundary) — never a panic, hang, or giant allocation.
+func TestBinaryCorruptFrames(t *testing.T) {
+	good := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, 1, 0, &Message{Kind: KindQuery, From: 2,
+			Query: &QueryReq{Key: bitpath.MustParse("0101"), Level: 1}}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantEOF bool // truncation at the header boundary reads as clean EOF? no — only empty input
+	}{
+		{name: "bad magic byte 0", mutate: func(b []byte) []byte { b[0] = 'X'; return b }},
+		{name: "bad magic byte 1", mutate: func(b []byte) []byte { b[1] = 'X'; return b }},
+		{name: "future version", mutate: func(b []byte) []byte { b[2] = BinaryVersion + 1; return b }},
+		{name: "unknown kind", mutate: func(b []byte) []byte { b[3] = 99; return b }},
+		{name: "kind flip changes format", mutate: func(b []byte) []byte { b[3] = byte(KindHealthResp); return b }},
+		{name: "oversize length", mutate: func(b []byte) []byte {
+			b[9], b[10], b[11], b[12] = 0xff, 0xff, 0xff, 0xff
+			return b
+		}},
+		{name: "length beyond body", mutate: func(b []byte) []byte { b[12]++; return b }},
+		{name: "truncated header", mutate: func(b []byte) []byte { return b[:HeaderSize-3] }},
+		{name: "truncated payload", mutate: func(b []byte) []byte { return b[:len(b)-2] }},
+		{name: "trailing garbage in payload", mutate: func(b []byte) []byte {
+			b = append(b, 0xaa, 0xbb)
+			n := len(b) - HeaderSize
+			b[9], b[10], b[11], b[12] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+			return b
+		}},
+		{name: "payload bit flip mid-varint", mutate: func(b []byte) []byte {
+			b[len(b)-1] ^= 0x80
+			n := len(b) - HeaderSize
+			_ = n
+			return b[:HeaderSize] // empty payload for a kind that requires one
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), good()...))
+			if tc.name == "truncated header" || tc.name == "truncated payload" ||
+				tc.name == "length beyond body" {
+				// Truncation mid-frame: acceptable as ErrCorrupt or an
+				// unexpected-EOF read error, but never a panic or io.EOF-as-success.
+				_, _, m, err := ReadFrame(bytes.NewReader(b))
+				if err == nil {
+					t.Fatalf("decoded %+v from truncated frame", m)
+				}
+				return
+			}
+			if tc.name == "payload bit flip mid-varint" {
+				b = b[:HeaderSize]
+				b[9], b[10], b[11], b[12] = 0, 0, 0, 0
+			}
+			_, _, m, err := ReadFrame(bytes.NewReader(b))
+			if err == nil {
+				t.Fatalf("decoded %+v from corrupt frame", m)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("want ErrCorrupt, got %v", err)
+			}
+		})
+	}
+}
+
+// TestBinaryCountOverflow feeds a frame whose span count claims far more
+// elements than the payload holds: the decoder must reject it as corrupt
+// without attempting the allocation.
+func TestBinaryCountOverflow(t *testing.T) {
+	payload := []byte{2, 1} // From=1, payload present
+	payload = appendBool(payload[:1], true)
+	// Hand-build: From varint(3)=6, present=1, Found=1, Peer varint, path,
+	// Messages, Backtracks, then a monstrous span count.
+	b := []byte{}
+	b = appendVarint(b, 3)      // From
+	b = appendBool(b, true)     // payload present
+	b = appendBool(b, true)     // Found
+	b = appendVarint(b, 1)      // Peer
+	b = appendPath(b, "")       // Path
+	b = appendVarint(b, 0)      // Messages
+	b = appendVarint(b, 0)      // Backtracks
+	b = appendUvarint(b, 1<<40) // Spans count: absurd
+	frame := []byte{magic0, magic1, BinaryVersion, byte(KindQueryResp), 0, 0, 0, 0, 1}
+	frame = append(frame, byte(len(b)>>24), byte(len(b)>>16), byte(len(b)>>8), byte(len(b)))
+	frame = append(frame, b...)
+	_, _, _, err := ReadFrame(bytes.NewReader(frame))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt for absurd count, got %v", err)
+	}
+}
+
+// TestBinaryNestedBatchRejected pins both directions: the encoder refuses
+// to emit a batch inside a batch, and a hand-built nested frame decodes to
+// ErrCorrupt.
+func TestBinaryNestedBatchRejected(t *testing.T) {
+	nested := &Message{Kind: KindBatch, From: 1, Batch: &BatchReq{Msgs: []Message{
+		{Kind: KindBatch, From: 1, Batch: &BatchReq{}}}}}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 0, 0, nested); err == nil {
+		t.Fatal("encoder accepted a nested batch")
+	}
+	// Hand-build the nested frame the encoder refused.
+	b := []byte{}
+	b = appendVarint(b, 1)         // From
+	b = appendUvarint(b, 1)        // one sub-message
+	b = append(b, byte(KindBatch)) // which is itself a batch
+	b = appendVarint(b, 1)         // sub From
+	b = appendUvarint(b, 0)        // empty inner batch
+	frame := []byte{magic0, magic1, BinaryVersion, byte(KindBatch), 0, 0, 0, 0, 0}
+	frame = append(frame, byte(len(b)>>24), byte(len(b)>>16), byte(len(b)>>8), byte(len(b)))
+	frame = append(frame, b...)
+	_, _, _, err := ReadFrame(bytes.NewReader(frame))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt for nested batch, got %v", err)
+	}
+}
+
+// TestBinaryPathPadding pins canonical bit-packing: a path frame whose
+// trailing pad bits are non-zero is corrupt, so every path has exactly one
+// encoding.
+func TestBinaryPathPadding(t *testing.T) {
+	b := []byte{}
+	b = appendVarint(b, 1)  // From
+	b = appendBool(b, true) // payload present
+	b = appendUvarint(b, 3) // 3 bits
+	b = append(b, 0xff)     // 111 + pad bits 11111 (must be 0)
+	frame := []byte{magic0, magic1, BinaryVersion, byte(KindScan), 0, 0, 0, 0, 0}
+	frame = append(frame, byte(len(b)>>24), byte(len(b)>>16), byte(len(b)>>8), byte(len(b)))
+	frame = append(frame, b...)
+	_, _, _, err := ReadFrame(bytes.NewReader(frame))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt for dirty padding, got %v", err)
+	}
+}
+
+// TestIsBinaryFrame pins the sniffing invariant the whole negotiation
+// scheme rests on: a gob frame's first byte can never equal the magic.
+func TestIsBinaryFrame(t *testing.T) {
+	var gobBuf bytes.Buffer
+	if err := WriteMessage(&gobBuf, &Message{Kind: KindInfo, From: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if gobBuf.Bytes()[0] == magic0 {
+		t.Fatal("gob frame collides with binary magic — sniffing broken")
+	}
+	isBin, err := IsBinaryFrame(bufio.NewReader(&gobBuf))
+	if err != nil || isBin {
+		t.Fatalf("gob frame sniffed as binary (%v, %v)", isBin, err)
+	}
+	var binBuf bytes.Buffer
+	if err := WriteFrame(&binBuf, 0, 0, &Message{Kind: KindInfo, From: 1}); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(&binBuf)
+	isBin, err = IsBinaryFrame(br)
+	if err != nil || !isBin {
+		t.Fatalf("binary frame not sniffed (%v, %v)", isBin, err)
+	}
+	// Peek must not consume: the frame still decodes.
+	if _, _, _, err := ReadFrame(br); err != nil {
+		t.Fatalf("frame unreadable after sniff: %v", err)
+	}
+}
+
+// TestBinaryPathRoundTrip sweeps path lengths across byte boundaries.
+func TestBinaryPathRoundTrip(t *testing.T) {
+	for n := 0; n <= 67; n++ {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte('0' + byte((i*7+n)%2))
+		}
+		p := bitpath.MustParse(sb.String())
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, 0, 0, &Message{Kind: KindScan, From: 1,
+			Scan: &ScanReq{Prefix: p}}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		_, _, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.Scan.Prefix != p {
+			t.Fatalf("n=%d: %q != %q", n, got.Scan.Prefix, p)
+		}
+	}
+}
+
+// FuzzReadFrame is the binary twin of FuzzReadMessage: arbitrary bytes in,
+// never a panic, hang, or over-allocation; decoded messages must re-encode.
+func FuzzReadFrame(f *testing.F) {
+	for _, m := range sampleMessages() {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, 3, 0, m); err == nil {
+			f.Add(buf.Bytes())
+		}
+		buf.Reset()
+		if err := WriteFrame(&buf, 4, FlagGob|FlagResponse, m); err == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{magic0})
+	f.Add([]byte{magic0, magic1, BinaryVersion, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for i := 0; i < 4; i++ {
+			_, _, m, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, 0, 0, m); err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzReadAuto mutates across BOTH codecs through the sniffing reader —
+// the full corpus of FuzzReadMessage plus binary frames. Corrupt input of
+// either framing must come back as an error, never a panic.
+func FuzzReadAuto(f *testing.F) {
+	var gobFrame bytes.Buffer
+	WriteMessage(&gobFrame, &Message{Kind: KindQuery, From: 2,
+		Query: &QueryReq{Key: bitpath.MustParse("0101"), Level: 1}})
+	f.Add(gobFrame.Bytes())
+	var binFrame bytes.Buffer
+	WriteFrame(&binFrame, 9, 0, &Message{Kind: KindHealthResp, From: 4,
+		HealthResp: &HealthResp{Rounds: 2, Digest: health.Digest{Addr: 4,
+			Path: bitpath.MustParse("01"), Entries: 3, MaxVersion: 17,
+			IndexHash: 0xabcdef, RefCounts: []int{2, 1}, Buddies: 1}}})
+	f.Add(binFrame.Bytes())
+	mixed := append(append([]byte{}, gobFrame.Bytes()...), binFrame.Bytes()...)
+	f.Add(mixed)
+	f.Add([]byte{0x50, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 4; i++ {
+			if _, err := ReadAuto(br); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkCodecEncode compares encode cost per codec; the binary side
+// should sit near zero allocs thanks to the pooled buffers.
+func BenchmarkCodecEncode(b *testing.B) {
+	m := &Message{Kind: KindQueryResp, From: 4, QueryResp: &QueryResp{
+		Found: true, Peer: 11, Path: bitpath.MustParse("010011"), Messages: 5,
+		Spans: []trace.Span{{ID: 1, Peer: 2, Path: bitpath.MustParse("01"), Matched: true}}}}
+	b.Run("gob", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			WriteMessage(io.Discard, m)
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			WriteFrame(io.Discard, uint32(i), 0, m)
+		}
+	})
+}

@@ -49,16 +49,25 @@ const (
 	KindTracesResp
 	KindHealth
 	KindHealthResp
+	KindBatch
+	KindBatchResp
+	KindHello
+	KindHelloResp
 )
+
+// kindNames is the Kind → label table. Hoisted to package level: String
+// sits on log and metric hot paths (every RPC stamps its kind at least
+// twice), and rebuilding the array per call showed up in profiles.
+var kindNames = [...]string{"query", "query-resp", "exchange", "exchange-resp",
+	"apply", "apply-resp", "get", "get-resp", "info", "info-resp",
+	"scan", "scan-resp", "stats", "stats-resp", "error", "kind(15)",
+	"traces", "traces-resp", "health", "health-resp",
+	"batch", "batch-resp", "hello", "hello-resp"}
 
 // String names the kind for logs.
 func (k Kind) String() string {
-	names := [...]string{"query", "query-resp", "exchange", "exchange-resp",
-		"apply", "apply-resp", "get", "get-resp", "info", "info-resp",
-		"scan", "scan-resp", "stats", "stats-resp", "error", "kind(15)",
-		"traces", "traces-resp", "health", "health-resp"}
-	if int(k) < len(names) {
-		return names[k]
+	if int(k) < len(kindNames) {
+		return kindNames[k]
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -85,6 +94,10 @@ type Message struct {
 	TracesResp   *TracesResp
 	Health       *HealthReq
 	HealthResp   *HealthResp
+	Batch        *BatchReq
+	BatchResp    *BatchResp
+	Hello        *HelloReq
+	HelloResp    *HelloResp
 	Error        string
 }
 
@@ -242,6 +255,38 @@ type HealthReq struct {
 type HealthResp struct {
 	Digest health.Digest
 	Rounds int64
+}
+
+// BatchReq carries several independent requests in one frame — the fan-out
+// paths (BFS publish handover, the crawler's info+health pair) pay one
+// round trip per peer instead of one per request. Sub-messages must not
+// themselves be batches; the receiver answers nesting with KindError.
+type BatchReq struct {
+	Msgs []Message
+}
+
+// BatchResp returns one response per request, in request order. A
+// sub-request the receiver could not serve yields a KindError sub-message
+// in its slot; the batch as a whole still succeeds.
+type BatchResp struct {
+	Msgs []Message
+}
+
+// HelloReq opens codec negotiation on a fresh connection: the dialer
+// announces the highest binary codec version it speaks. Peers that predate
+// the binary codec never see a well-formed hello (the frame header does not
+// parse as a gob length prefix), drop the connection, and the dialer falls
+// back to the gob codec — see ReadFrame and the transport negotiation in
+// internal/node.
+type HelloReq struct {
+	MaxCodec uint8
+}
+
+// HelloResp accepts the negotiation: the receiver picks
+// min(HelloReq.MaxCodec, BinaryVersion) and both sides speak that framing
+// for the life of the connection.
+type HelloResp struct {
+	Codec uint8
 }
 
 // InfoResp describes the receiver's current state (used by diagnostics and
