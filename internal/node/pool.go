@@ -159,7 +159,7 @@ func (p *PoolTransport) Call(to addr.Addr, msg *wire.Message) (*wire.Message, er
 
 	if p.cfg.Size <= 0 {
 		// Unpooled mode: dial, one call, close.
-		mc, err := p.dialConn(to, ep, p.peerState(to))
+		mc, err := p.dialConn(to, ep, p.peerState(to), nil)
 		if err != nil {
 			return nil, err
 		}
@@ -302,49 +302,88 @@ func (p *PoolTransport) peerState(to addr.Addr) bool {
 	return pp != nil && pp.isGobOnly()
 }
 
+// gobOnlyTTL ages the negotiated-codec memory: after this long without a
+// fresh confirmation, the next dial retries the binary hello, so a
+// binary-capable peer that once misnegotiated (e.g. restarted mid-hello)
+// is not downgraded to the sequential gob codec for the life of the
+// process.
+const gobOnlyTTL = 5 * time.Minute
+
 // peerPool holds one peer's connections and its negotiated-codec memory.
 type peerPool struct {
-	mu      sync.Mutex
-	conns   []*muxConn
-	next    int
-	gobOnly bool
+	mu           sync.Mutex
+	conns        []*muxConn
+	next         int
+	gobOnlyUntil int64 // unix nanos; 0 or past means "retry binary"
 }
 
 func (pp *peerPool) isGobOnly() bool {
 	pp.mu.Lock()
 	defer pp.mu.Unlock()
-	return pp.gobOnly
+	return pp.gobOnlyUntil != 0 && time.Now().UnixNano() < pp.gobOnlyUntil
 }
 
 func (pp *peerPool) markGobOnly() {
 	pp.mu.Lock()
-	pp.gobOnly = true
+	pp.gobOnlyUntil = time.Now().Add(gobOnlyTTL).UnixNano()
 	pp.mu.Unlock()
 }
 
-// acquire returns a live connection for the peer, reusing round-robin when
-// the pool is warm and dialing otherwise. Dialing happens outside the pool
-// lock, so a thundering herd may transiently exceed Size by the number of
-// concurrent first callers; the idle janitor trims the surplus.
+// acquire returns a live connection for the peer: an idle pooled one when
+// available, a fresh dial while the pool is below Size, and round-robin
+// sharing of busy connections once the pool is full. Dialing happens
+// outside the pool lock, so concurrent first callers may race extra dials;
+// the append enforces the Size cap by dropping the surplus connection.
 func (pp *peerPool) acquire(p *PoolTransport, to addr.Addr, ep string) (mc *muxConn, reused bool, err error) {
 	pp.mu.Lock()
-	if len(pp.conns) > 0 {
-		pp.next = (pp.next + 1) % len(pp.conns)
-		mc = pp.conns[pp.next]
-		pp.mu.Unlock()
-		return mc, true, nil
+	if n := len(pp.conns); n > 0 {
+		// Round-robin scan for an idle connection first; if every
+		// connection has requests in flight, grow the pool up to Size
+		// rather than queueing deeper on a busy stream.
+		for i := 1; i <= n; i++ {
+			c := pp.conns[(pp.next+i)%n]
+			if c.inflight.Load() == 0 {
+				pp.next = (pp.next + i) % n
+				pp.mu.Unlock()
+				return c, true, nil
+			}
+		}
+		if n >= p.cfg.Size {
+			pp.next = (pp.next + 1) % n
+			mc = pp.conns[pp.next]
+			pp.mu.Unlock()
+			return mc, true, nil
+		}
 	}
-	gobOnly := pp.gobOnly
+	gobOnly := pp.gobOnlyUntil != 0 && time.Now().UnixNano() < pp.gobOnlyUntil
 	pp.mu.Unlock()
 
-	mc, err = p.dialConn(to, ep, gobOnly)
+	mc, err = p.dialConn(to, ep, gobOnly, pp)
 	if err != nil {
 		return nil, false, err
 	}
-	mc.pool = pp
 	pp.mu.Lock()
+	if len(pp.conns) >= p.cfg.Size {
+		// A concurrent caller filled the pool while we dialed: keep the
+		// cap, reuse a pooled connection, and drop the surplus dial.
+		pp.next = (pp.next + 1) % len(pp.conns)
+		existing := pp.conns[pp.next]
+		pp.mu.Unlock()
+		mc.close()
+		return existing, true, nil
+	}
 	pp.conns = append(pp.conns, mc)
 	pp.mu.Unlock()
+	// The connection may have died between dial and append — its fail()
+	// then ran pool removal before the conn was in the pool. Detect that
+	// and undo the append so a dead conn never serves later acquires.
+	mc.mu.Lock()
+	dead, deadErr := mc.dead, mc.deadErr
+	mc.mu.Unlock()
+	if dead {
+		pp.remove(mc)
+		return nil, false, deadErr
+	}
 	return mc, false, nil
 }
 
@@ -389,10 +428,13 @@ func (pp *peerPool) idleBefore(cutoff int64) []*muxConn {
 // dialConn establishes one connection, negotiating the codec: a binary
 // hello first (unless gob is forced or the peer is known gob-only), and a
 // fresh gob dial when the peer drops the hello unanswered — exactly what a
-// pre-binary listener does with an unparseable length prefix.
-func (p *PoolTransport) dialConn(to addr.Addr, ep string, gobOnly bool) (*muxConn, error) {
+// pre-binary listener does with an unparseable length prefix. pp is the
+// peer's pool (nil in unpooled mode); it is wired into the connection
+// before the demux reader starts, so a connection that dies immediately
+// can always remove itself.
+func (p *PoolTransport) dialConn(to addr.Addr, ep string, gobOnly bool, pp *peerPool) (*muxConn, error) {
 	if p.cfg.ForceGob || gobOnly {
-		return p.dialGob(to, ep, false)
+		return p.dialGob(to, ep, false, pp)
 	}
 	conn, err := net.DialTimeout("tcp", ep, p.cfg.DialTimeout)
 	if err != nil {
@@ -406,20 +448,30 @@ func (p *PoolTransport) dialConn(to addr.Addr, ep string, gobOnly bool) (*muxCon
 		Hello: &wire.HelloReq{MaxCodec: wire.BinaryVersion}}
 	br := bufio.NewReader(conn)
 	var resp *wire.Message
-	if err := wire.WriteFrame(conn, 0, 0, hello); err == nil {
-		_, _, resp, err = wire.ReadFrame(br)
+	helloErr := wire.WriteFrame(conn, 0, 0, hello)
+	if helloErr == nil {
+		_, _, resp, helloErr = wire.ReadFrame(br)
 	}
 	if resp == nil || resp.HelloResp == nil || resp.HelloResp.Codec < wire.BinaryVersion {
 		// The peer dropped or refused the hello: assume pre-binary and
 		// fall back to a fresh gob connection. The gob-only memory is only
 		// written after that connection completes a successful call — an
-		// offline peer must not be mistaken for a gob-only one.
+		// offline peer must not be mistaken for a gob-only one. A timeout
+		// says nothing about the peer's codec either (it may be briefly
+		// slow), so it falls back for this connection only, without
+		// marking the peer.
 		conn.Close()
-		return p.dialGob(to, ep, true)
+		remember := true
+		var ne net.Error
+		if errors.As(helloErr, &ne) && ne.Timeout() {
+			remember = false
+		}
+		return p.dialGob(to, ep, remember, pp)
 	}
 	conn.SetDeadline(time.Time{})
 	mc := &muxConn{
 		pt:      p,
+		pool:    pp,
 		peer:    to,
 		conn:    conn,
 		br:      br,
@@ -434,13 +486,14 @@ func (p *PoolTransport) dialConn(to addr.Addr, ep string, gobOnly bool) (*muxCon
 	return mc, nil
 }
 
-func (p *PoolTransport) dialGob(to addr.Addr, ep string, fellBack bool) (*muxConn, error) {
+func (p *PoolTransport) dialGob(to addr.Addr, ep string, fellBack bool, pp *peerPool) (*muxConn, error) {
 	conn, err := net.DialTimeout("tcp", ep, p.cfg.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial %v (%s): %v", ErrOffline, to, ep, err)
 	}
 	mc := &muxConn{
 		pt:       p,
+		pool:     pp,
 		peer:     to,
 		conn:     conn,
 		br:       bufio.NewReader(conn),

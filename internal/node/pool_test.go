@@ -119,12 +119,12 @@ func TestPoolReusesConnections(t *testing.T) {
 	}
 }
 
-// TestPoolMultiplexesConcurrentCalls pins the core mux property: many
-// concurrent callers share the single warm connection (no per-call dials)
-// and every one of them gets its own response back.
+// TestPoolMultiplexesConcurrentCalls pins the core mux property: with
+// Size 1, many concurrent callers share the single warm connection (no
+// per-call dials) and every one of them gets its own response back.
 func TestPoolMultiplexesConcurrentCalls(t *testing.T) {
 	nodes, pt, stop := startPooledCluster(t, 1, PoolConfig{
-		DialTimeout: 2 * time.Second, IOTimeout: 2 * time.Second, Size: 2})
+		DialTimeout: 2 * time.Second, IOTimeout: 2 * time.Second, Size: 1})
 	defer stop()
 
 	e := store.Entry{Key: bitpath.MustParse("01"), Name: "x", Holder: 3, Version: 1}
@@ -168,6 +168,144 @@ func TestPoolMultiplexesConcurrentCalls(t *testing.T) {
 	}
 	if st.Reuses != workers*perWorker {
 		t.Errorf("reuses = %d, want %d", st.Reuses, workers*perWorker)
+	}
+}
+
+// TestPoolGrowsToSizeUnderSaturation pins the Size semantics: when every
+// pooled connection has requests in flight and the pool is below Size, a
+// new connection is dialed; once the pool is at Size, calls share the busy
+// connections round-robin and the cap is never exceeded.
+func TestPoolGrowsToSizeUnderSaturation(t *testing.T) {
+	_, pt, stop := startPooledCluster(t, 1, PoolConfig{
+		DialTimeout: 2 * time.Second, IOTimeout: 2 * time.Second, Size: 2})
+	defer stop()
+
+	// Warm the pool: one connection.
+	if _, err := pt.Call(0, &wire.Message{Kind: wire.KindInfo, From: addr.Nil}); err != nil {
+		t.Fatal(err)
+	}
+	pp := pt.pool(0)
+	pp.mu.Lock()
+	if len(pp.conns) != 1 {
+		pp.mu.Unlock()
+		t.Fatalf("warm pool has %d conns, want 1", len(pp.conns))
+	}
+	first := pp.conns[0]
+	pp.mu.Unlock()
+
+	// Saturate the only connection: the next call must grow the pool.
+	first.inflight.Add(1)
+	defer first.inflight.Add(-1)
+	if _, err := pt.Call(0, &wire.Message{Kind: wire.KindInfo, From: addr.Nil}); err != nil {
+		t.Fatal(err)
+	}
+	st := pt.Stats()
+	if st.Dials != 2 {
+		t.Errorf("dials = %d, want 2 (saturated pool below Size grows)", st.Dials)
+	}
+	if st.Open != 2 {
+		t.Errorf("open = %d, want 2", st.Open)
+	}
+
+	// Saturate both: the pool is at Size, so further calls reuse
+	// round-robin instead of dialing past the cap.
+	pp.mu.Lock()
+	var second *muxConn
+	for _, c := range pp.conns {
+		if c != first {
+			second = c
+		}
+	}
+	pp.mu.Unlock()
+	if second == nil {
+		t.Fatal("second connection not pooled")
+	}
+	second.inflight.Add(1)
+	defer second.inflight.Add(-1)
+	for i := 0; i < 5; i++ {
+		if _, err := pt.Call(0, &wire.Message{Kind: wire.KindInfo, From: addr.Nil}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := pt.Stats(); st.Dials != 2 {
+		t.Errorf("dials = %d, want 2 (full pool must not exceed Size)", st.Dials)
+	}
+	if st := pt.Stats(); st.Open != 2 {
+		t.Errorf("open = %d, want 2", st.Open)
+	}
+}
+
+// TestPoolHelloTimeoutNotRememberedGobOnly: a peer that accepts the
+// connection but answers the hello too slowly (timeout, not a dropped
+// frame) falls back to gob for that connection only — fellBack stays
+// false, so a later successful call cannot mark a possibly binary-capable
+// peer gob-only.
+func TestPoolHelloTimeoutNotRememberedGobOnly(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { // black hole: accept, read, never answer
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+			}()
+		}
+	}()
+
+	pt := NewPoolTransport(PoolConfig{
+		DialTimeout: 2 * time.Second, IOTimeout: 100 * time.Millisecond, Size: 2})
+	defer pt.Close()
+	pt.SetEndpoint(1, ln.Addr().String())
+
+	mc, err := pt.dialConn(1, ln.Addr().String(), false, nil)
+	if err != nil {
+		t.Fatalf("dialConn after hello timeout: %v", err)
+	}
+	defer mc.close()
+	if !mc.gob {
+		t.Error("hello timeout must fall back to gob for the connection")
+	}
+	if mc.fellBack {
+		t.Error("hello timeout must not set fellBack: the peer's codec is unknown")
+	}
+}
+
+// TestGobOnlyMemoryAges: the gob-only flag expires after gobOnlyTTL, so a
+// later dial re-probes the binary hello instead of downgrading the peer
+// forever.
+func TestGobOnlyMemoryAges(t *testing.T) {
+	pp := &peerPool{}
+	if pp.isGobOnly() {
+		t.Fatal("fresh pool must not be gob-only")
+	}
+	pp.markGobOnly()
+	if !pp.isGobOnly() {
+		t.Fatal("markGobOnly must take effect immediately")
+	}
+	pp.mu.Lock()
+	pp.gobOnlyUntil = time.Now().Add(-time.Second).UnixNano()
+	pp.mu.Unlock()
+	if pp.isGobOnly() {
+		t.Fatal("expired gob-only memory must re-enable binary negotiation")
 	}
 }
 

@@ -640,6 +640,14 @@ func (d *bdec) path() bitpath.Path {
 	if d.err != nil {
 		return ""
 	}
+	// Bound the bit count before any arithmetic on it: for nbits near
+	// 2^64, (nbits+7)/8 wraps and would slip past the remaining-bytes
+	// check into a panicking make(). remaining() is capped by
+	// MaxFrameSize, so the multiplication cannot itself overflow.
+	if nbits > uint64(d.remaining())*8 {
+		d.fail("truncated path")
+		return ""
+	}
 	nbytes := (nbits + 7) / 8
 	if nbytes > uint64(d.remaining()) {
 		d.fail("truncated path")

@@ -320,6 +320,25 @@ func TestBinaryCountOverflow(t *testing.T) {
 	}
 }
 
+// TestBinaryPathBitCountOverflow feeds a path whose uvarint bit count is
+// 2^64-1: the (nbits+7)/8 byte computation would wrap to 0 and bypass the
+// remaining-bytes guard, making the decoder attempt an impossible
+// allocation. The decoder must reject it as corrupt, never panic.
+func TestBinaryPathBitCountOverflow(t *testing.T) {
+	b := []byte{}
+	b = appendVarint(b, 1)                   // From
+	b = appendBool(b, true)                  // payload present
+	b = appendUvarint(b, ^uint64(0))         // bit count: 2^64-1, wraps (n+7)/8
+	b = append(b, 0x00)                      // one byte of "path data"
+	frame := []byte{magic0, magic1, BinaryVersion, byte(KindQuery), 0, 0, 0, 0, 0}
+	frame = append(frame, byte(len(b)>>24), byte(len(b)>>16), byte(len(b)>>8), byte(len(b)))
+	frame = append(frame, b...)
+	_, _, _, err := ReadFrame(bytes.NewReader(frame))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt for overflowing bit count, got %v", err)
+	}
+}
+
 // TestBinaryNestedBatchRejected pins both directions: the encoder refuses
 // to emit a batch inside a batch, and a hand-built nested frame decodes to
 // ErrCorrupt.
