@@ -64,9 +64,11 @@ type engineRow struct {
 }
 
 // telemetryRow reports the A/B cost of instrumentation on the sequential
-// engine: the same build with telemetry off (nil), counters only, and
-// counters + a JSONL event sink writing to io.Discard. OverheadPct is
-// relative to the off row.
+// engine: the same build with telemetry off (nil), counters only, counters
+// + a synchronous JSONL event sink writing to io.Discard, and counters +
+// the async event pipeline in front of the same sink (the pgridnode
+// -events configuration). OverheadPct is relative to the off row; Dropped
+// counts events the pipeline shed under pressure (0 for the other modes).
 type telemetryRow struct {
 	Mode           string  `json:"mode"`
 	N              int     `json:"n"`
@@ -74,6 +76,7 @@ type telemetryRow struct {
 	Seconds        float64 `json:"seconds"`
 	MeetingsPerSec float64 `json:"meetings_per_sec"`
 	OverheadPct    float64 `json:"overhead_pct"`
+	Dropped        int64   `json:"dropped,omitempty"`
 }
 
 func main() {
@@ -217,9 +220,10 @@ func main() {
 			n = 64
 		}
 		cfg := core.Config{MaxL: 8, RefMax: 5, RecMax: 2, RecFanout: 2}
-		build := func(mode string) (sim.Result, *telemetry.JSONLSink) {
+		build := func(mode string) (sim.Result, int64) {
 			o := sim.Options{N: n, Config: cfg, Seed: *seed}
 			var sink *telemetry.JSONLSink
+			var pipe *telemetry.Pipeline
 			switch mode {
 			case "counters":
 				o.Telemetry = telemetry.New(-1)
@@ -227,36 +231,59 @@ func main() {
 				o.Telemetry = telemetry.New(-1)
 				sink = telemetry.NewJSONLSink(io.Discard)
 				o.Telemetry.SetSink(sink)
+			case "pipeline":
+				o.Telemetry = telemetry.New(-1)
+				sink = telemetry.NewJSONLSink(io.Discard)
+				pipe = telemetry.NewPipeline(sink, telemetry.PipelineConfig{Node: -1})
+				o.Telemetry.SetSink(pipe)
 			}
 			res, err := sim.Build(o)
 			check(err)
-			return res, sink
-		}
-		start := time.Now()
-		rows := make([]telemetryRow, 0, 3)
-		var base float64
-		for _, mode := range []string{"off", "counters", "jsonl"} {
-			res, sink := build(mode)
-			if sink != nil {
+			var dropped int64
+			if pipe != nil {
+				check(pipe.Close())
+				dropped = pipe.Drops()
+			} else if sink != nil {
 				check(sink.Flush())
 			}
-			mps := float64(res.Meetings) / res.Elapsed.Seconds()
-			if mode == "off" {
-				base = mps
+			return res, dropped
+		}
+		start := time.Now()
+		modes := []string{"off", "counters", "jsonl", "pipeline"}
+		// Interleave the modes round-robin and keep each mode's fastest
+		// round. Noise on a shared box comes in multi-second episodes that
+		// only ever slow a run down; running the modes back-to-back within
+		// each round gives every mode a shot at the quiet episodes, where
+		// mode-at-a-time repetition lets one mode soak up a whole bad
+		// stretch and skew the ratio.
+		best := make(map[string]telemetryRow, len(modes))
+		for round := 0; round < 3; round++ {
+			for _, mode := range modes {
+				res, dropped := build(mode)
+				mps := float64(res.Meetings) / res.Elapsed.Seconds()
+				if b, ok := best[mode]; !ok || mps > b.MeetingsPerSec {
+					best[mode] = telemetryRow{
+						Mode: mode, N: n, Meetings: res.Meetings,
+						Seconds:        res.Elapsed.Seconds(),
+						MeetingsPerSec: mps,
+						Dropped:        dropped,
+					}
+				}
 			}
-			rows = append(rows, telemetryRow{
-				Mode: mode, N: n, Meetings: res.Meetings,
-				Seconds:        res.Elapsed.Seconds(),
-				MeetingsPerSec: mps,
-				OverheadPct:    100 * (base - mps) / base,
-			})
+		}
+		rows := make([]telemetryRow, 0, len(modes))
+		base := best["off"].MeetingsPerSec
+		for _, mode := range modes {
+			r := best[mode]
+			r.OverheadPct = 100 * (base - r.MeetingsPerSec) / base
+			rows = append(rows, r)
 		}
 		record("telemetry", start, rows)
 		fmt.Fprintf(out, "Telemetry overhead — sequential construction at N=%d\n", n)
-		fmt.Fprintf(out, "%12s %12s %12s %14s %10s\n", "mode", "meetings", "seconds", "meetings/sec", "overhead")
+		fmt.Fprintf(out, "%12s %12s %12s %14s %10s %9s\n", "mode", "meetings", "seconds", "meetings/sec", "overhead", "dropped")
 		for _, r := range rows {
-			fmt.Fprintf(out, "%12s %12d %12.3f %14.0f %9.1f%%\n",
-				r.Mode, r.Meetings, r.Seconds, r.MeetingsPerSec, r.OverheadPct)
+			fmt.Fprintf(out, "%12s %12d %12.3f %14.0f %9.1f%% %9d\n",
+				r.Mode, r.Meetings, r.Seconds, r.MeetingsPerSec, r.OverheadPct, r.Dropped)
 		}
 		fmt.Fprintln(out)
 	}

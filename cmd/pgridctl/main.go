@@ -58,6 +58,8 @@ commands:
   replicas <id> <key>           list all reachable peers covering a binary key
   scan <id> <key-prefix>        list all entries under a binary key prefix
   stats <id>                    dump a node's telemetry counters (the /metrics data, over the wire)
+  top <id> [interval] [count]   refreshing live summary: rates, per-kind latency quantiles, pool,
+                                breakers, event drops (default 2s forever; count 1 = one plain frame)
   audit                         fetch every node's state and verify the reference invariant
   health <id>                   print a node's replica digest and per-level reference liveness
   crawl <id>                    walk the whole community from node <id> and print the structural report
@@ -287,6 +289,26 @@ commands:
 		for _, s := range st.Stats {
 			fmt.Printf("  %-56s %d\n", s.Name, s.Value)
 		}
+
+	case "top":
+		id := mustID(args, 0)
+		interval := 2 * time.Second
+		if len(args) > 1 {
+			d, err := time.ParseDuration(args[1])
+			if err != nil || d <= 0 {
+				log.Fatalf("bad interval %q", args[1])
+			}
+			interval = d
+		}
+		count := 0
+		if len(args) > 2 {
+			v, err := strconv.Atoi(args[2])
+			if err != nil || v < 0 {
+				log.Fatalf("bad count %q", args[2])
+			}
+			count = v
+		}
+		runTop(tr, id, interval, count)
 
 	case "health":
 		id := mustID(args, 0)

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/node"
+	"pgrid/internal/wire"
+)
+
+// runTop polls a node's stats endpoint and renders a refreshing terminal
+// summary: request rates, per-kind latency quantiles, pool and breaker
+// state, and event drops. count == 1 prints a single frame without
+// clearing the screen (script-friendly); count <= 0 runs until killed.
+//
+// Everything shown is computed from two consecutive wire.KindStats
+// snapshots — the same data /metrics exposes — so top works against any
+// node, with no extra protocol.
+func runTop(tr node.Transport, id addr.Addr, interval time.Duration, count int) {
+	var prev statMap
+	var prevAt time.Time
+	for i := 0; count <= 0 || i < count; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		cur, err := fetchStats(tr, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		now := time.Now()
+		if count != 1 {
+			fmt.Print("\x1b[H\x1b[2J") // cursor home + clear: redraw in place
+		}
+		renderTop(os.Stdout, id, now, cur, prev, now.Sub(prevAt))
+		prev, prevAt = cur, now
+	}
+}
+
+// statMap is one stats snapshot: flattened series name → value.
+type statMap map[string]int64
+
+func fetchStats(tr node.Transport, id addr.Addr) (statMap, error) {
+	resp, err := tr.Call(id, &wire.Message{Kind: wire.KindStats, From: addr.Nil})
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatsResp == nil {
+		return nil, fmt.Errorf("node %v sent no stats (response kind %v)", id, resp.Kind)
+	}
+	m := make(statMap, len(resp.StatsResp.Stats))
+	for _, s := range resp.StatsResp.Stats {
+		m[s.Name] = s.Value
+	}
+	return m, nil
+}
+
+func renderTop(w io.Writer, id addr.Addr, now time.Time, cur, prev statMap, dt time.Duration) {
+	rate := func(name string) string {
+		if prev == nil || dt <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f/s", float64(cur[name]-prev[name])/dt.Seconds())
+	}
+
+	fmt.Fprintf(w, "node %v · %s\n", id, now.Format("15:04:05"))
+	fmt.Fprintf(w, "served %d (%s)  client %d (%s)  exchanges %d (%s)  queries %d (%s)\n",
+		cur["pgrid_rpc_served_total"], rate("pgrid_rpc_served_total"),
+		cur["pgrid_rpc_client_total"], rate("pgrid_rpc_client_total"),
+		cur["pgrid_exchange_total"], rate("pgrid_exchange_total"),
+		cur["pgrid_query_total"], rate("pgrid_query_total"))
+	fmt.Fprintf(w, "errors client %d (%s)  served %d  slow %d  events dropped %d (%s)\n",
+		cur["pgrid_rpc_client_errors_total"], rate("pgrid_rpc_client_errors_total"),
+		cur["pgrid_rpc_served_errors_total"],
+		cur["pgrid_rpc_slow_total"],
+		cur["pgrid_events_dropped_total"], rate("pgrid_events_dropped_total"))
+	fmt.Fprintln(w)
+
+	renderKindTable(w, "client rpc latency", cur, prev, dt,
+		"pgrid_rpc_client_kind_total", "pgrid_rpc_kind_latency_ns")
+	renderKindTable(w, "served rpc latency", cur, prev, dt,
+		"pgrid_rpc_served_kind_total", "pgrid_rpc_served_latency_ns")
+
+	fmt.Fprintf(w, "pool   open %d  in-flight %d  queue %d  dials %d  reuses %d (%s)  acquire p50 %s p99 %s\n",
+		cur["pgrid_pool_conns_open"], cur["pgrid_pool_requests_in_flight"],
+		cur["pgrid_pool_queue_depth"], cur["pgrid_pool_dials_total"],
+		cur["pgrid_pool_reuses_total"], rate("pgrid_pool_reuses_total"),
+		ms(cur[`pgrid_pool_acquire_wait_ns{quantile="0.5"}`]),
+		ms(cur[`pgrid_pool_acquire_wait_ns{quantile="0.99"}`]))
+	fmt.Fprintf(w, "breakers  open %d  half-open %d  fast-fails %d  retries %d (%s)\n",
+		cur["pgrid_resilience_breakers_open"], cur["pgrid_resilience_breakers_half_open"],
+		cur["pgrid_resilience_breaker_fastfail_total"],
+		cur["pgrid_resilience_retries_total"], rate("pgrid_resilience_retries_total"))
+}
+
+// renderKindTable prints one quantile table, kinds in wire order so rows
+// keep their position between refreshes. Kinds without traffic are
+// omitted.
+func renderKindTable(w io.Writer, title string, cur, prev statMap, dt time.Duration, countFamily, latFamily string) {
+	type row struct {
+		kind string
+		n    int64
+		rate string
+		q    [4]string
+	}
+	var rows []row
+	for _, kind := range wire.KindNames() {
+		if strings.HasPrefix(kind, "kind(") {
+			continue
+		}
+		n := cur[countFamily+`{kind=`+strconv.Quote(kind)+`}`]
+		if n == 0 {
+			continue
+		}
+		r := row{kind: kind, n: n, rate: "-"}
+		if prev != nil && dt > 0 {
+			pn := prev[countFamily+`{kind=`+strconv.Quote(kind)+`}`]
+			r.rate = fmt.Sprintf("%.1f", float64(n-pn)/dt.Seconds())
+		}
+		for i, q := range []string{"0.5", "0.95", "0.99", "0.999"} {
+			r.q[i] = ms(cur[latFamily+`{kind=`+strconv.Quote(kind)+`,quantile=`+strconv.Quote(q)+`}`])
+		}
+		rows = append(rows, r)
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-22s %10s %8s %9s %9s %9s %9s\n",
+		title, "count", "rate/s", "p50", "p95", "p99", "p999")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-20s %10d %8s %9s %9s %9s %9s\n",
+			r.kind, r.n, r.rate, r.q[0], r.q[1], r.q[2], r.q[3])
+	}
+	fmt.Fprintln(w)
+}
+
+// ms renders nanoseconds as milliseconds with enough precision for
+// sub-millisecond RPCs.
+func ms(ns int64) string {
+	return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+}

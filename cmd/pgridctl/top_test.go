@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderTop(t *testing.T) {
+	// Two synthetic snapshots 2s apart: 100 queries in the window.
+	prev := statMap{
+		"pgrid_rpc_served_total":                    1000,
+		`pgrid_rpc_client_kind_total{kind="query"}`: 400,
+	}
+	cur := statMap{
+		"pgrid_rpc_served_total":                                   1200,
+		"pgrid_rpc_client_total":                                   520,
+		"pgrid_events_dropped_total":                               3,
+		"pgrid_pool_conns_open":                                    4,
+		`pgrid_rpc_client_kind_total{kind="query"}`:                500,
+		`pgrid_rpc_kind_latency_ns{kind="query",quantile="0.5"}`:   1_500_000,
+		`pgrid_rpc_kind_latency_ns{kind="query",quantile="0.95"}`:  4_000_000,
+		`pgrid_rpc_kind_latency_ns{kind="query",quantile="0.99"}`:  9_000_000,
+		`pgrid_rpc_kind_latency_ns{kind="query",quantile="0.999"}`: 20_000_000,
+	}
+	var b strings.Builder
+	renderTop(&b, 0, time.Unix(0, 0), cur, prev, 2*time.Second)
+	out := b.String()
+	for _, want := range []string{
+		"served 1200 (100.0/s)",
+		"events dropped 3",
+		"client rpc latency",
+		"query",
+		"50.0", // query rate: (500-400)/2s
+		"1.500ms",
+		"20.000ms",
+		"open 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top frame missing %q:\n%s", want, out)
+		}
+	}
+
+	// First frame (no previous snapshot): rates render as "-", not zero.
+	b.Reset()
+	renderTop(&b, 0, time.Unix(0, 0), cur, nil, 0)
+	if !strings.Contains(b.String(), "served 1200 (-)") {
+		t.Errorf("first frame should show - rates:\n%s", b.String())
+	}
+}
+
+func TestRenderKindTableOmitsIdleKinds(t *testing.T) {
+	cur := statMap{
+		`pgrid_rpc_client_kind_total{kind="exchange"}`: 7,
+	}
+	var b strings.Builder
+	renderKindTable(&b, "client rpc latency", cur, nil, 0,
+		"pgrid_rpc_client_kind_total", "pgrid_rpc_kind_latency_ns")
+	out := b.String()
+	if !strings.Contains(out, "exchange") {
+		t.Errorf("active kind missing:\n%s", out)
+	}
+	if strings.Contains(out, "query") || strings.Contains(out, "hello") {
+		t.Errorf("idle kinds rendered:\n%s", out)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -28,6 +29,10 @@ import (
 //	/debug/traces   the flight recorder: recent sampled query routes,
 //	                JSON by default, ?format=text for the arrow rendering,
 //	                ?limit=N to cap the count
+//	/debug/lat      per-kind RPC latency quantiles (p50/p95/p99/p999):
+//	                JSON by default, ?format=text for a table
+//	/debug/slow     the slow-op log (-slow-rpc): over-threshold RPCs with
+//	                their span context, JSON or ?format=text
 //	/debug/breakers the per-peer circuit breakers of the outgoing
 //	                transport: JSON by default, ?format=text for a table
 //	/debug/vars     expvar (includes the pgrid counter snapshot)
@@ -36,8 +41,9 @@ import (
 // The mux is self-contained (nothing is registered on
 // http.DefaultServeMux), so tests can build several independent instances.
 // rt may be nil (a test without the resilient transport); /debug/breakers
-// then reports an empty set.
-func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool, minLiveness float64, rt *resilience.ResilientTransport) *http.ServeMux {
+// then reports an empty set. slowRec may be nil (no -slow-rpc threshold);
+// /debug/slow then reports an empty log.
+func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool, minLiveness float64, rt *resilience.ResilientTransport, slowRec *trace.Recorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -104,6 +110,45 @@ func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool,
 			Traces []trace.Trace `json:"traces"`
 		}{rec.Total(), traces})
 	})
+	mux.HandleFunc("/debug/lat", func(w http.ResponseWriter, r *http.Request) {
+		report := tel.LatencyReport()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeLatencyTable(w, report)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Latencies []telemetry.LatencySummary `json:"latencies"`
+		}{report})
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		limit := 0
+		if s := r.URL.Query().Get("limit"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = v
+		}
+		slow := slowRec.Snapshot(limit)
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, t := range slow {
+				for _, sp := range t.Spans {
+					fmt.Fprintf(w, "%016x key=%s peer=%d %.3fms\n",
+						t.TraceID, t.Key, sp.Peer, float64(sp.LatencyNS)/1e6)
+				}
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Total uint64        `json:"total"`
+			Slow  []trace.Trace `json:"slow"`
+		}{slowRec.Total(), slow})
+	})
 	mux.HandleFunc("/debug/breakers", func(w http.ResponseWriter, r *http.Request) {
 		views := []resilience.BreakerView{}
 		if rt != nil {
@@ -133,6 +178,18 @@ func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool,
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// writeLatencyTable renders a latency report as an aligned text table with
+// quantiles in milliseconds.
+func writeLatencyTable(w io.Writer, report []telemetry.LatencySummary) {
+	fmt.Fprintf(w, "%-7s %-14s %10s %10s %10s %10s %10s\n",
+		"scope", "kind", "count", "p50_ms", "p95_ms", "p99_ms", "p999_ms")
+	for _, s := range report {
+		fmt.Fprintf(w, "%-7s %-14s %10d %10.3f %10.3f %10.3f %10.3f\n",
+			s.Scope, s.Kind, s.Count,
+			float64(s.P50)/1e6, float64(s.P95)/1e6, float64(s.P99)/1e6, float64(s.P999)/1e6)
+	}
 }
 
 // expvar.Publish panics on duplicate names, and its registry is global, so

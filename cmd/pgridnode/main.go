@@ -22,8 +22,13 @@
 // With -probe-interval the node samples its references for liveness in the
 // background, which feeds the health digest, the pgrid_health_* gauges,
 // and the -health-min-liveness readiness check. With -events the
-// node appends one JSON line per exchange/query to a file, in the same
-// schema pgridsim -events writes.
+// node appends one JSON line per exchange/query/RPC to a file, in the same
+// schema pgridsim -events writes; emission goes through an asynchronous
+// in-memory pipeline so the serving hot path never blocks on the file
+// (overflow is dropped and counted in pgrid_events_dropped_total). With
+// -slow-rpc any outgoing call over the threshold is counted, and recorded
+// with its span context into a dedicated flight recorder served at
+// /debug/slow; per-kind latency quantiles are live at /debug/lat.
 package main
 
 import (
@@ -80,6 +85,7 @@ func main() {
 		healthMin = flag.Float64("health-min-liveness", 0, "/healthz reports 503 while the worst per-level reference liveness is below this (0 = disabled)")
 		admin     = flag.String("admin", "", "admin HTTP listen address (/metrics, /healthz, /debug/{vars,pprof}); empty = off")
 		events    = flag.String("events", "", "append structured JSONL telemetry events to this file")
+		slowRPC   = flag.Duration("slow-rpc", 0, "count and record outgoing calls at or above this round-trip latency (0 = off)")
 		traceBuf  = flag.Int("trace-buf", 256, "flight-recorder capacity in traces (0 = tracing off)")
 		traceProb = flag.Float64("trace-sample", 0.01, "probability a locally issued query is sampled for distributed tracing")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -92,8 +98,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pgridnode: %v\n", err)
 		os.Exit(2)
 	}
+	// flushEvents drains the async event pipeline and the JSONL buffer,
+	// surfacing the sink's sticky write error. Installed below when -events
+	// is set; called on every exit path (including fatal) so the tail of the
+	// event stream is never lost to process death.
+	flushEvents := func() {}
 	fatal := func(msg string, err error) {
 		logger.Error(msg, "err", err)
+		flushEvents()
 		os.Exit(1)
 	}
 
@@ -114,15 +126,20 @@ func main() {
 	logger.Info("starting", "seed", *seed)
 
 	tel := telemetry.New(*id)
-	var sink *telemetry.JSONLSink
 	if *events != "" {
 		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			fatal("open events file", err)
 		}
 		defer f.Close()
-		sink = telemetry.NewJSONLSink(f)
-		tel.SetSink(sink)
+		sink := telemetry.NewJSONLSink(f)
+		pipe := telemetry.NewPipeline(sink, telemetry.PipelineConfig{Node: *id})
+		tel.SetSink(pipe)
+		flushEvents = func() {
+			if err := pipe.Close(); err != nil {
+				logger.Error("flushing events failed", "err", err)
+			}
+		}
 	}
 
 	if *codec != "binary" && *codec != "gob" {
@@ -179,7 +196,11 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		fatal("configuration", err)
 	}
-	n := node.New(addr.Addr(*id), cfg, node.InstrumentTransport(rt, tel), *seed)
+	var slowRec *trace.Recorder
+	if *slowRPC > 0 {
+		slowRec = trace.NewRecorder(256)
+	}
+	n := node.New(addr.Addr(*id), cfg, node.InstrumentTransportSlow(rt, tel, *slowRPC, slowRec), *seed)
 	n.SetTelemetry(tel)
 	if *traceBuf > 0 {
 		n.EnableTracing(trace.NewRecorder(*traceBuf), *traceProb)
@@ -216,7 +237,7 @@ func main() {
 			fatal("admin listen", err)
 		}
 		publishExpvar(tel)
-		asrv := &http.Server{Handler: newAdminMux(n, tel, serving, *healthMin, rt)}
+		asrv := &http.Server{Handler: newAdminMux(n, tel, serving, *healthMin, rt, slowRec)}
 		go asrv.Serve(aln)
 		go func() {
 			<-ctx.Done()
@@ -251,11 +272,7 @@ func main() {
 			logger.Error("final checkpoint failed", "err", err)
 		}
 	}
-	if sink != nil {
-		if err := sink.Flush(); err != nil {
-			logger.Error("flushing events failed", "err", err)
-		}
-	}
+	flushEvents()
 	logger.Info("shut down", "path", n.Path().String())
 }
 

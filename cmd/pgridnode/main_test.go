@@ -18,6 +18,7 @@ import (
 	"pgrid/internal/node"
 	"pgrid/internal/resilience"
 	"pgrid/internal/telemetry"
+	"pgrid/internal/trace"
 	"pgrid/internal/wire"
 )
 
@@ -138,7 +139,7 @@ func TestAdminMetricsEndpoint(t *testing.T) {
 	n, tel := testNode(t)
 	serving := &atomic.Bool{}
 	serving.Store(true)
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil))
 	defer srv.Close()
 
 	scrape := func() (string, string) {
@@ -253,7 +254,7 @@ func TestAdminHealthz(t *testing.T) {
 			}
 			serving := &atomic.Bool{}
 			serving.Store(tc.serving)
-			srv := httptest.NewServer(newAdminMux(n, tel, serving, tc.minLiveness, nil))
+			srv := httptest.NewServer(newAdminMux(n, tel, serving, tc.minLiveness, nil, nil))
 			defer srv.Close()
 
 			resp, err := http.Get(srv.URL + "/healthz")
@@ -276,7 +277,7 @@ func TestAdminHealthz(t *testing.T) {
 func TestAdminHealthzTransition(t *testing.T) {
 	n, tel := testNode(t)
 	serving := &atomic.Bool{}
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil))
 	defer srv.Close()
 
 	get := func() int {
@@ -310,7 +311,7 @@ func TestAdminDebugHealth(t *testing.T) {
 	n.HealthTracker().RoundDone()
 	serving := &atomic.Bool{}
 	serving.Store(true)
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/health")
@@ -353,7 +354,7 @@ func TestAdminExpvarAndPprof(t *testing.T) {
 	publishExpvar(tel)
 	serving := &atomic.Bool{}
 	serving.Store(true)
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/vars")
@@ -412,7 +413,7 @@ func TestAdminBreakersEndpoint(t *testing.T) {
 		rt.Call(7, &wire.Message{Kind: wire.KindInfo})
 	}
 
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, rt))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, rt, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/breakers")
@@ -444,7 +445,7 @@ func TestAdminBreakersEndpoint(t *testing.T) {
 	}
 
 	// A mux without a resilient transport reports an empty set, not a 500.
-	bare := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil))
+	bare := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil))
 	defer bare.Close()
 	emptyResp, err := http.Get(bare.URL + "/debug/breakers")
 	if err != nil {
@@ -456,5 +457,129 @@ func TestAdminBreakersEndpoint(t *testing.T) {
 	}
 	if len(out.Breakers) != 0 {
 		t.Errorf("nil transport reported breakers: %+v", out.Breakers)
+	}
+}
+
+func TestAdminLatencyEndpoint(t *testing.T) {
+	n, tel := testNode(t)
+	serving := &atomic.Bool{}
+	serving.Store(true)
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil))
+	defer srv.Close()
+
+	// Feed both the client and served sides so the report carries two
+	// scopes, plus the pool acquire-wait row.
+	for i := 0; i < 100; i++ {
+		tel.ClientRPC("query", time.Duration(i+1)*time.Millisecond, nil)
+	}
+	tel.ServedRPCDone("exchange", 3*time.Millisecond, false)
+	tel.PoolAcquireWait(50 * time.Microsecond)
+
+	resp, err := http.Get(srv.URL + "/debug/lat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var out struct {
+		Latencies []telemetry.LatencySummary `json:"latencies"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]telemetry.LatencySummary)
+	for _, s := range out.Latencies {
+		byKey[s.Scope+"/"+s.Kind] = s
+	}
+	q, ok := byKey["client/query"]
+	if !ok {
+		t.Fatalf("report %+v missing client/query", out.Latencies)
+	}
+	if q.Count != 100 {
+		t.Errorf("client/query count = %d, want 100", q.Count)
+	}
+	// p50 of 1..100ms sits near 50ms; the histogram's relative error is
+	// bounded by 1/32, leave slack for rank rounding.
+	if q.P50 < 45e6 || q.P50 > 55e6 {
+		t.Errorf("client/query p50 = %dns, want ~50ms", q.P50)
+	}
+	if q.P95 <= q.P50 || q.P999 < q.P95 {
+		t.Errorf("quantiles not monotone: %+v", q)
+	}
+	if _, ok := byKey["served/exchange"]; !ok {
+		t.Errorf("report %+v missing served/exchange", out.Latencies)
+	}
+	if _, ok := byKey["pool/acquire_wait"]; !ok {
+		t.Errorf("report %+v missing pool/acquire_wait", out.Latencies)
+	}
+
+	text, err := http.Get(srv.URL + "/debug/lat?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer text.Body.Close()
+	body, _ := io.ReadAll(text.Body)
+	for _, want := range []string{"scope", "p999_ms", "client", "query", "served", "exchange"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("text body %q missing %q", body, want)
+		}
+	}
+}
+
+func TestAdminSlowEndpoint(t *testing.T) {
+	n, tel := testNode(t)
+	serving := &atomic.Bool{}
+	serving.Store(true)
+
+	rec := trace.NewRecorder(8)
+	rec.Record(trace.Trace{
+		TraceID: 0xabc,
+		Found:   true,
+		Spans:   []trace.Span{{ID: 0xabc, Peer: 3, LatencyNS: 7_500_000}},
+	})
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, rec))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Total uint64        `json:"total"`
+		Slow  []trace.Trace `json:"slow"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Total != 1 || len(out.Slow) != 1 || out.Slow[0].TraceID != 0xabc {
+		t.Fatalf("slow = %+v", out)
+	}
+
+	text, err := http.Get(srv.URL + "/debug/slow?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer text.Body.Close()
+	body, _ := io.ReadAll(text.Body)
+	if !strings.Contains(string(body), "peer=3") || !strings.Contains(string(body), "7.500ms") {
+		t.Errorf("text body %q missing the slow span", body)
+	}
+
+	// Without a recorder the endpoint reports an empty log, not a panic.
+	bare := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil))
+	defer bare.Close()
+	emptyResp, err := http.Get(bare.URL + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer emptyResp.Body.Close()
+	if err := json.NewDecoder(emptyResp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Total != 0 || len(out.Slow) != 0 {
+		t.Errorf("nil recorder reported traces: %+v", out)
 	}
 }

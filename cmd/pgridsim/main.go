@@ -55,7 +55,6 @@ func main() {
 	flag.Parse()
 
 	var tel *telemetry.Instruments
-	var sink *telemetry.JSONLSink
 	if *events != "" {
 		f, err := os.Create(*events)
 		if err != nil {
@@ -63,11 +62,20 @@ func main() {
 		}
 		defer f.Close()
 		tel = telemetry.New(-1) // the engine is a driver, not a peer
-		sink = telemetry.NewJSONLSink(f)
-		tel.SetSink(sink)
+		// Events flow through the async pipeline, as on a real node — but
+		// the sim is a batch tool, so completeness beats latency: the ring
+		// is deep and the drainer unthrottled, leaving drops only for
+		// bursts that outrun the encoder for 64k+ events straight.
+		pipe := telemetry.NewPipeline(telemetry.NewJSONLSink(f), telemetry.PipelineConfig{
+			Node: -1, RingSize: 1 << 16, DrainBudget: 1,
+		})
+		tel.SetSink(pipe)
 		defer func() {
-			if err := sink.Flush(); err != nil {
+			if err := pipe.Close(); err != nil {
 				log.Printf("flushing %s: %v", *events, err)
+			}
+			if d := pipe.Drops(); d > 0 {
+				log.Printf("%s: %d events dropped under pressure (see kind=drop records)", *events, d)
 			}
 		}()
 	}
@@ -173,12 +181,7 @@ func main() {
 			fmt.Printf("  %s\n", dt)
 			tel.ObserveQuery(tr.Result.Found, tr.Result.Messages, tr.Result.Backtracks)
 			if tel.EventsOn() {
-				tel.Emit(telemetry.KindQuery, map[string]any{
-					"key":        key.String(),
-					"found":      tr.Result.Found,
-					"hops":       tr.Result.Messages,
-					"backtracks": tr.Result.Backtracks,
-				})
+				tel.EmitQuery(key.String(), tr.Result.Found, tr.Result.Messages, tr.Result.Backtracks)
 			}
 		}
 		fmt.Println("route analysis:")

@@ -141,13 +141,8 @@ func exchange(d *directory.Directory, cfg Config, m *Metrics, a1, a2 *peer.Peer,
 
 	m.Tel.ExchangeCase(caseTaken)
 	if m.Tel.EventsOn() {
-		m.Tel.Emit(telemetry.KindExchange, map[string]any{
-			"case":  telemetry.ExchangeCaseName(caseTaken),
-			"lc":    commonLen,
-			"depth": r,
-			"a1":    int(a1.Addr()),
-			"a2":    int(a2.Addr()),
-		})
+		m.Tel.EmitExchange(telemetry.ExchangeCaseName(caseTaken),
+			commonLen, r, int(a1.Addr()), int(a2.Addr()))
 	}
 
 	// Replicas reconcile their indexes when they meet (anti-entropy):

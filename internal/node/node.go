@@ -102,9 +102,20 @@ func (n *Node) EnableTracing(rec *trace.Recorder, sampleProb float64) {
 func (n *Node) Recorder() *trace.Recorder { return n.rec }
 
 // Handle dispatches one incoming request and returns the response message.
-// Transports call this on the receiving side.
+// Transports call this on the receiving side. Handling is timed into the
+// per-kind served-latency histograms; error replies count as served
+// errors.
 func (n *Node) Handle(m *wire.Message) *wire.Message {
-	n.tel.ServedRPC(m.Kind.String())
+	kind := m.Kind.String()
+	n.tel.ServedRPC(kind)
+	start := time.Now()
+	resp := n.handle(m)
+	n.tel.ServedRPCDone(kind, time.Since(start), resp.Kind == wire.KindError)
+	return resp
+}
+
+// handle is the untimed dispatch switch behind Handle.
+func (n *Node) handle(m *wire.Message) *wire.Message {
 	switch m.Kind {
 	case wire.KindQuery:
 		resp := n.handleQuery(m.Query)
@@ -248,12 +259,7 @@ func (n *Node) Query(key bitpath.Path) core.QueryResult {
 	resp := n.handleQuery(req)
 	n.tel.ObserveQuery(resp.Found, resp.Messages, resp.Backtracks)
 	if n.tel.EventsOn() {
-		n.tel.Emit(telemetry.KindQuery, map[string]any{
-			"key":        key.String(),
-			"found":      resp.Found,
-			"hops":       resp.Messages,
-			"backtracks": resp.Backtracks,
-		})
+		n.tel.EmitQuery(key.String(), resp.Found, resp.Messages, resp.Backtracks)
 	}
 	return core.QueryResult{Found: resp.Found, Peer: resp.Peer, Messages: resp.Messages, Backtracks: resp.Backtracks}
 }
@@ -546,13 +552,8 @@ func (n *Node) handleExchange(from addr.Addr, req *wire.ExchangeReq) *wire.Excha
 
 	n.tel.ExchangeCase(caseTaken)
 	if n.tel.EventsOn() {
-		n.tel.Emit(telemetry.KindExchange, map[string]any{
-			"case":  telemetry.ExchangeCaseName(caseTaken),
-			"lc":    commonLen,
-			"depth": req.Depth,
-			"a1":    int(from),
-			"a2":    int(n.Addr()),
-		})
+		n.tel.EmitExchange(telemetry.ExchangeCaseName(caseTaken),
+			commonLen, req.Depth, int(from), int(n.Addr()))
 	}
 
 	// Our own specialization (cases 1 and 3) may strand entries on the

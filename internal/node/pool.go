@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -89,6 +90,7 @@ type PoolTransport struct {
 	connLost  atomic.Int64
 	open      atomic.Int64
 	inFlight  atomic.Int64
+	acquiring atomic.Int64 // callers currently waiting to hold a connection
 
 	janitorStop chan struct{}
 	janitorOnce sync.Once
@@ -142,7 +144,7 @@ func (p *PoolTransport) Stats() PoolStats {
 }
 
 func (p *PoolTransport) publishGauges() {
-	p.tel.PoolGauges(p.open.Load(), p.inFlight.Load())
+	p.tel.PoolGauges(p.open.Load(), p.inFlight.Load(), p.acquiring.Load())
 }
 
 // Call implements Transport.
@@ -159,17 +161,31 @@ func (p *PoolTransport) Call(to addr.Addr, msg *wire.Message) (*wire.Message, er
 
 	if p.cfg.Size <= 0 {
 		// Unpooled mode: dial, one call, close.
+		start := time.Now()
+		p.acquiring.Add(1)
 		mc, err := p.dialConn(to, ep, p.peerState(to), nil)
+		p.acquiring.Add(-1)
+		p.tel.PoolAcquireWait(time.Since(start))
 		if err != nil {
+			p.notePeerError(to, err)
 			return nil, err
 		}
 		defer mc.close()
-		return p.callOn(mc, to, msg)
+		resp, err := p.callOn(mc, to, msg)
+		if err != nil {
+			p.notePeerError(to, err)
+		}
+		return resp, err
 	}
 
 	pp := p.pool(to)
+	start := time.Now()
+	p.acquiring.Add(1)
 	mc, reused, err := pp.acquire(p, to, ep)
+	p.acquiring.Add(-1)
+	p.tel.PoolAcquireWait(time.Since(start))
 	if err != nil {
+		p.notePeerError(to, err)
 		return nil, err
 	}
 	if reused {
@@ -177,12 +193,50 @@ func (p *PoolTransport) Call(to addr.Addr, msg *wire.Message) (*wire.Message, er
 		p.tel.PoolReuse()
 	}
 	resp, err := p.callOn(mc, to, msg)
-	if err != nil && errors.Is(err, ErrOffline) {
-		// The connection failed under us; it has already removed itself
-		// from the pool. The caller's retry (if any) will re-acquire.
-		return nil, err
+	if err != nil {
+		p.notePeerError(to, err)
+		if errors.Is(err, ErrOffline) {
+			// The connection failed under us; it has already removed itself
+			// from the pool. The caller's retry (if any) will re-acquire.
+			return nil, err
+		}
 	}
 	return resp, err
+}
+
+// notePeerError feeds the per-peer error-class counters.
+func (p *PoolTransport) notePeerError(to addr.Addr, err error) {
+	if p.tel == nil {
+		return
+	}
+	p.tel.PeerError(int(to), errClass(err))
+}
+
+// errClass buckets a call error for the per-peer counters: "timeout",
+// "refused", "closed", "corrupt", other transport loss as "offline", and
+// error replies from a healthy peer as "app".
+func errClass(err error) string {
+	var ne net.Error
+	switch {
+	case errors.As(err, &ne) && ne.Timeout():
+		return "timeout"
+	case errors.Is(err, wire.ErrCorrupt):
+		return "corrupt"
+	case errors.Is(err, ErrOffline):
+		s := err.Error()
+		switch {
+		case strings.Contains(s, "connection refused"):
+			return "refused"
+		case strings.Contains(s, "timed out"), strings.Contains(s, "timeout"):
+			return "timeout"
+		case strings.Contains(s, "closed"):
+			return "closed"
+		default:
+			return "offline"
+		}
+	default:
+		return "app"
+	}
 }
 
 // callOn runs one round trip on mc and applies the KindError convention.

@@ -57,9 +57,13 @@ type Options struct {
 	ChurnEvery int64
 	// Telemetry, when non-nil, receives fine-grained instrumentation:
 	// exchange case counters flow through core, and (when an event sink is
-	// attached) both engines emit one "round" sample every SampleEvery
-	// meetings plus one final "build" summary. Nil keeps the engines on
-	// the uninstrumented fast path.
+	// attached) both engines emit one "exchange" event per exchange, one
+	// "round" sample every SampleEvery meetings, and one final "build"
+	// summary. Nil keeps the engines on the uninstrumented fast path.
+	// Attach the sink through a telemetry.Pipeline (as pgridsim and
+	// pgridnode do) to keep emission off the meeting hot path; the
+	// concurrent engine's workers then share the pipeline's lock-free
+	// rings instead of serializing on the sink's mutex.
 	Telemetry *telemetry.Instruments
 	// SampleEvery is the meeting interval between "round" samples.
 	// Default N; < 0 disables sampling.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"pgrid/internal/core"
+	"pgrid/internal/telemetry"
 	"pgrid/internal/trie"
 	"pgrid/internal/workload"
 )
@@ -218,5 +219,54 @@ func TestChurnStepApproachesStationaryFraction(t *testing.T) {
 	}
 	if got2 := d.OnlineCount(); got2 != last {
 		t.Errorf("ChurnStep return %d != OnlineCount %d", last, got2)
+	}
+}
+
+// TestBuildConcurrentWithPipelineEvents drives the concurrent engine with
+// a full event pipeline attached — many worker goroutines emitting into
+// the sharded rings while the drainer encodes — and checks the accounting:
+// every exchange either reached the sink or was counted as dropped. Run
+// under -race this also exercises the emit/drain paths for data races.
+func TestBuildConcurrentWithPipelineEvents(t *testing.T) {
+	tel := telemetry.New(-1)
+	sink := &telemetry.MemorySink{}
+	// Tiny rings force the drop path; unthrottled drainer keeps both
+	// paths busy.
+	pipe := telemetry.NewPipeline(sink, telemetry.PipelineConfig{
+		Shards: 4, RingSize: 64, DrainBudget: 1,
+	})
+	tel.SetSink(pipe)
+	res, err := BuildConcurrent(Options{
+		N:         120,
+		Config:    core.Config{MaxL: 4, RefMax: 2, RecMax: 2, RecFanout: 2},
+		Seed:      7,
+		Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var exchanges, dropReported int64
+	for _, e := range sink.Events() {
+		switch e.Kind {
+		case telemetry.KindExchange:
+			exchanges++
+		case telemetry.KindDrop:
+			dropReported += e.Attrs["dropped"].(int64)
+		}
+	}
+	// Drops() also counts dropped round/build samples, so delivered +
+	// dropped can exceed the exchange count by at most those few extras.
+	if got := exchanges + pipe.Drops(); got < res.Exchanges || got > res.Exchanges+64 {
+		t.Errorf("delivered %d + dropped %d = %d exchange events, engine counted %d",
+			exchanges, pipe.Drops(), got, res.Exchanges)
+	}
+	if dropReported != pipe.Drops() {
+		t.Errorf("drop reports sum to %d, pipeline counted %d", dropReported, pipe.Drops())
+	}
+	if res.Exchanges == 0 || exchanges == 0 {
+		t.Errorf("no events flowed: exchanges=%d delivered=%d", res.Exchanges, exchanges)
 	}
 }

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestAppendEventMatchesMarshal pins the append encoder to
+// encoding/json.Marshal byte-for-byte across the attr types and string
+// contents events actually carry, plus hostile edge cases.
+func TestAppendEventMatchesMarshal(t *testing.T) {
+	events := []Event{
+		{V: 1, TS: 0, Node: -1, Kind: "build"},
+		{V: 1, TS: 1700000000000000000, Node: 3, Kind: "exchange",
+			Attrs: map[string]any{"case": "1", "lc": 0, "depth": 2, "a1": 7, "a2": 9}},
+		{V: 1, TS: 1700000000001000000, Node: 0, Kind: "query",
+			Attrs: map[string]any{"key": "010011", "found": true, "hops": 4, "backtracks": 0}},
+		{V: 1, TS: 42, Node: 1, Kind: "rpc",
+			Attrs: map[string]any{"kind": "query", "peer": 2, "us": int64(1234)}},
+		{V: 1, TS: 43, Node: 1, Kind: "drop", Attrs: map[string]any{"dropped": int64(17)}},
+		{V: 1, TS: 44, Node: 2, Kind: "round",
+			Attrs: map[string]any{"avg_path_len": 3.25, "meetings": 1000, "converged": false}},
+		{V: 1, TS: 45, Node: 2, Kind: "build",
+			Attrs: map[string]any{"seconds": 0.0000001, "big": 1e22, "neg": -2.5e-9, "zero": 0.0, "negzero": float64(0)}},
+		{V: 1, TS: 46, Node: 2, Kind: "weird",
+			Attrs: map[string]any{
+				"html":    "<a href=\"x\">&amp;</a>",
+				"ctl":     "tab\tnl\ncr\rbs\bff\fbell\x07",
+				"unicode": "héllo wörld ☃",
+				"seps":    "a\u2028b\u2029c",
+				"invalid": "bad\xffutf8",
+				"empty":   "",
+				"nilval":  nil,
+				"i32":     int32(-5),
+				"u64":     uint64(1 << 63),
+				"slice":   []int{1, 2, 3},
+			}},
+	}
+	for _, e := range events {
+		want, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("Marshal(%+v): %v", e, err)
+		}
+		got, err := appendEvent(nil, e)
+		if err != nil {
+			t.Fatalf("appendEvent(%+v): %v", e, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("encoding mismatch for kind %s:\n got  %s\n want %s", e.Kind, got, want)
+		}
+	}
+}
+
+// TestAppendEventReusesBuffer checks the append contract: encoding into a
+// truncated buffer reuses its capacity and still matches Marshal.
+func TestAppendEventReusesBuffer(t *testing.T) {
+	e := Event{V: 1, TS: 7, Node: 0, Kind: "exchange", Attrs: map[string]any{"case": "2"}}
+	buf := make([]byte, 0, 256)
+	for i := 0; i < 3; i++ {
+		var err error
+		buf, err = appendEvent(buf[:0], e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := json.Marshal(e)
+		if string(buf) != string(want) {
+			t.Fatalf("iteration %d: got %s want %s", i, buf, want)
+		}
+	}
+}
+
+// TestAppendEventError checks unsupported attr values surface an error
+// instead of corrupt output.
+func TestAppendEventError(t *testing.T) {
+	e := Event{V: 1, Kind: "bad", Attrs: map[string]any{"fn": func() {}}}
+	if _, err := appendEvent(nil, e); err == nil {
+		t.Error("expected error for unmarshalable attr")
+	}
+	e = Event{V: 1, Kind: "bad", Attrs: map[string]any{"nan": math.NaN()}}
+	if _, err := appendEvent(nil, e); err == nil {
+		t.Error("expected error for NaN attr")
+	}
+}

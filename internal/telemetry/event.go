@@ -2,7 +2,6 @@ package telemetry
 
 import (
 	"bufio"
-	"encoding/json"
 	"io"
 	"sync"
 )
@@ -47,6 +46,12 @@ const (
 	// KindBuild is the simulator's end-of-construction summary, attrs:
 	// n, meetings, exchanges, avg_path_len, converged, seconds.
 	KindBuild = "build"
+	// KindRPC is one client-side RPC completion, attrs: kind (wire kind
+	// name), peer (remote node id), us (duration in microseconds).
+	KindRPC = "rpc"
+	// KindDrop reports events lost to a full pipeline ring since the last
+	// drop report, attrs: dropped (count).
+	KindDrop = "drop"
 )
 
 // Sink consumes events. Implementations must be safe for concurrent use.
@@ -61,6 +66,7 @@ type Sink interface {
 type JSONLSink struct {
 	mu  sync.Mutex
 	w   *bufio.Writer
+	buf []byte // reused per-event encode buffer, guarded by mu
 	err error
 }
 
@@ -71,17 +77,33 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 
 // Emit implements Sink.
 func (s *JSONLSink) Emit(e Event) {
-	b, err := json.Marshal(e)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
 		return
 	}
+	b, err := appendEvent(s.buf[:0], e)
+	s.buf = b[:0]
 	if err != nil {
 		s.err = err
 		return
 	}
-	if _, err := s.w.Write(b); err != nil {
+	s.writeLineLocked(b)
+}
+
+// writeRaw writes one already-encoded JSON line (without the trailing
+// newline). The pipeline drainer uses it to skip re-encoding.
+func (s *JSONLSink) writeRaw(line []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.writeLineLocked(line)
+}
+
+func (s *JSONLSink) writeLineLocked(line []byte) {
+	if _, err := s.w.Write(line); err != nil {
 		s.err = err
 		return
 	}

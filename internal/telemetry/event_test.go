@@ -26,6 +26,8 @@ func TestEventSchemaGolden(t *testing.T) {
 	in.Emit(KindQuery, map[string]any{"key": "010110", "found": true, "hops": 3, "backtracks": 1})
 	in.Emit(KindRound, map[string]any{"meetings": int64(500), "exchanges": int64(1234), "avg_path_len": 3.25, "target": 5.94})
 	in.Emit(KindBuild, map[string]any{"n": 500, "meetings": int64(9000), "exchanges": int64(12210), "avg_path_len": 5.95, "converged": true, "seconds": 0.25})
+	in.EmitRPC("query", 2, 1234)
+	in.Emit(KindDrop, map[string]any{"dropped": int64(17)})
 	if err := sink.Flush(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,9 @@
 package telemetry
 
 import (
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -97,16 +100,23 @@ type Instruments struct {
 	healthMinLevel *Gauge
 	healthRounds   *Gauge
 
-	poolOpen       *Gauge
-	poolInFlight   *Gauge
-	poolDials      *Counter
-	poolReuses     *Counter
-	poolEvictions  *Counter
-	poolIdleCloses *Counter
-	poolConnLost   *Counter
+	poolOpen        *Gauge
+	poolInFlight    *Gauge
+	poolQueueDepth  *Gauge
+	poolDials       *Counter
+	poolReuses      *Counter
+	poolEvictions   *Counter
+	poolIdleCloses  *Counter
+	poolConnLost    *Counter
+	poolAcquireWait *QHist
+
+	eventsDropped *Counter
+	rpcSlow       *Counter
+	servedErrors  *Counter
 
 	labeledMu sync.RWMutex
 	labeled   map[string]*Counter
+	labeledQ  map[string]*QHist
 }
 
 type levelPair struct {
@@ -118,10 +128,11 @@ type levelPair struct {
 // that is not a peer) backed by a fresh Registry.
 func New(node int) *Instruments {
 	t := &Instruments{
-		reg:     NewRegistry(),
-		node:    node,
-		clock:   func() int64 { return time.Now().UnixNano() },
-		labeled: make(map[string]*Counter),
+		reg:      NewRegistry(),
+		node:     node,
+		clock:    func() int64 { return time.Now().UnixNano() },
+		labeled:  make(map[string]*Counter),
+		labeledQ: make(map[string]*QHist),
 	}
 	r := t.reg
 	t.exchanges = r.Counter("pgrid_exchange_total", "exchanges executed, including recursive ones (the paper's e)")
@@ -166,6 +177,11 @@ func New(node int) *Instruments {
 	t.poolEvictions = r.Counter("pgrid_pool_evictions_total", "pooled connections evicted (breaker open or explicit)")
 	t.poolIdleCloses = r.Counter("pgrid_pool_idle_closes_total", "pooled connections reaped after sitting idle")
 	t.poolConnLost = r.Counter("pgrid_pool_conn_lost_total", "pooled connections that died with requests in flight")
+	t.poolQueueDepth = r.Gauge("pgrid_pool_queue_depth", "requests currently waiting for or multiplexed on pooled connections, by queue position")
+	t.poolAcquireWait = r.Quantile("pgrid_pool_acquire_wait_ns", "time from requesting a pooled connection to holding one, in nanoseconds")
+	t.eventsDropped = r.Counter("pgrid_events_dropped_total", "telemetry events discarded because a pipeline ring was full")
+	t.rpcSlow = r.Counter("pgrid_rpc_slow_total", "outbound RPCs slower than the slow-op threshold")
+	t.servedErrors = r.Counter("pgrid_rpc_served_errors_total", "inbound RPCs answered with an error reply")
 	return t
 }
 
@@ -194,7 +210,8 @@ func (t *Instruments) SetClock(clock func() int64) {
 	t.clock = clock
 }
 
-// SetSink attaches (or, with nil, detaches) the event sink.
+// SetSink attaches (or, with nil, detaches) the event sink. Attaching a
+// *Pipeline also wires its drop count into pgrid_events_dropped_total.
 func (t *Instruments) SetSink(s Sink) {
 	if t == nil {
 		return
@@ -202,6 +219,9 @@ func (t *Instruments) SetSink(s Sink) {
 	if s == nil {
 		t.sink.Store(nil)
 		return
+	}
+	if p, ok := s.(*Pipeline); ok {
+		p.SetDropCounter(t.eventsDropped)
 	}
 	t.sink.Store(&s)
 }
@@ -223,6 +243,60 @@ func (t *Instruments) Emit(kind string, attrs map[string]any) {
 		return
 	}
 	(*sp).Emit(Event{V: SchemaVersion, TS: t.clock(), Node: t.node, Kind: kind, Attrs: attrs})
+}
+
+// EmitExchange emits one KindExchange event. When the sink is a Pipeline
+// the record is enqueued as flat fields — no attribute map allocation on
+// the meeting hot path; other sinks get the equivalent Event.
+func (t *Instruments) EmitExchange(caseName string, lc, depth, a1, a2 int) {
+	if t == nil {
+		return
+	}
+	sp := t.sink.Load()
+	if sp == nil {
+		return
+	}
+	if p, ok := (*sp).(*Pipeline); ok {
+		p.emitExchange(t.clock(), t.node, caseName, lc, depth, a1, a2)
+		return
+	}
+	(*sp).Emit(Event{V: SchemaVersion, TS: t.clock(), Node: t.node, Kind: KindExchange,
+		Attrs: map[string]any{"case": caseName, "lc": lc, "depth": depth, "a1": a1, "a2": a2}})
+}
+
+// EmitQuery emits one KindQuery event (allocation-free via a Pipeline).
+func (t *Instruments) EmitQuery(key string, found bool, hops, backtracks int) {
+	if t == nil {
+		return
+	}
+	sp := t.sink.Load()
+	if sp == nil {
+		return
+	}
+	if p, ok := (*sp).(*Pipeline); ok {
+		p.emitQuery(t.clock(), t.node, key, found, hops, backtracks)
+		return
+	}
+	(*sp).Emit(Event{V: SchemaVersion, TS: t.clock(), Node: t.node, Kind: KindQuery,
+		Attrs: map[string]any{"key": key, "found": found, "hops": hops, "backtracks": backtracks}})
+}
+
+// EmitRPC emits one KindRPC event for an outbound RPC of the given wire
+// kind to peer, taking us microseconds (allocation-free via a Pipeline).
+func (t *Instruments) EmitRPC(kind string, peer int, us int64) {
+	if t == nil {
+		return
+	}
+	sp := t.sink.Load()
+	if sp == nil {
+		return
+	}
+	if p, ok := (*sp).(*Pipeline); ok {
+		p.emitRPC(t.clock(), t.node, kind, peer, us)
+		return
+	}
+	(*sp).Emit(Event{V: SchemaVersion, TS: t.clock(), Node: t.node, Kind: KindRPC,
+		Attrs: map[string]any{"kind": kind, "peer": peer, "us": us}})
 }
 
 // ExchangeCase records one executed exchange and the Fig. 3 case taken
@@ -313,6 +387,7 @@ func (t *Instruments) ClientRPC(kind string, d time.Duration, err error) {
 	t.rpcTotal.Inc()
 	t.labeledCounter("pgrid_rpc_client_kind_total", "kind", kind, "outbound RPCs by message kind").Inc()
 	t.rpcLatency.Observe(int64(d))
+	t.latencyQ("pgrid_rpc_kind_latency_ns", kind, "outbound RPC round-trip latency by message kind, in nanoseconds").Observe(int64(d))
 	if err != nil {
 		t.rpcErrors.Inc()
 		t.labeledCounter("pgrid_rpc_client_kind_errors_total", "kind", kind, "failed outbound RPCs by message kind").Inc()
@@ -326,6 +401,38 @@ func (t *Instruments) ServedRPC(kind string) {
 	}
 	t.served.Inc()
 	t.labeledCounter("pgrid_rpc_served_kind_total", "kind", kind, "inbound RPCs by message kind").Inc()
+}
+
+// ServedRPCDone records the handling duration and outcome of one inbound
+// RPC (paired with an earlier ServedRPC).
+func (t *Instruments) ServedRPCDone(kind string, d time.Duration, isErr bool) {
+	if t == nil {
+		return
+	}
+	t.latencyQ("pgrid_rpc_served_latency_ns", kind, "inbound RPC handling latency by message kind, in nanoseconds").Observe(int64(d))
+	if isErr {
+		t.servedErrors.Inc()
+		t.labeledCounter("pgrid_rpc_served_kind_errors_total", "kind", kind, "inbound RPCs answered with an error reply, by message kind").Inc()
+	}
+}
+
+// SlowRPC records one outbound RPC that exceeded the slow-op threshold.
+func (t *Instruments) SlowRPC(kind string) {
+	if t == nil {
+		return
+	}
+	t.rpcSlow.Inc()
+	t.labeledCounter("pgrid_rpc_slow_kind_total", "kind", kind, "slow outbound RPCs by message kind").Inc()
+}
+
+// PeerError records one failed outbound RPC against the peer it targeted
+// and a coarse error class ("timeout", "refused", "closed", "other").
+func (t *Instruments) PeerError(peer int, class string) {
+	if t == nil {
+		return
+	}
+	full := "pgrid_rpc_peer_errors_total{class=" + strconv.Quote(class) + ",peer=" + strconv.Quote(strconv.Itoa(peer)) + "}"
+	t.cachedCounter(full, "failed outbound RPCs by peer and error class").Inc()
 }
 
 // MalformedResponse records one response whose payload did not match the
@@ -409,14 +516,24 @@ func (t *Instruments) ResilienceBudgetTokens(milli int64) {
 	t.resBudgetTokens.Set(milli)
 }
 
-// PoolGauges publishes the pool's current open-connection and in-flight
-// request counts.
-func (t *Instruments) PoolGauges(open, inFlight int64) {
+// PoolGauges publishes the pool's current open-connection, in-flight, and
+// acquire-queue depths.
+func (t *Instruments) PoolGauges(open, inFlight, queued int64) {
 	if t == nil {
 		return
 	}
 	t.poolOpen.Set(open)
 	t.poolInFlight.Set(inFlight)
+	t.poolQueueDepth.Set(queued)
+}
+
+// PoolAcquireWait records how long one call waited to hold a pooled
+// connection (dial time included on cold paths).
+func (t *Instruments) PoolAcquireWait(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.poolAcquireWait.Observe(int64(d))
 }
 
 // PoolDial records one connection dialed by the pool, labeled by the codec
@@ -519,7 +636,12 @@ func (t *Instruments) levelCounters(level int) levelPair {
 // labeledCounter caches dynamically-labeled counters (RPC kinds, update
 // strategies) so the hot path is a read-locked map hit.
 func (t *Instruments) labeledCounter(name, key, value, help string) *Counter {
-	full := Label(name, key, value)
+	return t.cachedCounter(Label(name, key, value), help)
+}
+
+// cachedCounter is labeledCounter for a pre-rendered full name (used when
+// the name carries more than one label).
+func (t *Instruments) cachedCounter(full, help string) *Counter {
 	t.labeledMu.RLock()
 	c := t.labeled[full]
 	t.labeledMu.RUnlock()
@@ -533,6 +655,87 @@ func (t *Instruments) labeledCounter(name, key, value, help string) *Counter {
 		t.labeled[full] = c
 	}
 	return c
+}
+
+// latencyQ caches per-kind quantile histograms the same way.
+func (t *Instruments) latencyQ(name, kind, help string) *QHist {
+	full := Label(name, "kind", kind)
+	t.labeledMu.RLock()
+	q := t.labeledQ[full]
+	t.labeledMu.RUnlock()
+	if q != nil {
+		return q
+	}
+	t.labeledMu.Lock()
+	defer t.labeledMu.Unlock()
+	if q = t.labeledQ[full]; q == nil {
+		q = t.reg.Quantile(full, help)
+		t.labeledQ[full] = q
+	}
+	return q
+}
+
+// LatencySummary is one row of LatencyReport: the SLO quantiles of one
+// latency histogram, in nanoseconds.
+type LatencySummary struct {
+	Scope string `json:"scope"` // "client", "served", or "pool"
+	Kind  string `json:"kind"`  // wire kind name, or the pool stage
+	Count int64  `json:"count"`
+	P50   int64  `json:"p50_ns"`
+	P95   int64  `json:"p95_ns"`
+	P99   int64  `json:"p99_ns"`
+	P999  int64  `json:"p999_ns"`
+}
+
+// LatencyReport snapshots every quantile histogram with at least one
+// observation: per-kind client and served RPC latency plus the pool
+// acquire wait, sorted by scope then kind. Nil-safe.
+func (t *Instruments) LatencyReport() []LatencySummary {
+	if t == nil {
+		return nil
+	}
+	var out []LatencySummary
+	row := func(scope, kind string, q *QHist) {
+		n := q.Count()
+		if n == 0 {
+			return
+		}
+		qs := q.Quantiles(QuantilePoints...)
+		out = append(out, LatencySummary{Scope: scope, Kind: kind, Count: n,
+			P50: qs[0], P95: qs[1], P99: qs[2], P999: qs[3]})
+	}
+	t.labeledMu.RLock()
+	for full, q := range t.labeledQ {
+		scope := "client"
+		if strings.HasPrefix(full, "pgrid_rpc_served_latency_ns") {
+			scope = "served"
+		}
+		row(scope, labelValue(full, "kind"), q)
+	}
+	t.labeledMu.RUnlock()
+	row("pool", "acquire_wait", t.poolAcquireWait)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Scope != out[j].Scope {
+			return out[i].Scope < out[j].Scope
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// labelValue extracts one label's value from a rendered instrument name,
+// or "" when absent.
+func labelValue(full, key string) string {
+	marker := key + `="`
+	i := strings.Index(full, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := full[i+len(marker):]
+	if j := strings.IndexByte(rest, '"'); j >= 0 {
+		return rest[:j]
+	}
+	return ""
 }
 
 // itoa avoids strconv for tiny non-negative ints on the probe path.

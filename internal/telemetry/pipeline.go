@@ -1,0 +1,504 @@
+package telemetry
+
+import (
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pipeline is an asynchronous Sink adapter: emitters enqueue fixed-size
+// records onto sharded lock-free ring buffers and return immediately; one
+// background drainer goroutine dequeues, orders by timestamp, encodes,
+// and forwards to the wrapped sink. The hot path never blocks on I/O,
+// JSON encoding, or the sink's mutex — when a ring is full the event is
+// dropped and counted instead. Memory is bounded by Shards × RingSize
+// records, and the drainer's CPU share is bounded by DrainBudget, so an
+// event firehose degrades into drops rather than into application
+// latency.
+//
+// Ordering: records from one node always land on the same shard (FIFO),
+// and the drainer stable-sorts each batch by timestamp, so per-node order
+// is exact and cross-node order is timestamp order.
+//
+// The typed emit paths (Instruments.EmitExchange and friends) store
+// events as flat fields — no attribute map is allocated on the emitting
+// goroutine; the drainer encodes straight from the record. The generic
+// Emit(Event) path carries its map through unchanged, for rare kinds.
+type Pipeline struct {
+	sink  Sink
+	jsonl *JSONLSink // fast path when the sink is a JSONLSink
+	node  int
+	clock func() int64
+
+	shards    []*evRing
+	shardMask uint64
+	budget    float64 // max fraction of wall-clock the drainer may spend
+
+	emitted atomic.Int64
+	drops   atomic.Int64
+	dropCtr atomic.Pointer[Counter] // mirror of drops in a Registry
+
+	// sleeping is true while the drainer is parked in select. Producers
+	// wake it at most once per sleep cycle (CAS the flag, then signal):
+	// a busy emit loop costs one atomic load per event instead of a
+	// channel operation, which on a loaded single-core box would make the
+	// scheduler ping-pong between emitter and drainer.
+	sleeping atomic.Bool
+	wake     chan struct{}
+	done     chan struct{}
+	stopped  chan struct{}
+
+	drainMu  sync.Mutex // serializes drain batches (drainer vs Flush)
+	batch    []rec
+	buf      []byte
+	reported int64 // drops already announced via KindDrop, guarded by drainMu
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// PipelineConfig sizes a Pipeline. Zero values pick the defaults.
+type PipelineConfig struct {
+	// Shards is the number of independent rings (rounded up to a power
+	// of two, default 8). Records shard by node id.
+	Shards int
+	// RingSize is the per-shard capacity in records (rounded up to a
+	// power of two, default 4096).
+	RingSize int
+	// Interval is the drainer's poll period (default 2ms). The drainer
+	// also wakes eagerly when records arrive while it sleeps, so the
+	// interval only bounds worst-case delivery latency.
+	Interval time.Duration
+	// DrainBudget caps the fraction of wall-clock time the drainer may
+	// spend encoding and writing (a token bucket; excess events wait in
+	// the rings and are dropped once full). On a multi-P runtime the
+	// drainer runs on a spare P and only contends for memory bandwidth,
+	// but on GOMAXPROCS=1 every drained event steals time from the
+	// application — so the default is 0.03 there and 0.5 otherwise.
+	// Values >= 1 disable throttling. Flush and Close always drain fully
+	// regardless of the budget.
+	DrainBudget float64
+	// Node stamps drop-report events, used verbatim (drivers that are
+	// not a peer should pass -1, matching Event.Node conventions).
+	Node int
+	// Clock timestamps drop-report events (default time.Now().UnixNano).
+	Clock func() int64
+}
+
+// NewPipeline wraps sink and starts the drainer goroutine. Close releases
+// it.
+func NewPipeline(sink Sink, cfg PipelineConfig) *Pipeline {
+	shards := ceilPow2(cfg.Shards, 8)
+	ringSize := ceilPow2(cfg.RingSize, 4096)
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = 2 * time.Millisecond
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = func() int64 { return time.Now().UnixNano() }
+	}
+	budget := cfg.DrainBudget
+	if budget <= 0 {
+		if runtime.GOMAXPROCS(0) == 1 {
+			budget = 0.03
+		} else {
+			budget = 0.5
+		}
+	}
+	p := &Pipeline{
+		sink:      sink,
+		node:      cfg.Node,
+		clock:     clock,
+		budget:    budget,
+		shards:    make([]*evRing, shards),
+		shardMask: uint64(shards - 1),
+		wake:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
+		stopped:   make(chan struct{}),
+	}
+	if js, ok := sink.(*JSONLSink); ok {
+		p.jsonl = js
+	}
+	for i := range p.shards {
+		p.shards[i] = newEvRing(ringSize)
+	}
+	go p.run(interval)
+	return p
+}
+
+// ceilPow2 rounds n up to a power of two, with a default for n <= 0.
+func ceilPow2(n, def int) int {
+	if n <= 0 {
+		return def
+	}
+	v := 1
+	for v < n {
+		v <<= 1
+	}
+	return v
+}
+
+// Emit implements Sink: the generic path for events carrying an attribute
+// map. The map is handed off as-is; callers must not mutate it afterward.
+func (p *Pipeline) Emit(e Event) {
+	p.enqueue(rec{ts: e.TS, node: e.Node, rk: recGeneric, gkind: e.Kind, attrs: e.Attrs})
+}
+
+// emitExchange enqueues a KindExchange record without allocating.
+func (p *Pipeline) emitExchange(ts int64, node int, caseName string, lc, depth, a1, a2 int) {
+	p.enqueue(rec{ts: ts, node: node, rk: recExchange, s1: caseName,
+		i1: int64(lc), i2: int64(depth), i3: int64(a1), i4: int64(a2)})
+}
+
+// emitQuery enqueues a KindQuery record without allocating.
+func (p *Pipeline) emitQuery(ts int64, node int, key string, found bool, hops, backtracks int) {
+	p.enqueue(rec{ts: ts, node: node, rk: recQuery, s1: key, b1: found,
+		i1: int64(hops), i2: int64(backtracks)})
+}
+
+// emitRPC enqueues a KindRPC record without allocating.
+func (p *Pipeline) emitRPC(ts int64, node int, kind string, peer int, us int64) {
+	p.enqueue(rec{ts: ts, node: node, rk: recRPC, s1: kind, i1: int64(peer), i2: us})
+}
+
+func (p *Pipeline) enqueue(r rec) {
+	shard := p.shards[uint64(r.node+1)&p.shardMask]
+	if !shard.enqueue(r) {
+		p.drops.Add(1)
+		if c := p.dropCtr.Load(); c != nil {
+			c.Inc()
+		}
+		return
+	}
+	p.emitted.Add(1)
+	if p.sleeping.Load() && p.sleeping.CompareAndSwap(true, false) {
+		select {
+		case p.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// SetDropCounter mirrors future drops into a registry counter (SetSink
+// wires pgrid_events_dropped_total here).
+func (p *Pipeline) SetDropCounter(c *Counter) {
+	if p == nil || c == nil {
+		return
+	}
+	p.dropCtr.Store(c)
+}
+
+// Drops returns the number of events discarded on full rings.
+func (p *Pipeline) Drops() int64 { return p.drops.Load() }
+
+// Emitted returns the number of events accepted onto rings.
+func (p *Pipeline) Emitted() int64 { return p.emitted.Load() }
+
+// Flush drains everything currently buffered through to the wrapped sink
+// and flushes it, returning the sink's sticky error if it has one.
+func (p *Pipeline) Flush() error {
+	p.drain(true, 0)
+	if p.jsonl != nil {
+		return p.jsonl.Flush()
+	}
+	return nil
+}
+
+// Close stops the drainer, drains remaining records, and flushes the
+// wrapped sink. Safe to call more than once; later calls return the first
+// result. Events emitted after Close may be silently discarded.
+func (p *Pipeline) Close() error {
+	p.closeOnce.Do(func() {
+		close(p.done)
+		<-p.stopped
+		p.closeErr = p.Flush()
+	})
+	return p.closeErr
+}
+
+func (p *Pipeline) run(interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	defer close(p.stopped)
+	// The drain budget is a token bucket: allowance accrues at `budget`
+	// seconds of drain time per second of wall-clock, and each drain pass
+	// spends its own duration. While the allowance is negative the drainer
+	// neither drains nor arms the wake flag — producers pay one atomic
+	// load per event and the rings absorb (then drop) the excess until the
+	// ticker finds a refilled bucket.
+	var allowance time.Duration
+	maxBurst := 10 * interval
+	last := time.Now()
+	credit := func() {
+		now := time.Now()
+		allowance += time.Duration(float64(now.Sub(last)) * p.budget)
+		if allowance > maxBurst {
+			allowance = maxBurst
+		}
+		last = now
+	}
+	drainBudgeted := func(report bool) {
+		if p.budget >= 1 {
+			p.drain(report, 0)
+			return
+		}
+		credit()
+		if allowance <= 0 {
+			return
+		}
+		// Cap the pass so one drain of brim-full rings cannot overshoot
+		// the bucket by tens of milliseconds; leftovers wait for the next
+		// tick's allowance.
+		start := time.Now()
+		p.drain(report, 1024)
+		allowance -= time.Since(start)
+	}
+	for {
+		if p.budget >= 1 || allowance > 0 {
+			// A record enqueued between this store and the select blocking
+			// may miss its wake; the ticker picks it up within one interval.
+			p.sleeping.Store(true)
+		}
+		select {
+		case <-p.done:
+			p.sleeping.Store(false)
+			p.drain(true, 0)
+			return
+		case <-p.wake:
+			p.sleeping.Store(false)
+			drainBudgeted(false)
+		case <-ticker.C:
+			p.sleeping.Store(false)
+			drainBudgeted(true)
+		}
+	}
+}
+
+// drain moves buffered records to the sink, in timestamp order — all of
+// them when limit is 0, at most limit per pass otherwise (spread evenly
+// across shards, so no shard starves). reportDrops additionally announces
+// drops accumulated since the last report as a KindDrop event.
+func (p *Pipeline) drain(reportDrops bool, limit int) {
+	p.drainMu.Lock()
+	defer p.drainMu.Unlock()
+	perShard := 0
+	if limit > 0 {
+		perShard = (limit + len(p.shards) - 1) / len(p.shards)
+	}
+	p.batch = p.batch[:0]
+	for _, r := range p.shards {
+		for n := 0; perShard == 0 || n < perShard; n++ {
+			ev, ok := r.dequeue()
+			if !ok {
+				break
+			}
+			p.batch = append(p.batch, ev)
+		}
+	}
+	sort.SliceStable(p.batch, func(i, j int) bool { return p.batch[i].ts < p.batch[j].ts })
+	for i := range p.batch {
+		p.deliver(&p.batch[i])
+	}
+	if reportDrops {
+		if d := p.drops.Load(); d > p.reported {
+			delta := d - p.reported
+			p.reported = d
+			p.deliver(&rec{ts: p.clock(), node: p.node, rk: recDrop, i1: delta})
+		}
+	}
+}
+
+func (p *Pipeline) deliver(r *rec) {
+	if p.jsonl != nil {
+		b, err := r.appendJSON(p.buf[:0])
+		p.buf = b[:0]
+		if err == nil {
+			p.jsonl.writeRaw(b)
+			return
+		}
+		// Fall through to the generic path so the sink records the error.
+	}
+	p.sink.Emit(r.event())
+}
+
+// rec is the fixed-size ring record. Typed kinds use the flat fields;
+// recGeneric carries its original map.
+type rec struct {
+	ts    int64
+	node  int
+	rk    recKind
+	s1    string // exchange: case; query: key; rpc: kind
+	b1    bool   // query: found
+	i1    int64  // exchange: lc; query: hops; rpc: peer; drop: dropped
+	i2    int64  // exchange: depth; query: backtracks; rpc: µs
+	i3    int64  // exchange: a1
+	i4    int64  // exchange: a2
+	gkind string
+	attrs map[string]any
+}
+
+type recKind uint8
+
+const (
+	recGeneric recKind = iota
+	recExchange
+	recQuery
+	recRPC
+	recDrop
+)
+
+// event materializes the record as an Event (the slow path, and tests).
+func (r *rec) event() Event {
+	e := Event{V: SchemaVersion, TS: r.ts, Node: r.node}
+	switch r.rk {
+	case recExchange:
+		e.Kind = KindExchange
+		e.Attrs = map[string]any{"case": r.s1, "lc": int(r.i1), "depth": int(r.i2),
+			"a1": int(r.i3), "a2": int(r.i4)}
+	case recQuery:
+		e.Kind = KindQuery
+		e.Attrs = map[string]any{"key": r.s1, "found": r.b1, "hops": int(r.i1),
+			"backtracks": int(r.i2)}
+	case recRPC:
+		e.Kind = KindRPC
+		e.Attrs = map[string]any{"kind": r.s1, "peer": int(r.i1), "us": r.i2}
+	case recDrop:
+		e.Kind = KindDrop
+		e.Attrs = map[string]any{"dropped": r.i1}
+	default:
+		e.Kind = r.gkind
+		e.Attrs = r.attrs
+	}
+	return e
+}
+
+// appendJSON encodes the record exactly as appendEvent(event()) would —
+// attribute keys in sorted order — without building the map for typed
+// kinds.
+func (r *rec) appendJSON(buf []byte) ([]byte, error) {
+	if r.rk == recGeneric {
+		return appendEvent(buf, Event{V: SchemaVersion, TS: r.ts, Node: r.node,
+			Kind: r.gkind, Attrs: r.attrs})
+	}
+	buf = append(buf, `{"v":`...)
+	buf = strconv.AppendInt(buf, SchemaVersion, 10)
+	buf = append(buf, `,"ts":`...)
+	buf = strconv.AppendInt(buf, r.ts, 10)
+	buf = append(buf, `,"node":`...)
+	buf = strconv.AppendInt(buf, int64(r.node), 10)
+	switch r.rk {
+	case recExchange:
+		// Sorted keys: a1, a2, case, depth, lc.
+		buf = append(buf, `,"kind":"exchange","attrs":{"a1":`...)
+		buf = strconv.AppendInt(buf, r.i3, 10)
+		buf = append(buf, `,"a2":`...)
+		buf = strconv.AppendInt(buf, r.i4, 10)
+		buf = append(buf, `,"case":`...)
+		buf = appendString(buf, r.s1)
+		buf = append(buf, `,"depth":`...)
+		buf = strconv.AppendInt(buf, r.i2, 10)
+		buf = append(buf, `,"lc":`...)
+		buf = strconv.AppendInt(buf, r.i1, 10)
+	case recQuery:
+		// Sorted keys: backtracks, found, hops, key.
+		buf = append(buf, `,"kind":"query","attrs":{"backtracks":`...)
+		buf = strconv.AppendInt(buf, r.i2, 10)
+		buf = append(buf, `,"found":`...)
+		buf = strconv.AppendBool(buf, r.b1)
+		buf = append(buf, `,"hops":`...)
+		buf = strconv.AppendInt(buf, r.i1, 10)
+		buf = append(buf, `,"key":`...)
+		buf = appendString(buf, r.s1)
+	case recRPC:
+		// Sorted keys: kind, peer, us.
+		buf = append(buf, `,"kind":"rpc","attrs":{"kind":`...)
+		buf = appendString(buf, r.s1)
+		buf = append(buf, `,"peer":`...)
+		buf = strconv.AppendInt(buf, r.i1, 10)
+		buf = append(buf, `,"us":`...)
+		buf = strconv.AppendInt(buf, r.i2, 10)
+	case recDrop:
+		buf = append(buf, `,"kind":"drop","attrs":{"dropped":`...)
+		buf = strconv.AppendInt(buf, r.i1, 10)
+	}
+	return append(buf, '}', '}'), nil
+}
+
+// evRing is a bounded MPMC ring (Vyukov's algorithm): each cell carries a
+// sequence number that encodes whether it is free for the producer at
+// position pos (seq == pos) or holds data for the consumer at pos
+// (seq == pos+1). Producers and consumers claim positions with CAS and
+// never block each other; a full ring rejects instead of waiting.
+type evRing struct {
+	cells []evCell
+	mask  uint64
+
+	_          [64]byte // keep the positions on separate cache lines
+	enqueuePos atomic.Uint64
+	_          [64]byte
+	dequeuePos atomic.Uint64
+	_          [64]byte
+}
+
+type evCell struct {
+	seq atomic.Uint64
+	ev  rec
+}
+
+func newEvRing(size int) *evRing {
+	r := &evRing{cells: make([]evCell, size), mask: uint64(size - 1)}
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// enqueue adds ev, reporting false (drop) when the ring is full.
+func (r *evRing) enqueue(ev rec) bool {
+	pos := r.enqueuePos.Load()
+	for {
+		cell := &r.cells[pos&r.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enqueuePos.CompareAndSwap(pos, pos+1) {
+				cell.ev = ev
+				cell.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enqueuePos.Load()
+		case seq < pos:
+			// The cell still holds an unconsumed record: full.
+			return false
+		default:
+			pos = r.enqueuePos.Load()
+		}
+	}
+}
+
+// dequeue removes the oldest record, reporting false when empty.
+func (r *evRing) dequeue() (rec, bool) {
+	pos := r.dequeuePos.Load()
+	for {
+		cell := &r.cells[pos&r.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.dequeuePos.CompareAndSwap(pos, pos+1) {
+				ev := cell.ev
+				cell.ev = rec{} // release references for GC
+				cell.seq.Store(pos + r.mask + 1)
+				return ev, true
+			}
+			pos = r.dequeuePos.Load()
+		case seq <= pos:
+			return rec{}, false
+		default:
+			pos = r.dequeuePos.Load()
+		}
+	}
+}

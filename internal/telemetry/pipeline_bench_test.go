@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+)
+
+// The emit-path benchmarks measure what an instrumented hot loop pays per
+// event in each sink configuration. The pipeline numbers include the
+// drainer's amortized share (it runs on the same GOMAXPROCS budget).
+
+func BenchmarkEmitExchangeSyncJSONL(b *testing.B) {
+	in := New(1)
+	in.SetSink(NewJSONLSink(io.Discard))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.EmitExchange("case2", 3, 1, 7, 9)
+	}
+}
+
+func BenchmarkEmitExchangePipeline(b *testing.B) {
+	in := New(1)
+	pipe := NewPipeline(NewJSONLSink(io.Discard), PipelineConfig{Node: 1})
+	defer pipe.Close()
+	in.SetSink(pipe)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.EmitExchange("case2", 3, 1, 7, 9)
+	}
+}
+
+func BenchmarkEmitRPCPipeline(b *testing.B) {
+	in := New(1)
+	pipe := NewPipeline(NewJSONLSink(io.Discard), PipelineConfig{Node: 1})
+	defer pipe.Close()
+	in.SetSink(pipe)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.EmitRPC("query", 7, 1234)
+	}
+}
+
+func BenchmarkQHistObserve(b *testing.B) {
+	var h QHist
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i)*31 + 1)
+	}
+}

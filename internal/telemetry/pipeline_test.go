@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPipelineMatchesSyncSink pins the pipeline's output to the
+// synchronous JSONL encoding byte-for-byte: same events in, same lines
+// out, whether they travel the typed fast path or the generic one.
+func TestPipelineMatchesSyncSink(t *testing.T) {
+	emitAll := func(in *Instruments) {
+		in.EmitExchange("1", 2, 0, 7, 9)
+		in.EmitQuery("010110", true, 3, 1)
+		in.EmitRPC("insert", 5, 987)
+		in.Emit(KindRound, map[string]any{"meetings": int64(500), "avg_path_len": 3.25})
+		in.EmitExchange("replica", 4, 4, 1, 2)
+		in.EmitQuery("111", false, 9, 2)
+	}
+	newClock := func() func() int64 {
+		ts := int64(1_700_000_000_000_000_000)
+		return func() int64 { ts += 1_000_000; return ts }
+	}
+
+	var syncBuf bytes.Buffer
+	syncIn := New(3)
+	syncIn.SetClock(newClock())
+	syncIn.SetSink(NewJSONLSink(&syncBuf))
+	emitAll(syncIn)
+
+	var pipeBuf bytes.Buffer
+	pipeSink := NewJSONLSink(&pipeBuf)
+	pipe := NewPipeline(pipeSink, PipelineConfig{Node: 3})
+	pipeIn := New(3)
+	pipeIn.SetClock(newClock())
+	pipeIn.SetSink(pipe)
+	emitAll(pipeIn)
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := syncIn.sinkFlush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pipeBuf.Bytes(), syncBuf.Bytes()) {
+		t.Errorf("pipeline output diverges from synchronous sink\n got: %s\nwant: %s",
+			pipeBuf.Bytes(), syncBuf.Bytes())
+	}
+	if pipe.Emitted() != 6 || pipe.Drops() != 0 {
+		t.Errorf("emitted=%d drops=%d, want 6/0", pipe.Emitted(), pipe.Drops())
+	}
+}
+
+// sinkFlush flushes the attached sink when it is a JSONLSink (test aid).
+func (t *Instruments) sinkFlush() error {
+	sp := t.sink.Load()
+	if sp == nil {
+		return nil
+	}
+	if js, ok := (*sp).(*JSONLSink); ok {
+		return js.Flush()
+	}
+	return nil
+}
+
+// TestPipelineRaceDropAccounting hammers a deliberately tiny ring with
+// concurrent emitters against the drainer and checks exact accounting:
+// every emitted event is either delivered intact or counted as dropped,
+// and the drop reports sum to the drop counter. Run under -race.
+func TestPipelineRaceDropAccounting(t *testing.T) {
+	sink := &MemorySink{}
+	pipe := NewPipeline(sink, PipelineConfig{
+		Shards:   2,
+		RingSize: 8, // tiny on purpose: force drops under load
+		Interval: 100 * time.Microsecond,
+		Node:     -1,
+	})
+	reg := NewRegistry()
+	dropCtr := reg.Counter("pgrid_events_dropped_total", "")
+	pipe.SetDropCounter(dropCtr)
+
+	const emitters = 8
+	const perEmitter = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perEmitter; i++ {
+				pipe.emitRPC(int64(i+1), g, "query", g, int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := sink.Events()
+	delivered := 0
+	var reportedDrops int64
+	for _, e := range events {
+		switch e.Kind {
+		case KindRPC:
+			delivered++
+			peer := e.Attrs["peer"].(int)
+			us := e.Attrs["us"].(int64)
+			if e.Node != peer || us < 0 || us >= perEmitter || e.Attrs["kind"] != "query" {
+				t.Fatalf("corrupt event: %+v", e)
+			}
+			if e.TS != us+1 {
+				t.Fatalf("event fields crossed between records: %+v", e)
+			}
+		case KindDrop:
+			reportedDrops += e.Attrs["dropped"].(int64)
+		default:
+			t.Fatalf("unexpected kind %q", e.Kind)
+		}
+	}
+	total := int64(emitters * perEmitter)
+	if int64(delivered) != pipe.Emitted() {
+		t.Errorf("delivered %d events but Emitted() = %d", delivered, pipe.Emitted())
+	}
+	if int64(delivered)+pipe.Drops() != total {
+		t.Errorf("delivered %d + drops %d != emitted %d", delivered, pipe.Drops(), total)
+	}
+	if reportedDrops != pipe.Drops() {
+		t.Errorf("KindDrop reports sum to %d, Drops() = %d", reportedDrops, pipe.Drops())
+	}
+	if dropCtr.Value() != pipe.Drops() {
+		t.Errorf("drop counter %d != Drops() %d", dropCtr.Value(), pipe.Drops())
+	}
+	if pipe.Drops() == 0 {
+		t.Log("warning: no drops forced; ring may be too large for this machine")
+	}
+}
+
+// TestPipelineFlush checks Flush makes everything buffered visible and
+// surfaces the sink's sticky error.
+func TestPipelineFlush(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	pipe := NewPipeline(sink, PipelineConfig{Interval: time.Hour}) // no ticker help
+	for i := 0; i < 10; i++ {
+		pipe.emitQuery(int64(i+1), 0, fmt.Sprintf("k%d", i), true, 1, 0)
+	}
+	if err := pipe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(buf.Bytes(), []byte("\n")); n != 10 {
+		t.Errorf("flushed %d lines, want 10", n)
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	failing := NewPipeline(NewJSONLSink(failWriter{}), PipelineConfig{})
+	failing.emitQuery(1, 0, "k", true, 1, 0)
+	if err := failing.Close(); err == nil {
+		t.Error("Close must surface the sink's sticky error")
+	}
+}
+
+// TestPipelineOrdering checks per-node FIFO and cross-node timestamp
+// ordering survive the shard merge.
+func TestPipelineOrdering(t *testing.T) {
+	sink := &MemorySink{}
+	pipe := NewPipeline(sink, PipelineConfig{Shards: 4, Interval: time.Hour})
+	// Interleave two nodes with strictly increasing timestamps.
+	for i := 0; i < 50; i++ {
+		pipe.emitRPC(int64(2*i+1), 1, "query", 0, int64(i))
+		pipe.emitRPC(int64(2*i+2), 2, "query", 0, int64(i))
+	}
+	if err := pipe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events := sink.Events()
+	if len(events) != 100 {
+		t.Fatalf("got %d events, want 100", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].TS < events[i-1].TS {
+			t.Fatalf("timestamp order violated at %d: %d after %d", i, events[i].TS, events[i-1].TS)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// QHist is a log-bucketed quantile histogram over non-negative int64
+// observations (latencies in nanoseconds), HDR-style: each power-of-two
+// octave is split into qSubCount linear subbuckets, so any observation
+// lands in a bucket whose width is at most 1/qSubCount of its magnitude
+// and quantile estimates carry at most ~3% relative error (≤5% was the
+// design bound). Observe is lock-free — one atomic add on the bucket plus
+// count and sum — so it sits on RPC hot paths; Quantile walks a snapshot
+// of the buckets.
+//
+// The fixed-bucket Histogram remains the right tool for small discrete
+// quantities (hop counts); QHist exists because latency SLOs (p50/p95/
+// p99/p999) need resolution across six orders of magnitude, which no
+// fixed bound table provides. Like every instrument it is nil-safe.
+type QHist struct {
+	name    string
+	help    string
+	buckets [qBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+const (
+	// qSubBits sets the subbucket resolution: 2^qSubBits linear buckets
+	// per octave. 4 → 16 subbuckets → worst-case relative error
+	// 1/(2·16) ≈ 3.1%.
+	qSubBits  = 4
+	qSubCount = 1 << qSubBits
+	// qBuckets covers the full non-negative int64 range: values below
+	// qSubCount are exact (one bucket per value), and each of the
+	// remaining 63-qSubBits octaves contributes qSubCount buckets.
+	qBuckets = qSubCount + (63-qSubBits)*qSubCount
+)
+
+// qIndex maps a value to its bucket.
+func qIndex(v int64) int {
+	if v < qSubCount {
+		if v < 0 {
+			v = 0
+		}
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) // ≥ qSubBits+1
+	sub := int(v>>(uint(e)-qSubBits-1)) & (qSubCount - 1)
+	return qSubCount + (e-qSubBits-1)*qSubCount + sub
+}
+
+// qBounds returns the inclusive value range bucket i covers.
+func qBounds(i int) (lo, hi int64) {
+	if i < qSubCount {
+		return int64(i), int64(i)
+	}
+	o := uint((i - qSubCount) / qSubCount)
+	sub := int64(i % qSubCount)
+	lo = (qSubCount + sub) << o
+	return lo, lo + (1 << o) - 1
+}
+
+// Observe records one value. Negative values clamp to 0. No-op on a nil
+// receiver.
+func (q *QHist) Observe(v int64) {
+	if q == nil {
+		return
+	}
+	q.buckets[qIndex(v)].Add(1)
+	q.count.Add(1)
+	if v > 0 {
+		q.sum.Add(v)
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (q *QHist) Count() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (q *QHist) Sum() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.sum.Load()
+}
+
+// Name returns the histogram's registered name.
+func (q *QHist) Name() string {
+	if q == nil {
+		return ""
+	}
+	return q.name
+}
+
+// Quantile estimates the p-quantile (p in [0,1]) as the midpoint of the
+// bucket holding the rank-⌈p·count⌉ observation. 0 with no observations
+// or a nil receiver.
+func (q *QHist) Quantile(p float64) int64 {
+	if q == nil {
+		return 0
+	}
+	qs := q.Quantiles(p)
+	return qs[0]
+}
+
+// Quantiles estimates several quantiles from one consistent bucket
+// snapshot, so p50 ≤ p95 ≤ p99 holds even while writers race.
+func (q *QHist) Quantiles(ps ...float64) []int64 {
+	out := make([]int64, len(ps))
+	if q == nil {
+		return out
+	}
+	var snap [qBuckets]int64
+	total := int64(0)
+	for i := range q.buckets {
+		snap[i] = q.buckets[i].Load()
+		total += snap[i]
+	}
+	if total == 0 {
+		return out
+	}
+	for j, p := range ps {
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		rank := int64(p * float64(total))
+		if rank < 1 {
+			rank = 1
+		}
+		cum := int64(0)
+		for i := range snap {
+			cum += snap[i]
+			if cum >= rank {
+				lo, hi := qBounds(i)
+				out[j] = lo + (hi-lo)/2
+				break
+			}
+		}
+	}
+	return out
+}
+
+// QuantilePoints is the quantile set pgrid renders everywhere: the SLO
+// points p50, p95, p99, and p999.
+var QuantilePoints = []float64{0.5, 0.95, 0.99, 0.999}
+
+// quantileLabels is the Prometheus label value for each QuantilePoints
+// entry, in order.
+var quantileLabels = []string{"0.5", "0.95", "0.99", "0.999"}

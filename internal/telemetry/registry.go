@@ -97,8 +97,31 @@ func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
 	return h
 }
 
+// Quantile returns the log-bucketed quantile histogram registered under
+// name, creating it on first use. It panics if name is already registered
+// as a different instrument kind. Nil-safe like Counter.
+func (r *Registry) Quantile(name, help string) *QHist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.insts[name]; ok {
+		q, ok := in.(*QHist)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: %q already registered as %T", name, in))
+		}
+		return q
+	}
+	q := &QHist{name: name, help: help}
+	r.insts[name] = q
+	r.order = append(r.order, name)
+	return q
+}
+
 // Stat is one flattened metric sample: histograms expand into
-// `name_bucket{le="…"}`, `name_sum`, and `name_count` entries, exactly
+// `name_bucket{le="…"}`, `name_sum`, and `name_count` entries, and
+// quantile histograms into `name{quantile="…"}` summary entries, exactly
 // like their Prometheus rendering.
 type Stat struct {
 	Name  string
@@ -132,6 +155,14 @@ func (r *Registry) Snapshot() []Stat {
 			out = append(out,
 				Stat{Name: name + "_sum", Value: in.Sum()},
 				Stat{Name: name + "_count", Value: in.Count()})
+		case *QHist:
+			qs := in.Quantiles(QuantilePoints...)
+			for i, v := range qs {
+				out = append(out, Stat{Name: withLabel(name, "quantile", quantileLabels[i]), Value: v})
+			}
+			out = append(out,
+				Stat{Name: suffixed(name, "_sum"), Value: in.Sum()},
+				Stat{Name: suffixed(name, "_count"), Value: in.Count()})
 		}
 	}
 	return out
@@ -187,6 +218,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, in.Sum(), name, in.Count()); err != nil {
 				return err
 			}
+		case *QHist:
+			if !seen[family] {
+				seen[family] = true
+				if err := writeHeader(w, family, in.help, "summary"); err != nil {
+					return err
+				}
+			}
+			qs := in.Quantiles(QuantilePoints...)
+			for i, v := range qs {
+				if _, err := fmt.Fprintf(w, "%s %d\n", withLabel(name, "quantile", quantileLabels[i]), v); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n%s %d\n", suffixed(name, "_sum"), in.Sum(), suffixed(name, "_count"), in.Count()); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -222,6 +269,25 @@ func leLabel(bounds []int64, i int) string {
 // Label("pgrid_rpc_total", "kind", "query") → `pgrid_rpc_total{kind="query"}`.
 func Label(name, key, value string) string {
 	return fmt.Sprintf("%s{%s=%q}", name, key, value)
+}
+
+// suffixed inserts a family suffix before any label braces:
+// suffixed(`m{kind="query"}`, "_sum") → `m_sum{kind="query"}`.
+func suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// withLabel appends one more label to a possibly-already-labeled name:
+// withLabel(`m{kind="query"}`, "quantile", "0.5") →
+// `m{kind="query",quantile="0.5"}`.
+func withLabel(name, key, value string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return fmt.Sprintf("%s,%s=%q}", name[:len(name)-1], key, value)
+	}
+	return Label(name, key, value)
 }
 
 // sortStats orders a snapshot by name (used by tests; the live snapshot

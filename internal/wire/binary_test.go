@@ -326,10 +326,10 @@ func TestBinaryCountOverflow(t *testing.T) {
 // allocation. The decoder must reject it as corrupt, never panic.
 func TestBinaryPathBitCountOverflow(t *testing.T) {
 	b := []byte{}
-	b = appendVarint(b, 1)                   // From
-	b = appendBool(b, true)                  // payload present
-	b = appendUvarint(b, ^uint64(0))         // bit count: 2^64-1, wraps (n+7)/8
-	b = append(b, 0x00)                      // one byte of "path data"
+	b = appendVarint(b, 1)           // From
+	b = appendBool(b, true)          // payload present
+	b = appendUvarint(b, ^uint64(0)) // bit count: 2^64-1, wraps (n+7)/8
+	b = append(b, 0x00)              // one byte of "path data"
 	frame := []byte{magic0, magic1, BinaryVersion, byte(KindQuery), 0, 0, 0, 0, 0}
 	frame = append(frame, byte(len(b)>>24), byte(len(b)>>16), byte(len(b)>>8), byte(len(b)))
 	frame = append(frame, b...)
