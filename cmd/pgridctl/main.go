@@ -26,6 +26,7 @@ import (
 	"pgrid/internal/bitpath"
 	"pgrid/internal/node"
 	"pgrid/internal/resilience"
+	"pgrid/internal/slo"
 	"pgrid/internal/store"
 	"pgrid/internal/wire"
 )
@@ -42,6 +43,7 @@ func main() {
 		retryBase = flag.Duration("retry-base", 25*time.Millisecond, "base retry backoff (doubles per retry, jittered)")
 		codec     = flag.String("codec", "binary", "wire codec: binary (negotiated per peer, gob fallback) or gob")
 		poolSize  = flag.Int("pool-size", 2, "pooled connections per peer (0 = dial per call)")
+		sloSpecs  = flag.String("slo", "query:p99:5ms", "latency objectives for cluster reports: kind:pNN:threshold,... (empty disables)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, `usage: pgridctl -peers <endpoints> <command> [args]
@@ -58,11 +60,17 @@ commands:
   replicas <id> <key>           list all reachable peers covering a binary key
   scan <id> <key-prefix>        list all entries under a binary key prefix
   stats <id>                    dump a node's telemetry counters (the /metrics data, over the wire)
-  top <id> [interval] [count]   refreshing live summary: rates, per-kind latency quantiles, pool,
-                                breakers, event drops (default 2s forever; count 1 = one plain frame)
+  top [-cluster] <id> [interval] [count]
+                                refreshing live summary: rates, per-kind latency quantiles, pool,
+                                breakers, event drops (default 2s forever; count 1 = one plain frame);
+                                -cluster merges every reachable peer's metrics into one view
   audit                         fetch every node's state and verify the reference invariant
   health <id>                   print a node's replica digest and per-level reference liveness
   crawl <id>                    walk the whole community from node <id> and print the structural report
+  cluster <id> [interval] [count]
+                                crawl from node <id>, federate every peer's metrics snapshot, and print
+                                the cluster report: merged latency quantiles, RED rollups, top-K slow and
+                                erroring peers, SLO burn verdicts (default one shot; interval = refresh)
 `)
 		flag.PrintDefaults()
 	}
@@ -291,24 +299,35 @@ commands:
 		}
 
 	case "top":
+		clusterMode := false
+		if len(args) > 0 && args[0] == "-cluster" {
+			clusterMode = true
+			args = args[1:]
+		}
 		id := mustID(args, 0)
-		interval := 2 * time.Second
+		interval, count := intervalCount(args, 2*time.Second, 0)
+		fetch := func() (statMap, error) { return fetchStats(tr, id) }
+		scope := fmt.Sprintf("node %v", id)
+		if clusterMode {
+			fetch = func() (statMap, error) { return fetchClusterStats(client, id) }
+			scope = fmt.Sprintf("cluster from node %v", id)
+		}
+		runTop(fetch, scope, interval, count)
+
+	case "cluster":
+		id := mustID(args, 0)
+		// One frame by default — the report is a diagnostic document, not
+		// a dashboard; an explicit interval turns on refresh-forever.
+		count := 1
 		if len(args) > 1 {
-			d, err := time.ParseDuration(args[1])
-			if err != nil || d <= 0 {
-				log.Fatalf("bad interval %q", args[1])
-			}
-			interval = d
+			count = 0
 		}
-		count := 0
-		if len(args) > 2 {
-			v, err := strconv.Atoi(args[2])
-			if err != nil || v < 0 {
-				log.Fatalf("bad count %q", args[2])
-			}
-			count = v
+		interval, count := intervalCount(args, 2*time.Second, count)
+		objectives, err := slo.ParseList(*sloSpecs)
+		if err != nil {
+			log.Fatal(err)
 		}
-		runTop(tr, id, interval, count)
+		runCluster(client, id, objectives, interval, count)
 
 	case "health":
 		id := mustID(args, 0)
@@ -369,6 +388,26 @@ func mustID(args []string, i int) addr.Addr {
 		log.Fatalf("bad peer id %q", arg(args, i))
 	}
 	return addr.Addr(v)
+}
+
+// intervalCount parses the optional [interval] [count] tail shared by the
+// refreshing commands, falling back to the given defaults.
+func intervalCount(args []string, interval time.Duration, count int) (time.Duration, int) {
+	if len(args) > 1 {
+		d, err := time.ParseDuration(args[1])
+		if err != nil || d <= 0 {
+			log.Fatalf("bad interval %q", args[1])
+		}
+		interval = d
+	}
+	if len(args) > 2 {
+		v, err := strconv.Atoi(args[2])
+		if err != nil || v < 0 {
+			log.Fatalf("bad count %q", args[2])
+		}
+		count = v
+	}
+	return interval, count
 }
 
 func mustCall(tr node.Transport, to addr.Addr, m *wire.Message) *wire.Message {

@@ -14,22 +14,23 @@ import (
 	"pgrid/internal/wire"
 )
 
-// runTop polls a node's stats endpoint and renders a refreshing terminal
-// summary: request rates, per-kind latency quantiles, pool and breaker
-// state, and event drops. count == 1 prints a single frame without
-// clearing the screen (script-friendly); count <= 0 runs until killed.
+// runTop polls a stats source and renders a refreshing terminal summary:
+// request rates, per-kind latency quantiles, pool and breaker state, and
+// event drops. count == 1 prints a single frame without clearing the
+// screen (script-friendly); count <= 0 runs until killed.
 //
-// Everything shown is computed from two consecutive wire.KindStats
-// snapshots — the same data /metrics exposes — so top works against any
-// node, with no extra protocol.
-func runTop(tr node.Transport, id addr.Addr, interval time.Duration, count int) {
+// Everything shown is computed from two consecutive snapshots of the same
+// data /metrics exposes — fetch is either one node's KindStats or the
+// cluster-merged view — so top works against any node, with no extra
+// protocol.
+func runTop(fetch func() (statMap, error), scope string, interval time.Duration, count int) {
 	var prev statMap
 	var prevAt time.Time
 	for i := 0; count <= 0 || i < count; i++ {
 		if i > 0 {
 			time.Sleep(interval)
 		}
-		cur, err := fetchStats(tr, id)
+		cur, err := fetch()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -37,7 +38,7 @@ func runTop(tr node.Transport, id addr.Addr, interval time.Duration, count int) 
 		if count != 1 {
 			fmt.Print("\x1b[H\x1b[2J") // cursor home + clear: redraw in place
 		}
-		renderTop(os.Stdout, id, now, cur, prev, now.Sub(prevAt))
+		renderTop(os.Stdout, scope, now, cur, prev, now.Sub(prevAt))
 		prev, prevAt = cur, now
 	}
 }
@@ -60,15 +61,21 @@ func fetchStats(tr node.Transport, id addr.Addr) (statMap, error) {
 	return m, nil
 }
 
-func renderTop(w io.Writer, id addr.Addr, now time.Time, cur, prev statMap, dt time.Duration) {
+func renderTop(w io.Writer, scope string, now time.Time, cur, prev statMap, dt time.Duration) {
 	rate := func(name string) string {
 		if prev == nil || dt <= 0 {
 			return "-"
 		}
+		if cur[name] < prev[name] {
+			// The counter went backward: the node restarted (or, in
+			// cluster mode, a peer dropped out of the merge). A delta
+			// against the stale baseline would be a huge negative rate.
+			return "reset"
+		}
 		return fmt.Sprintf("%.1f/s", float64(cur[name]-prev[name])/dt.Seconds())
 	}
 
-	fmt.Fprintf(w, "node %v · %s\n", id, now.Format("15:04:05"))
+	fmt.Fprintf(w, "%s · %s\n", scope, now.Format("15:04:05"))
 	fmt.Fprintf(w, "served %d (%s)  client %d (%s)  exchanges %d (%s)  queries %d (%s)\n",
 		cur["pgrid_rpc_served_total"], rate("pgrid_rpc_served_total"),
 		cur["pgrid_rpc_client_total"], rate("pgrid_rpc_client_total"),
@@ -119,8 +126,11 @@ func renderKindTable(w io.Writer, title string, cur, prev statMap, dt time.Durat
 		}
 		r := row{kind: kind, n: n, rate: "-"}
 		if prev != nil && dt > 0 {
-			pn := prev[countFamily+`{kind=`+strconv.Quote(kind)+`}`]
-			r.rate = fmt.Sprintf("%.1f", float64(n-pn)/dt.Seconds())
+			if pn := prev[countFamily+`{kind=`+strconv.Quote(kind)+`}`]; n < pn {
+				r.rate = "reset" // counter went backward: restart, not load
+			} else {
+				r.rate = fmt.Sprintf("%.1f", float64(n-pn)/dt.Seconds())
+			}
 		}
 		for i, q := range []string{"0.5", "0.95", "0.99", "0.999"} {
 			r.q[i] = ms(cur[latFamily+`{kind=`+strconv.Quote(kind)+`,quantile=`+strconv.Quote(q)+`}`])

@@ -24,7 +24,7 @@ func TestRenderTop(t *testing.T) {
 		`pgrid_rpc_kind_latency_ns{kind="query",quantile="0.999"}`: 20_000_000,
 	}
 	var b strings.Builder
-	renderTop(&b, 0, time.Unix(0, 0), cur, prev, 2*time.Second)
+	renderTop(&b, "node 0", time.Unix(0, 0), cur, prev, 2*time.Second)
 	out := b.String()
 	for _, want := range []string{
 		"served 1200 (100.0/s)",
@@ -43,9 +43,62 @@ func TestRenderTop(t *testing.T) {
 
 	// First frame (no previous snapshot): rates render as "-", not zero.
 	b.Reset()
-	renderTop(&b, 0, time.Unix(0, 0), cur, nil, 0)
+	renderTop(&b, "node 0", time.Unix(0, 0), cur, nil, 0)
 	if !strings.Contains(b.String(), "served 1200 (-)") {
 		t.Errorf("first frame should show - rates:\n%s", b.String())
+	}
+}
+
+// TestRenderTopCounterReset pins the restart behavior: a counter going
+// backward between frames marks the rate as "reset" instead of computing
+// a giant negative rate from the stale baseline.
+func TestRenderTopCounterReset(t *testing.T) {
+	cases := []struct {
+		name       string
+		prev, cur  int64
+		wantServed string
+	}{
+		{"steady", 1000, 1200, "served 1200 (100.0/s)"},
+		{"restart", 1000, 50, "served 50 (reset)"},
+		{"restart to zero", 1000, 0, "served 0 (reset)"},
+		{"flat", 1000, 1000, "served 1000 (0.0/s)"},
+	}
+	for _, c := range cases {
+		prev := statMap{
+			"pgrid_rpc_served_total":                    c.prev,
+			`pgrid_rpc_client_kind_total{kind="query"}`: c.prev,
+		}
+		cur := statMap{
+			"pgrid_rpc_served_total":                    c.cur,
+			`pgrid_rpc_client_kind_total{kind="query"}`: c.cur,
+		}
+		var b strings.Builder
+		renderTop(&b, "node 0", time.Unix(0, 0), cur, prev, 2*time.Second)
+		if !strings.Contains(b.String(), c.wantServed) {
+			t.Errorf("%s: frame missing %q:\n%s", c.name, c.wantServed, b.String())
+		}
+	}
+
+	// The per-kind table resets independently too.
+	prev := statMap{`pgrid_rpc_client_kind_total{kind="query"}`: 500}
+	cur := statMap{`pgrid_rpc_client_kind_total{kind="query"}`: 20}
+	var b strings.Builder
+	renderKindTable(&b, "client rpc latency", cur, prev, 2*time.Second,
+		"pgrid_rpc_client_kind_total", "pgrid_rpc_kind_latency_ns")
+	if !strings.Contains(b.String(), "reset") {
+		t.Errorf("kind table missing reset marker:\n%s", b.String())
+	}
+}
+
+func TestWithQuantile(t *testing.T) {
+	cases := [][2]string{
+		{`pgrid_rpc_kind_latency_ns{kind="query"}`, `pgrid_rpc_kind_latency_ns{kind="query",quantile="0.5"}`},
+		{"pgrid_pool_acquire_wait_ns", `pgrid_pool_acquire_wait_ns{quantile="0.5"}`},
+	}
+	for _, c := range cases {
+		if got := withQuantile(c[0], "0.5"); got != c[1] {
+			t.Errorf("withQuantile(%q) = %q, want %q", c[0], got, c[1])
+		}
 	}
 }
 

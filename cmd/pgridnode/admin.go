@@ -14,6 +14,7 @@ import (
 	"pgrid/internal/health"
 	"pgrid/internal/node"
 	"pgrid/internal/resilience"
+	"pgrid/internal/slo"
 	"pgrid/internal/telemetry"
 	"pgrid/internal/trace"
 )
@@ -33,6 +34,9 @@ import (
 //	                JSON by default, ?format=text for a table
 //	/debug/slow     the slow-op log (-slow-rpc): over-threshold RPCs with
 //	                their span context, JSON or ?format=text
+//	/debug/slo      the burn-rate engine (-slo): per-objective budget burn
+//	                over the 5m and 1h windows with breach verdicts, JSON
+//	                or ?format=text
 //	/debug/breakers the per-peer circuit breakers of the outgoing
 //	                transport: JSON by default, ?format=text for a table
 //	/debug/vars     expvar (includes the pgrid counter snapshot)
@@ -42,8 +46,9 @@ import (
 // http.DefaultServeMux), so tests can build several independent instances.
 // rt may be nil (a test without the resilient transport); /debug/breakers
 // then reports an empty set. slowRec may be nil (no -slow-rpc threshold);
-// /debug/slow then reports an empty log.
-func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool, minLiveness float64, rt *resilience.ResilientTransport, slowRec *trace.Recorder) *http.ServeMux {
+// /debug/slow then reports an empty log. eng may be nil (no -slo
+// objectives); /debug/slo then reports an empty report.
+func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool, minLiveness float64, rt *resilience.ResilientTransport, slowRec *trace.Recorder, eng *slo.Engine) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -149,6 +154,21 @@ func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool,
 			Slow  []trace.Trace `json:"slow"`
 		}{slowRec.Total(), slow})
 	})
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+		report := eng.Report()
+		if report == nil {
+			report = []slo.Status{}
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeSLOTable(w, report)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Objectives []slo.Status `json:"objectives"`
+		}{report})
+	})
 	mux.HandleFunc("/debug/breakers", func(w http.ResponseWriter, r *http.Request) {
 		views := []resilience.BreakerView{}
 		if rt != nil {
@@ -189,6 +209,27 @@ func writeLatencyTable(w io.Writer, report []telemetry.LatencySummary) {
 		fmt.Fprintf(w, "%-7s %-14s %10d %10.3f %10.3f %10.3f %10.3f\n",
 			s.Scope, s.Kind, s.Count,
 			float64(s.P50)/1e6, float64(s.P95)/1e6, float64(s.P99)/1e6, float64(s.P999)/1e6)
+	}
+}
+
+// writeSLOTable renders the burn-rate report as an aligned text table:
+// one row per objective and window.
+func writeSLOTable(w io.Writer, report []slo.Status) {
+	fmt.Fprintf(w, "%-24s %-6s %10s %10s %8s %10s %s\n",
+		"objective", "window", "good", "total", "bad%", "burn", "verdict")
+	for _, s := range report {
+		verdict := "ok"
+		if s.Breached {
+			verdict = "BREACHED"
+		}
+		for _, wb := range s.Windows {
+			mark := ""
+			if wb.Exceeded {
+				mark = " !"
+			}
+			fmt.Fprintf(w, "%-24s %-6s %10d %10d %8.2f %10.2f %s%s\n",
+				s.Spec, wb.Window, wb.Good, wb.Total, 100*wb.BadFrac, wb.Burn, verdict, mark)
+		}
 	}
 }
 

@@ -28,7 +28,9 @@
 // (overflow is dropped and counted in pgrid_events_dropped_total). With
 // -slow-rpc any outgoing call over the threshold is counted, and recorded
 // with its span context into a dedicated flight recorder served at
-// /debug/slow; per-kind latency quantiles are live at /debug/lat.
+// /debug/slow; per-kind latency quantiles are live at /debug/lat. With
+// -slo the node tracks latency objectives ("query:p99:5ms,...") through a
+// multi-window burn-rate engine and serves the verdicts at /debug/slo.
 package main
 
 import (
@@ -50,6 +52,7 @@ import (
 	"pgrid/internal/core"
 	"pgrid/internal/node"
 	"pgrid/internal/resilience"
+	"pgrid/internal/slo"
 	"pgrid/internal/telemetry"
 	"pgrid/internal/trace"
 )
@@ -86,6 +89,8 @@ func main() {
 		admin     = flag.String("admin", "", "admin HTTP listen address (/metrics, /healthz, /debug/{vars,pprof}); empty = off")
 		events    = flag.String("events", "", "append structured JSONL telemetry events to this file")
 		slowRPC   = flag.Duration("slow-rpc", 0, "count and record outgoing calls at or above this round-trip latency (0 = off)")
+		sloSpecs  = flag.String("slo", "", "latency SLOs to track: kind:pNN:threshold,... e.g. query:p99:5ms (burn rates at /debug/slo; empty = off)")
+		sloEvery  = flag.Duration("slo-interval", 10*time.Second, "sampling interval of the SLO burn-rate engine when -slo is set")
 		traceBuf  = flag.Int("trace-buf", 256, "flight-recorder capacity in traces (0 = tracing off)")
 		traceProb = flag.Float64("trace-sample", 0.01, "probability a locally issued query is sampled for distributed tracing")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -220,6 +225,18 @@ func main() {
 		}
 	}
 
+	var sloEng *slo.Engine
+	if *sloSpecs != "" {
+		objectives, err := slo.ParseList(*sloSpecs)
+		if err != nil {
+			fatal("configuration", err)
+		}
+		if *sloEvery <= 0 {
+			fatal("configuration", fmt.Errorf("-slo-interval %v must be positive", *sloEvery))
+		}
+		sloEng = slo.NewEngine(objectives, nil)
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal("listen", err)
@@ -237,7 +254,7 @@ func main() {
 			fatal("admin listen", err)
 		}
 		publishExpvar(tel)
-		asrv := &http.Server{Handler: newAdminMux(n, tel, serving, *healthMin, rt, slowRec)}
+		asrv := &http.Server{Handler: newAdminMux(n, tel, serving, *healthMin, rt, slowRec, sloEng)}
 		go asrv.Serve(aln)
 		go func() {
 			<-ctx.Done()
@@ -260,6 +277,9 @@ func main() {
 	}
 	if *probeInt > 0 {
 		go node.NewProber(n, *probeInt, *probeBud, *seed+2).Run(ctx)
+	}
+	if sloEng != nil {
+		go sloLoop(ctx, sloEng, tel, *sloEvery)
 	}
 
 	serving.Store(true)
@@ -318,6 +338,23 @@ func statusLoop(ctx context.Context, logger *slog.Logger, n *node.Node, every ti
 				"exchanges", exchanges,
 				"queries", queries,
 				"wire_errors", wireErrors)
+		}
+	}
+}
+
+// sloLoop samples the node's metrics into the burn-rate engine. The first
+// tick fires immediately so /debug/slo has a baseline before the first
+// full interval elapses.
+func sloLoop(ctx context.Context, eng *slo.Engine, tel *telemetry.Instruments, every time.Duration) {
+	eng.Tick(tel.MetricsSnapshot())
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			eng.Tick(tel.MetricsSnapshot())
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"pgrid/internal/health"
 	"pgrid/internal/node"
 	"pgrid/internal/resilience"
+	"pgrid/internal/slo"
 	"pgrid/internal/telemetry"
 	"pgrid/internal/trace"
 	"pgrid/internal/wire"
@@ -139,7 +140,7 @@ func TestAdminMetricsEndpoint(t *testing.T) {
 	n, tel := testNode(t)
 	serving := &atomic.Bool{}
 	serving.Store(true)
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil))
 	defer srv.Close()
 
 	scrape := func() (string, string) {
@@ -254,7 +255,7 @@ func TestAdminHealthz(t *testing.T) {
 			}
 			serving := &atomic.Bool{}
 			serving.Store(tc.serving)
-			srv := httptest.NewServer(newAdminMux(n, tel, serving, tc.minLiveness, nil, nil))
+			srv := httptest.NewServer(newAdminMux(n, tel, serving, tc.minLiveness, nil, nil, nil))
 			defer srv.Close()
 
 			resp, err := http.Get(srv.URL + "/healthz")
@@ -277,7 +278,7 @@ func TestAdminHealthz(t *testing.T) {
 func TestAdminHealthzTransition(t *testing.T) {
 	n, tel := testNode(t)
 	serving := &atomic.Bool{}
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil))
 	defer srv.Close()
 
 	get := func() int {
@@ -311,7 +312,7 @@ func TestAdminDebugHealth(t *testing.T) {
 	n.HealthTracker().RoundDone()
 	serving := &atomic.Bool{}
 	serving.Store(true)
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/health")
@@ -354,7 +355,7 @@ func TestAdminExpvarAndPprof(t *testing.T) {
 	publishExpvar(tel)
 	serving := &atomic.Bool{}
 	serving.Store(true)
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/vars")
@@ -413,7 +414,7 @@ func TestAdminBreakersEndpoint(t *testing.T) {
 		rt.Call(7, &wire.Message{Kind: wire.KindInfo})
 	}
 
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, rt, nil))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, rt, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/breakers")
@@ -445,7 +446,7 @@ func TestAdminBreakersEndpoint(t *testing.T) {
 	}
 
 	// A mux without a resilient transport reports an empty set, not a 500.
-	bare := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil))
+	bare := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil))
 	defer bare.Close()
 	emptyResp, err := http.Get(bare.URL + "/debug/breakers")
 	if err != nil {
@@ -464,7 +465,7 @@ func TestAdminLatencyEndpoint(t *testing.T) {
 	n, tel := testNode(t)
 	serving := &atomic.Bool{}
 	serving.Store(true)
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil))
 	defer srv.Close()
 
 	// Feed both the client and served sides so the report carries two
@@ -539,7 +540,7 @@ func TestAdminSlowEndpoint(t *testing.T) {
 		Found:   true,
 		Spans:   []trace.Span{{ID: 0xabc, Peer: 3, LatencyNS: 7_500_000}},
 	})
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, rec))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, rec, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/slow")
@@ -569,7 +570,7 @@ func TestAdminSlowEndpoint(t *testing.T) {
 	}
 
 	// Without a recorder the endpoint reports an empty log, not a panic.
-	bare := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil))
+	bare := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil))
 	defer bare.Close()
 	emptyResp, err := http.Get(bare.URL + "/debug/slow")
 	if err != nil {
@@ -582,4 +583,100 @@ func TestAdminSlowEndpoint(t *testing.T) {
 	if out.Total != 0 || len(out.Slow) != 0 {
 		t.Errorf("nil recorder reported traces: %+v", out)
 	}
+}
+
+// TestAdminSLOEndpoint drives the burn-rate engine through an injected
+// latency tail and checks the breach — with its nonzero burn — is visible
+// at /debug/slo in both renderings.
+func TestAdminSLOEndpoint(t *testing.T) {
+	n, tel := testNode(t)
+	serving := &atomic.Bool{}
+	serving.Store(true)
+
+	obj, err := slo.Parse("query:p90:5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Unix(1_700_000_000, 0)
+	eng := slo.NewEngine([]slo.Objective{obj}, func() time.Time { return clock })
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, eng))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	// Healthy baseline across both windows.
+	for i := 0; i < 70; i++ {
+		tel.ServedRPCDone("query", time.Millisecond, false)
+		eng.Tick(tel.MetricsSnapshot())
+		clock = clock.Add(time.Minute)
+	}
+	var rep struct {
+		Objectives []slo.Status `json:"objectives"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug/slo")), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Objectives) != 1 || rep.Objectives[0].Breached {
+		t.Fatalf("healthy /debug/slo = %+v", rep)
+	}
+
+	// Inject a latency tail: every request now blows the 5ms threshold.
+	for i := 0; i < 70; i++ {
+		for j := 0; j < 5; j++ {
+			tel.ServedRPCDone("query", 80*time.Millisecond, false)
+		}
+		eng.Tick(tel.MetricsSnapshot())
+		clock = clock.Add(time.Minute)
+	}
+	if err := json.Unmarshal([]byte(get("/debug/slo")), &rep); err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Objectives[0]
+	if !st.Breached {
+		t.Fatalf("tail not breached: %+v", st)
+	}
+	for _, w := range st.Windows {
+		if w.Burn <= 0 {
+			t.Fatalf("burn not visible: %+v", st.Windows)
+		}
+	}
+	text := get("/debug/slo?format=text")
+	if !strings.Contains(text, "BREACHED") || !strings.Contains(text, "query:p9:5ms") {
+		t.Fatalf("text /debug/slo = %q", text)
+	}
+
+	// Without an engine the endpoint answers an empty report, not a 500.
+	bare := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil))
+	defer bare.Close()
+	if body := get2(t, bare.URL+"/debug/slo"); !strings.Contains(body, `"objectives":[]`) {
+		t.Fatalf("nil-engine /debug/slo = %q", body)
+	}
+}
+
+func get2(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
 }

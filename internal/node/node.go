@@ -136,6 +136,8 @@ func (n *Node) handle(m *wire.Message) *wire.Message {
 			ScanResp: &wire.ScanResp{Entries: n.Store().PrefixScan(m.Scan.Prefix)}}
 	case wire.KindStats:
 		return &wire.Message{Kind: wire.KindStatsResp, From: n.Addr(), StatsResp: n.stats()}
+	case wire.KindMetrics:
+		return &wire.Message{Kind: wire.KindMetricsResp, From: n.Addr(), MetricsResp: n.handleMetrics()}
 	case wire.KindTraces:
 		limit := 0
 		if m.Traces != nil {

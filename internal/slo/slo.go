@@ -1,0 +1,288 @@
+// Package slo turns latency histograms into service-level verdicts: each
+// objective ("query p99 < 5ms") defines an error budget, and the engine
+// tracks how fast that budget burns over multiple windows. Burn rate is
+// the SRE workbook quantity — the fraction of requests breaking the
+// threshold divided by the fraction the objective allows — so burn 1.0
+// consumes the budget exactly on schedule, burn 10 exhausts a 30-day
+// budget in 3 days, and sustained burn ≥ 1 on every window is a breach.
+//
+// The engine consumes the mergeable histogram snapshots from
+// internal/telemetry: good events are observations at or below the
+// threshold (QHistSnapshot.CountAtOrBelow), so the same math evaluates a
+// single node's live registry and a whole cluster's merged histogram.
+package slo
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pgrid/internal/telemetry"
+)
+
+// Objective is one latency service-level objective: at least Quantile of
+// RPCs of this kind must complete within Threshold. The quantile doubles
+// as the good-event target — "p99 < 5ms" means 99% of requests under 5ms,
+// leaving a 1% error budget.
+type Objective struct {
+	Kind      string        // message kind the objective covers, e.g. "query"
+	Quantile  float64       // target fraction in (0, 1), e.g. 0.99
+	Threshold time.Duration // latency bound for a "good" request
+}
+
+// String renders the objective in its parseable spec form.
+func (o Objective) String() string {
+	q := strconv.FormatFloat(o.Quantile, 'f', -1, 64)
+	return fmt.Sprintf("%s:p%s:%s", o.Kind, strings.TrimPrefix(q, "0."), o.Threshold)
+}
+
+// HistName returns the served-latency histogram the objective reads.
+func (o Objective) HistName() string {
+	return fmt.Sprintf("pgrid_rpc_served_latency_ns{kind=%q}", o.Kind)
+}
+
+// Budget returns the allowed bad fraction, 1 − Quantile.
+func (o Objective) Budget() float64 { return 1 - o.Quantile }
+
+// Parse reads one objective spec of the form "kind:pNN:threshold", e.g.
+// "query:p99:5ms" or "exchange:p999:250ms". The digits after p are read as
+// a decimal fraction: p50 → 0.5, p99 → 0.99, p999 → 0.999.
+func Parse(spec string) (Objective, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	if len(parts) != 3 {
+		return Objective{}, fmt.Errorf("slo: objective %q: want kind:pNN:threshold", spec)
+	}
+	o := Objective{Kind: strings.TrimSpace(parts[0])}
+	if o.Kind == "" {
+		return Objective{}, fmt.Errorf("slo: objective %q: empty kind", spec)
+	}
+	q := strings.TrimSpace(parts[1])
+	if len(q) < 2 || (q[0] != 'p' && q[0] != 'P') {
+		return Objective{}, fmt.Errorf("slo: objective %q: quantile %q must look like p99", spec, q)
+	}
+	digits := q[1:]
+	n, err := strconv.ParseUint(digits, 10, 32)
+	if err != nil {
+		return Objective{}, fmt.Errorf("slo: objective %q: quantile %q: %v", spec, q, err)
+	}
+	scale := 1.0
+	for range digits {
+		scale *= 10
+	}
+	o.Quantile = float64(n) / scale
+	if o.Quantile <= 0 || o.Quantile >= 1 {
+		return Objective{}, fmt.Errorf("slo: objective %q: quantile %v outside (0, 1)", spec, o.Quantile)
+	}
+	if o.Threshold, err = time.ParseDuration(strings.TrimSpace(parts[2])); err != nil {
+		return Objective{}, fmt.Errorf("slo: objective %q: threshold: %v", spec, err)
+	}
+	if o.Threshold <= 0 {
+		return Objective{}, fmt.Errorf("slo: objective %q: non-positive threshold", spec)
+	}
+	return o, nil
+}
+
+// ParseList reads a comma-separated list of objective specs, skipping
+// empty elements, e.g. "query:p99:5ms,exchange:p95:50ms".
+func ParseList(specs string) ([]Objective, error) {
+	var out []Objective
+	for _, s := range strings.Split(specs, ",") {
+		if strings.TrimSpace(s) == "" {
+			continue
+		}
+		o, err := Parse(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// Windows are the burn-rate evaluation horizons: the short window catches
+// a fast burn while it is happening, the long one filters out blips.
+var Windows = []time.Duration{5 * time.Minute, time.Hour}
+
+// WindowBurn is the budget consumption over one horizon.
+type WindowBurn struct {
+	Window    time.Duration `json:"window_ns"`
+	Good      int64         `json:"good"`  // in-threshold events in the window
+	Total     int64         `json:"total"` // all events in the window
+	BadFrac   float64       `json:"bad_frac"`
+	Burn      float64       `json:"burn"` // BadFrac / objective budget
+	Exceeded  bool          `json:"exceeded"`
+	SampledAt time.Duration `json:"sampled_ns"` // actual span covered (≤ Window)
+}
+
+// Status is the verdict for one objective across every window.
+type Status struct {
+	Objective Objective    `json:"-"`
+	Spec      string       `json:"objective"`
+	Windows   []WindowBurn `json:"windows"`
+	// Breached is true when every window with data burns at rate ≥ 1 —
+	// the multi-window alert condition, immune to both stale averages
+	// (long window alone) and momentary spikes (short window alone).
+	Breached bool `json:"breached"`
+}
+
+// Eval is the one-shot, whole-of-history evaluation used for cluster
+// reports: the histogram is the window. Burn ≥ 1 means the observed bad
+// fraction exceeds the objective's budget.
+func Eval(o Objective, h telemetry.QHistSnapshot) Status {
+	good := h.CountAtOrBelow(int64(o.Threshold))
+	w := burnOf(o, good, h.Count, 0, 0)
+	return Status{Objective: o, Spec: o.String(),
+		Windows: []WindowBurn{w}, Breached: w.Exceeded}
+}
+
+func burnOf(o Objective, good, total int64, window, span time.Duration) WindowBurn {
+	w := WindowBurn{Window: window, Good: good, Total: total, SampledAt: span}
+	if total <= 0 {
+		return w
+	}
+	w.BadFrac = float64(total-good) / float64(total)
+	if b := o.Budget(); b > 0 {
+		w.Burn = w.BadFrac / b
+	}
+	w.Exceeded = w.Burn >= 1
+	return w
+}
+
+// sample is one cumulative observation of an objective's counters.
+type sample struct {
+	at    time.Time
+	good  int64
+	total int64
+}
+
+// Engine tracks burn rates for a set of objectives from periodic metric
+// snapshots. Feed it with Tick at any cadence; it diffs the cumulative
+// histogram counters across each window. The clock is injectable so tests
+// drive hours of budget history in microseconds.
+type Engine struct {
+	mu         sync.Mutex
+	objectives []Objective
+	windows    []time.Duration
+	now        func() time.Time
+	hist       map[string][]sample // objective spec → time-ordered samples
+}
+
+// NewEngine builds an engine over the default Windows. now==nil uses the
+// wall clock.
+func NewEngine(objectives []Objective, now func() time.Time) *Engine {
+	if now == nil {
+		now = time.Now
+	}
+	ws := make([]time.Duration, len(Windows))
+	copy(ws, Windows)
+	return &Engine{objectives: objectives, windows: ws, now: now,
+		hist: make(map[string][]sample)}
+}
+
+// Objectives returns the engine's objectives (nil-safe).
+func (e *Engine) Objectives() []Objective {
+	if e == nil {
+		return nil
+	}
+	return e.objectives
+}
+
+// Tick records one snapshot of the node's metrics. Counters are
+// cumulative; a shrinking total means the process restarted, and the
+// objective's history resets rather than producing a negative burn.
+func (e *Engine) Tick(snap telemetry.MetricsSnapshot) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	keep := now.Add(-e.maxWindow() - time.Minute)
+	for _, o := range e.objectives {
+		key := o.String()
+		h, _ := snap.Hist(o.HistName())
+		s := sample{at: now, good: h.CountAtOrBelow(int64(o.Threshold)), total: h.Count}
+		hist := e.hist[key]
+		if n := len(hist); n > 0 && s.total < hist[n-1].total {
+			hist = nil // counter reset: a restart, not time running backward
+		}
+		hist = append(hist, s)
+		// Prune everything older than the longest window (keep one sample
+		// beyond the boundary so full-width deltas stay available).
+		cut := 0
+		for cut < len(hist)-1 && hist[cut+1].at.Before(keep) {
+			cut++
+		}
+		e.hist[key] = hist[cut:]
+	}
+}
+
+func (e *Engine) maxWindow() time.Duration {
+	var m time.Duration
+	for _, w := range e.windows {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// Report evaluates every objective across every window. Windows with no
+// data (no ticks yet, or the histogram never moved) report zero burn and
+// do not count toward a breach.
+func (e *Engine) Report() []Status {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	out := make([]Status, 0, len(e.objectives))
+	for _, o := range e.objectives {
+		hist := e.hist[o.String()]
+		st := Status{Objective: o, Spec: o.String()}
+		dataWindows := 0
+		for _, w := range e.windows {
+			wb := e.windowBurn(o, hist, now, w)
+			st.Windows = append(st.Windows, wb)
+			if wb.Total > 0 {
+				dataWindows++
+			}
+		}
+		st.Breached = dataWindows > 0
+		for _, wb := range st.Windows {
+			if wb.Total > 0 && !wb.Exceeded {
+				st.Breached = false
+			}
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec < out[j].Spec })
+	return out
+}
+
+// windowBurn diffs the newest sample against the best baseline for the
+// window: the newest sample at or before the window start, or the oldest
+// available (a partial window, reported via SampledAt).
+func (e *Engine) windowBurn(o Objective, hist []sample, now time.Time, w time.Duration) WindowBurn {
+	if len(hist) == 0 {
+		return WindowBurn{Window: w}
+	}
+	cur := hist[len(hist)-1]
+	start := now.Add(-w)
+	base := hist[0]
+	for _, s := range hist {
+		if s.at.After(start) {
+			break
+		}
+		base = s
+	}
+	span := cur.at.Sub(base.at)
+	if span < 0 {
+		span = 0
+	}
+	return burnOf(o, cur.good-base.good, cur.total-base.total, w, span)
+}

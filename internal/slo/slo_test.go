@@ -1,0 +1,208 @@
+package slo
+
+import (
+	"testing"
+	"time"
+
+	"pgrid/internal/telemetry"
+)
+
+func TestParse(t *testing.T) {
+	o, err := Parse("query:p99:5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Kind != "query" || o.Quantile != 0.99 || o.Threshold != 5*time.Millisecond {
+		t.Fatalf("parsed = %+v", o)
+	}
+	if o.HistName() != `pgrid_rpc_served_latency_ns{kind="query"}` {
+		t.Fatalf("hist name = %s", o.HistName())
+	}
+	if got := o.String(); got != "query:p99:5ms" {
+		t.Fatalf("round trip = %s", got)
+	}
+
+	for _, spec := range []string{"query:p999:250ms", " exchange : p50 : 1s "} {
+		if _, err := Parse(spec); err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+		}
+	}
+	for _, bad := range []string{"", "query", "query:99:5ms", "query:p0:5ms",
+		"query:p100:5ms...", ":p99:5ms", "query:p99:0s", "query:p99:fast", "a:b:c:d"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+
+	list, err := ParseList("query:p99:5ms, exchange:p95:50ms,")
+	if err != nil || len(list) != 2 {
+		t.Fatalf("ParseList = %v, %v", list, err)
+	}
+	if _, err := ParseList("query:p99:5ms,junk"); err == nil {
+		t.Error("ParseList accepted junk element")
+	}
+}
+
+// histOf builds a snapshot carrying a served-latency histogram for kind
+// with the given observations.
+func histOf(kind string, durs ...time.Duration) telemetry.MetricsSnapshot {
+	tel := telemetry.New(0)
+	for _, d := range durs {
+		tel.ServedRPCDone(kind, d, false)
+	}
+	return tel.MetricsSnapshot()
+}
+
+func TestEvalOneShot(t *testing.T) {
+	o := Objective{Kind: "query", Quantile: 0.9, Threshold: 5 * time.Millisecond}
+
+	// 95 fast + 5 slow: bad frac 5% ≤ 10% budget → burn 0.5, healthy.
+	durs := make([]time.Duration, 0, 100)
+	for i := 0; i < 95; i++ {
+		durs = append(durs, time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		durs = append(durs, 100*time.Millisecond)
+	}
+	near := func(got, want float64) bool { return got > want-1e-9 && got < want+1e-9 }
+	h, _ := histOf("query", durs...).Hist(o.HistName())
+	st := Eval(o, h)
+	if st.Breached || !near(st.Windows[0].Burn, 0.5) {
+		t.Fatalf("healthy eval = %+v", st)
+	}
+
+	// 75 fast + 25 slow: bad frac 25% vs 10% budget → burn 2.5, breached.
+	durs = durs[:0]
+	for i := 0; i < 75; i++ {
+		durs = append(durs, time.Millisecond)
+	}
+	for i := 0; i < 25; i++ {
+		durs = append(durs, 100*time.Millisecond)
+	}
+	h, _ = histOf("query", durs...).Hist(o.HistName())
+	st = Eval(o, h)
+	if !st.Breached || !near(st.Windows[0].Burn, 2.5) {
+		t.Fatalf("tail eval = %+v", st)
+	}
+
+	// An empty histogram is no data, never a breach.
+	st = Eval(o, telemetry.QHistSnapshot{})
+	if st.Breached || st.Windows[0].Total != 0 {
+		t.Fatalf("empty eval = %+v", st)
+	}
+}
+
+// TestEngineBurnFlipsOnTail is the acceptance check: a healthy stream
+// keeps every window under burn 1; an injected latency tail flips the
+// objective to breached with a visibly nonzero burn rate.
+func TestEngineBurnFlipsOnTail(t *testing.T) {
+	o, err := Parse("query:p90:5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Unix(1_700_000_000, 0)
+	eng := NewEngine([]Objective{o}, func() time.Time { return clock })
+
+	tel := telemetry.New(0)
+	// 70 minutes of healthy traffic, one tick per minute: both windows fill.
+	for i := 0; i < 70; i++ {
+		for j := 0; j < 10; j++ {
+			tel.ServedRPCDone("query", time.Millisecond, false)
+		}
+		eng.Tick(tel.MetricsSnapshot())
+		clock = clock.Add(time.Minute)
+	}
+	rep := eng.Report()
+	if len(rep) != 1 || rep[0].Breached {
+		t.Fatalf("healthy report = %+v", rep)
+	}
+	for _, w := range rep[0].Windows {
+		if w.Total == 0 || w.Burn != 0 {
+			t.Fatalf("healthy window = %+v", w)
+		}
+	}
+
+	// Inject a hard latency tail: every request now blows the threshold.
+	for i := 0; i < 70; i++ {
+		for j := 0; j < 10; j++ {
+			tel.ServedRPCDone("query", 50*time.Millisecond, false)
+		}
+		eng.Tick(tel.MetricsSnapshot())
+		clock = clock.Add(time.Minute)
+	}
+	rep = eng.Report()
+	if !rep[0].Breached {
+		t.Fatalf("tail report not breached: %+v", rep[0])
+	}
+	for _, w := range rep[0].Windows {
+		// Bad frac 100% against a 10% budget: burn 10 on both windows.
+		if !w.Exceeded || w.Burn < 5 {
+			t.Fatalf("tail window = %+v", w)
+		}
+	}
+
+	// Recovery: the 5m window clears quickly, the 1h window still burns —
+	// multi-window means the breach verdict clears as soon as the fast
+	// window is healthy again.
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			tel.ServedRPCDone("query", time.Millisecond, false)
+		}
+		eng.Tick(tel.MetricsSnapshot())
+		clock = clock.Add(time.Minute)
+	}
+	rep = eng.Report()
+	if rep[0].Breached {
+		t.Fatalf("recovered report still breached: %+v", rep[0])
+	}
+	if short := rep[0].Windows[0]; short.Exceeded {
+		t.Fatalf("short window after recovery = %+v", short)
+	}
+	if long := rep[0].Windows[1]; !long.Exceeded {
+		t.Fatalf("long window should still burn: %+v", long)
+	}
+}
+
+func TestEngineCounterReset(t *testing.T) {
+	o, _ := Parse("query:p90:5ms")
+	clock := time.Unix(1_700_000_000, 0)
+	eng := NewEngine([]Objective{o}, func() time.Time { return clock })
+
+	tel := telemetry.New(0)
+	for i := 0; i < 10; i++ {
+		tel.ServedRPCDone("query", 50*time.Millisecond, false)
+		eng.Tick(tel.MetricsSnapshot())
+		clock = clock.Add(time.Minute)
+	}
+	// The process "restarts": counters start over from zero.
+	tel = telemetry.New(0)
+	tel.ServedRPCDone("query", time.Millisecond, false)
+	eng.Tick(tel.MetricsSnapshot())
+	clock = clock.Add(time.Minute)
+	tel.ServedRPCDone("query", time.Millisecond, false)
+	eng.Tick(tel.MetricsSnapshot())
+
+	rep := eng.Report()
+	for _, w := range rep[0].Windows {
+		if w.Burn < 0 || w.Total < 0 {
+			t.Fatalf("negative burn after reset: %+v", w)
+		}
+	}
+	// Post-reset history is healthy: no breach from the stale pre-reset tail.
+	if rep[0].Breached {
+		t.Fatalf("reset report = %+v", rep[0])
+	}
+}
+
+func TestEngineNilAndEmpty(t *testing.T) {
+	var e *Engine
+	e.Tick(telemetry.MetricsSnapshot{})
+	if e.Report() != nil || e.Objectives() != nil {
+		t.Fatal("nil engine must be inert")
+	}
+	eng := NewEngine(nil, nil)
+	eng.Tick(telemetry.MetricsSnapshot{})
+	if got := eng.Report(); len(got) != 0 {
+		t.Fatalf("empty engine report = %+v", got)
+	}
+}

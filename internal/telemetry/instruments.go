@@ -182,6 +182,7 @@ func New(node int) *Instruments {
 	t.eventsDropped = r.Counter("pgrid_events_dropped_total", "telemetry events discarded because a pipeline ring was full")
 	t.rpcSlow = r.Counter("pgrid_rpc_slow_total", "outbound RPCs slower than the slow-op threshold")
 	t.servedErrors = r.Counter("pgrid_rpc_served_errors_total", "inbound RPCs answered with an error reply")
+	RegisterRuntimeMetrics(r)
 	return t
 }
 

@@ -18,7 +18,7 @@ import (
 type Registry struct {
 	mu    sync.Mutex
 	order []string
-	insts map[string]any // *Counter, *Gauge, or *Histogram
+	insts map[string]any // *Counter, *Gauge, *GaugeFunc, *Histogram, or *QHist
 }
 
 // NewRegistry returns an empty registry.
@@ -97,6 +97,57 @@ func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
 	return h
 }
 
+// GaugeFunc is a gauge whose value is computed on demand by a callback,
+// for readings that are cheap to take but pointless to track eagerly
+// (runtime stats, pool sizes owned by another struct). The callback runs
+// only when the registry is rendered or snapshotted, so an idle process
+// pays nothing. Nil-safe like every instrument.
+type GaugeFunc struct {
+	name string
+	help string
+	fn   func() int64
+}
+
+// Value invokes the callback (0 on a nil receiver or nil callback).
+func (g *GaugeFunc) Value() int64 {
+	if g == nil || g.fn == nil {
+		return 0
+	}
+	return g.fn()
+}
+
+// Name returns the gauge's registered name.
+func (g *GaugeFunc) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// GaugeFunc registers a callback-backed gauge under name, creating it on
+// first use. Re-registering an existing GaugeFunc name returns the
+// original (the new callback is ignored), keeping registration idempotent
+// like every other instrument. Panics if name is already registered as a
+// different instrument kind. Nil-safe like Counter.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) *GaugeFunc {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.insts[name]; ok {
+		g, ok := in.(*GaugeFunc)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: %q already registered as %T", name, in))
+		}
+		return g
+	}
+	g := &GaugeFunc{name: name, help: help, fn: fn}
+	r.insts[name] = g
+	r.order = append(r.order, name)
+	return g
+}
+
 // Quantile returns the log-bucketed quantile histogram registered under
 // name, creating it on first use. It panics if name is already registered
 // as a different instrument kind. Nil-safe like Counter.
@@ -142,6 +193,8 @@ func (r *Registry) Snapshot() []Stat {
 		case *Counter:
 			out = append(out, Stat{Name: name, Value: in.Value()})
 		case *Gauge:
+			out = append(out, Stat{Name: name, Value: in.Value()})
+		case *GaugeFunc:
 			out = append(out, Stat{Name: name, Value: in.Value()})
 		case *Histogram:
 			cum := int64(0)
@@ -192,6 +245,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				return err
 			}
 		case *Gauge:
+			if !seen[family] {
+				seen[family] = true
+				if err := writeHeader(w, family, in.help, "gauge"); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, in.Value()); err != nil {
+				return err
+			}
+		case *GaugeFunc:
 			if !seen[family] {
 				seen[family] = true
 				if err := writeHeader(w, family, in.help, "gauge"); err != nil {

@@ -1,0 +1,265 @@
+package telemetry
+
+import "fmt"
+
+// MetricsSchemaVersion versions the mergeable metrics snapshot carried by
+// wire.KindMetricsResp: the flattened counter/gauge Stats plus the sparse
+// QHistSnapshot encoding below. Bump it when the snapshot layout or the
+// histogram bucket geometry changes incompatibly.
+const MetricsSchemaVersion = 1
+
+// QHistSnapshot is a point-in-time, mergeable copy of one QHist in a
+// compact sparse encoding: only occupied buckets are carried, as parallel
+// (Idx, N) arrays sorted by ascending bucket index. Because QHist buckets
+// are plain counts (not cumulative), two snapshots taken on different
+// nodes merge by summing counts bucket-by-bucket, and quantiles computed
+// from the merged snapshot carry the same ≤3.2% worst-case relative error
+// as a histogram that observed the union of both value streams directly.
+//
+// SubBits records the bucket geometry (QHist's qSubBits) so a snapshot
+// from a build with a different resolution is rejected at merge time
+// instead of silently mis-bucketed.
+type QHistSnapshot struct {
+	Name    string
+	SubBits uint8
+	Count   int64
+	Sum     int64
+	Idx     []uint16
+	N       []int64
+}
+
+// Snapshot copies the histogram's occupied buckets into the sparse
+// mergeable form. Count is recomputed from the bucket sweep so Count ==
+// ΣN holds even while writers race. Nil-safe: a nil QHist yields an
+// empty (but geometry-stamped) snapshot.
+func (q *QHist) Snapshot() QHistSnapshot {
+	s := QHistSnapshot{SubBits: qSubBits}
+	if q == nil {
+		return s
+	}
+	s.Name = q.name
+	for i := range q.buckets {
+		n := q.buckets[i].Load()
+		if n > 0 {
+			s.Idx = append(s.Idx, uint16(i))
+			s.N = append(s.N, n)
+			s.Count += n
+		}
+	}
+	s.Sum = q.sum.Load()
+	return s
+}
+
+// Empty reports whether the snapshot holds no observations.
+func (s QHistSnapshot) Empty() bool { return len(s.Idx) == 0 }
+
+// Validate checks structural invariants: parallel arrays, strictly
+// ascending in-range bucket indexes, positive counts, Count == ΣN, and a
+// bucket geometry this build can interpret. An empty snapshot with
+// SubBits 0 (the zero value) is valid — it merges as the identity.
+func (s QHistSnapshot) Validate() error {
+	if len(s.Idx) != len(s.N) {
+		return fmt.Errorf("telemetry: snapshot %q: %d indexes vs %d counts", s.Name, len(s.Idx), len(s.N))
+	}
+	if s.SubBits != qSubBits && !(s.SubBits == 0 && s.Empty()) {
+		return fmt.Errorf("telemetry: snapshot %q: bucket geometry 2^%d subbuckets, this build uses 2^%d", s.Name, s.SubBits, qSubBits)
+	}
+	total := int64(0)
+	for i, idx := range s.Idx {
+		if int(idx) >= qBuckets {
+			return fmt.Errorf("telemetry: snapshot %q: bucket index %d out of range", s.Name, idx)
+		}
+		if i > 0 && idx <= s.Idx[i-1] {
+			return fmt.Errorf("telemetry: snapshot %q: bucket indexes not ascending at %d", s.Name, i)
+		}
+		if s.N[i] <= 0 {
+			return fmt.Errorf("telemetry: snapshot %q: non-positive count %d in bucket %d", s.Name, s.N[i], idx)
+		}
+		total += s.N[i]
+	}
+	if total != s.Count {
+		return fmt.Errorf("telemetry: snapshot %q: count %d != bucket sum %d", s.Name, s.Count, total)
+	}
+	return nil
+}
+
+// MergeQHist returns the bucket-wise sum of two snapshots — the snapshot
+// a single histogram would have produced had it observed both nodes'
+// value streams. Either side may be the zero value (identity). Merging
+// snapshots with different bucket geometries is an error: their indexes
+// name different value ranges and summing them would corrupt quantiles.
+func MergeQHist(a, b QHistSnapshot) (QHistSnapshot, error) {
+	if a.Empty() && a.SubBits == 0 {
+		a.SubBits = b.SubBits
+	}
+	if b.Empty() && b.SubBits == 0 {
+		b.SubBits = a.SubBits
+	}
+	if a.SubBits != b.SubBits {
+		return QHistSnapshot{}, fmt.Errorf("telemetry: merge %q: bucket geometry mismatch (2^%d vs 2^%d subbuckets)", a.Name, a.SubBits, b.SubBits)
+	}
+	out := QHistSnapshot{
+		Name:    a.Name,
+		SubBits: a.SubBits,
+		Count:   a.Count + b.Count,
+		Sum:     a.Sum + b.Sum,
+		Idx:     make([]uint16, 0, len(a.Idx)+len(b.Idx)),
+		N:       make([]int64, 0, len(a.Idx)+len(b.Idx)),
+	}
+	if out.Name == "" {
+		out.Name = b.Name
+	}
+	i, j := 0, 0
+	for i < len(a.Idx) || j < len(b.Idx) {
+		switch {
+		case j >= len(b.Idx) || (i < len(a.Idx) && a.Idx[i] < b.Idx[j]):
+			out.Idx = append(out.Idx, a.Idx[i])
+			out.N = append(out.N, a.N[i])
+			i++
+		case i >= len(a.Idx) || b.Idx[j] < a.Idx[i]:
+			out.Idx = append(out.Idx, b.Idx[j])
+			out.N = append(out.N, b.N[j])
+			j++
+		default: // same bucket on both sides
+			out.Idx = append(out.Idx, a.Idx[i])
+			out.N = append(out.N, a.N[i]+b.N[j])
+			i++
+			j++
+		}
+	}
+	return out, nil
+}
+
+// Quantiles estimates the given quantiles from the snapshot, with the
+// same rank-to-bucket-midpoint rule as QHist.Quantiles. Returns zeros for
+// an empty snapshot.
+func (s QHistSnapshot) Quantiles(ps ...float64) []int64 {
+	out := make([]int64, len(ps))
+	total := int64(0)
+	for _, n := range s.N {
+		total += n
+	}
+	if total == 0 {
+		return out
+	}
+	for j, p := range ps {
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		rank := int64(p * float64(total))
+		if rank < 1 {
+			rank = 1
+		}
+		cum := int64(0)
+		for i, n := range s.N {
+			cum += n
+			if cum >= rank {
+				lo, hi := qBounds(int(s.Idx[i]))
+				out[j] = lo + (hi-lo)/2
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Quantile estimates one quantile from the snapshot.
+func (s QHistSnapshot) Quantile(p float64) int64 { return s.Quantiles(p)[0] }
+
+// CountAtOrBelow returns how many observations landed in buckets whose
+// midpoint is ≤ v — the "good event" count for a latency SLO with
+// threshold v. The bucket containing v is counted entirely good or
+// entirely bad by its midpoint, so the split inherits the histogram's
+// ≤3.2% bucket-width error.
+func (s QHistSnapshot) CountAtOrBelow(v int64) int64 {
+	good := int64(0)
+	for i, idx := range s.Idx {
+		lo, hi := qBounds(int(idx))
+		if lo+(hi-lo)/2 > v {
+			break
+		}
+		good += s.N[i]
+	}
+	return good
+}
+
+// MetricsSnapshot is one node's full telemetry state in mergeable form:
+// counters, gauges, and fixed-bucket histograms flattened to Stats
+// (cumulative values, so summing across nodes is the cluster total), and
+// every quantile histogram as a sparse QHistSnapshot.
+type MetricsSnapshot struct {
+	Schema int
+	Stats  []Stat
+	Hists  []QHistSnapshot
+}
+
+// Hist returns the named histogram snapshot and whether it was present.
+func (m MetricsSnapshot) Hist(name string) (QHistSnapshot, bool) {
+	for _, h := range m.Hists {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return QHistSnapshot{}, false
+}
+
+// Stat returns the named flat sample's value and whether it was present.
+func (m MetricsSnapshot) Stat(name string) (int64, bool) {
+	for _, s := range m.Stats {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// MetricsSnapshot captures the registry's full state for federation.
+// Unlike Snapshot, quantile histograms are not pre-rendered to their
+// summary quantiles (which cannot be merged) but carried as sparse bucket
+// snapshots. Nil-safe: a nil registry yields an empty, schema-stamped
+// snapshot.
+func (r *Registry) MetricsSnapshot() MetricsSnapshot {
+	m := MetricsSnapshot{Schema: MetricsSchemaVersion}
+	if r == nil {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		switch in := r.insts[name].(type) {
+		case *Counter:
+			m.Stats = append(m.Stats, Stat{Name: name, Value: in.Value()})
+		case *Gauge:
+			m.Stats = append(m.Stats, Stat{Name: name, Value: in.Value()})
+		case *GaugeFunc:
+			m.Stats = append(m.Stats, Stat{Name: name, Value: in.Value()})
+		case *Histogram:
+			cum := int64(0)
+			for i := range in.buckets {
+				cum += in.buckets[i].Load()
+				m.Stats = append(m.Stats, Stat{
+					Name:  fmt.Sprintf("%s_bucket{le=%q}", name, leLabel(in.bounds, i)),
+					Value: cum,
+				})
+			}
+			m.Stats = append(m.Stats,
+				Stat{Name: name + "_sum", Value: in.Sum()},
+				Stat{Name: name + "_count", Value: in.Count()})
+		case *QHist:
+			m.Hists = append(m.Hists, in.Snapshot())
+		}
+	}
+	return m
+}
+
+// MetricsSnapshot captures the instruments' registry for federation.
+// Nil-safe.
+func (t *Instruments) MetricsSnapshot() MetricsSnapshot {
+	if t == nil {
+		return MetricsSnapshot{Schema: MetricsSchemaVersion}
+	}
+	return t.reg.MetricsSnapshot()
+}

@@ -48,6 +48,7 @@ import (
 	"pgrid/internal/bitpath"
 	"pgrid/internal/health"
 	"pgrid/internal/store"
+	"pgrid/internal/telemetry"
 	"pgrid/internal/trace"
 )
 
@@ -375,7 +376,7 @@ func appendMessageBody(b []byte, m *Message) ([]byte, error) {
 			b = appendEntry(b, g.Entry)
 			b = appendBool(b, g.Found)
 		}
-	case KindInfo, KindStats:
+	case KindInfo, KindStats, KindMetrics:
 		// No request payload.
 	case KindInfoResp:
 		b = appendBool(b, m.InfoResp != nil)
@@ -483,6 +484,32 @@ func appendMessageBody(b []byte, m *Message) ([]byte, error) {
 		b = appendBool(b, m.HelloResp != nil)
 		if h := m.HelloResp; h != nil {
 			b = append(b, h.Codec)
+		}
+	case KindMetricsResp:
+		b = appendBool(b, m.MetricsResp != nil)
+		if r := m.MetricsResp; r != nil {
+			s := r.Snap
+			b = appendVarint(b, int64(s.Schema))
+			b = appendUvarint(b, uint64(len(s.Stats)))
+			for _, st := range s.Stats {
+				b = appendString(b, st.Name)
+				b = appendVarint(b, st.Value)
+			}
+			b = appendUvarint(b, uint64(len(s.Hists)))
+			for _, h := range s.Hists {
+				if len(h.Idx) != len(h.N) {
+					return b, fmt.Errorf("wire: histogram snapshot %q: %d indexes vs %d counts", h.Name, len(h.Idx), len(h.N))
+				}
+				b = appendString(b, h.Name)
+				b = append(b, h.SubBits)
+				b = appendVarint(b, h.Count)
+				b = appendVarint(b, h.Sum)
+				b = appendUvarint(b, uint64(len(h.Idx)))
+				for i := range h.Idx {
+					b = appendUvarint(b, uint64(h.Idx[i]))
+					b = appendVarint(b, h.N[i])
+				}
+			}
 		}
 	default:
 		return b, fmt.Errorf("%w: %v", ErrUnknownKind, m.Kind)
@@ -816,7 +843,7 @@ func decodeInto(d *bdec, kind Kind, nested bool) (*Message, error) {
 		if d.bool() {
 			m.GetResp = &GetResp{Entry: d.entry(), Found: d.bool()}
 		}
-	case KindInfo, KindStats:
+	case KindInfo, KindStats, KindMetrics:
 		// No payload.
 	case KindInfoResp:
 		if d.bool() {
@@ -924,6 +951,40 @@ func decodeInto(d *bdec, kind Kind, nested bool) (*Message, error) {
 	case KindHelloResp:
 		if d.bool() {
 			m.HelloResp = &HelloResp{Codec: d.byte()}
+		}
+	case KindMetricsResp:
+		if d.bool() {
+			r := &MetricsResp{}
+			r.Snap.Schema = d.int()
+			if n := d.uvarint(); d.need(n, 2) && n > 0 {
+				r.Snap.Stats = make([]telemetry.Stat, n)
+				for i := range r.Snap.Stats {
+					r.Snap.Stats[i] = telemetry.Stat{Name: d.string(), Value: d.varint()}
+				}
+			}
+			// A histogram costs at least 5 bytes: name length, subbits,
+			// count, sum, pair count. Each (idx, n) pair at least 2.
+			if n := d.uvarint(); d.need(n, 5) && n > 0 {
+				r.Snap.Hists = make([]telemetry.QHistSnapshot, n)
+				for i := range r.Snap.Hists {
+					h := telemetry.QHistSnapshot{Name: d.string(), SubBits: d.byte(),
+						Count: d.varint(), Sum: d.varint()}
+					if pairs := d.uvarint(); d.need(pairs, 2) && pairs > 0 {
+						h.Idx = make([]uint16, pairs)
+						h.N = make([]int64, pairs)
+						for j := range h.Idx {
+							idx := d.uvarint()
+							if d.err == nil && idx > 0xffff {
+								d.fail("histogram bucket index out of range")
+							}
+							h.Idx[j] = uint16(idx)
+							h.N[j] = d.varint()
+						}
+					}
+					r.Snap.Hists[i] = h
+				}
+			}
+			m.MetricsResp = r
 		}
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, uint8(kind))

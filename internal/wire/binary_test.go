@@ -13,6 +13,7 @@ import (
 	"pgrid/internal/bitpath"
 	"pgrid/internal/health"
 	"pgrid/internal/store"
+	"pgrid/internal/telemetry"
 	"pgrid/internal/trace"
 )
 
@@ -23,6 +24,13 @@ import (
 func sampleMessages() []*Message {
 	p := bitpath.MustParse
 	entry := store.Entry{Key: p("0110"), Name: "doc-17", Holder: 9, Version: 0x1122334455667788}
+	snap := telemetry.MetricsSnapshot{Schema: telemetry.MetricsSchemaVersion,
+		Stats: []telemetry.Stat{{Name: "pgrid_rpc_served_total", Value: 42},
+			{Name: `pgrid_exchange_case_total{case="2a"}`, Value: -9}},
+		Hists: []telemetry.QHistSnapshot{
+			{Name: `pgrid_rpc_kind_latency_ns{kind="query"}`, SubBits: 4, Count: 7,
+				Sum: 1234567, Idx: []uint16{3, 150, 900}, N: []int64{4, 2, 1}},
+			{Name: "pgrid_pool_acquire_wait_ns", SubBits: 4}}}
 	span := trace.Span{ID: 0xdeadbeef01, Parent: 0xdeadbeef00, Peer: 7, Path: p("01"),
 		Level: 2, Ref: 3, Matched: true, Backtracked: true, LatencyNS: 125000}
 	return []*Message{
@@ -69,12 +77,21 @@ func sampleMessages() []*Message {
 		{Kind: KindBatch, From: 22, Batch: &BatchReq{Msgs: []Message{
 			{Kind: KindApply, From: 22, Apply: &ApplyReq{Entry: entry}},
 			{Kind: KindInfo, From: 22},
+			{Kind: KindMetrics, From: 22},
 			{Kind: KindHealth, From: 22, Health: &HealthReq{WantLiveness: true}}}}},
 		{Kind: KindBatchResp, From: 23, BatchResp: &BatchResp{Msgs: []Message{
 			{Kind: KindApplyResp, From: 23, ApplyResp: &ApplyResp{Changed: false}},
+			{Kind: KindMetricsResp, From: 23, MetricsResp: &MetricsResp{
+				Snap: telemetry.MetricsSnapshot{Schema: telemetry.MetricsSchemaVersion,
+					Stats: []telemetry.Stat{{Name: "pgrid_rpc_served_total", Value: 3}}}}},
 			{Kind: KindError, From: 23, Error: "no such handler"}}}},
 		{Kind: KindHello, From: 24, Hello: &HelloReq{MaxCodec: BinaryVersion}},
 		{Kind: KindHelloResp, From: 25, HelloResp: &HelloResp{Codec: BinaryVersion}},
+		{Kind: KindMetrics, From: 26},
+		{Kind: KindMetricsResp, From: 27, MetricsResp: &MetricsResp{Snap: snap}},
+		{Kind: KindMetricsResp, From: 27, MetricsResp: &MetricsResp{ // telemetry disabled
+			Snap: telemetry.MetricsSnapshot{Schema: telemetry.MetricsSchemaVersion}}},
+		{Kind: KindMetricsResp, From: 27}, // nil payload
 	}
 }
 
@@ -85,7 +102,7 @@ func TestBinaryCoversAllKinds(t *testing.T) {
 	for _, m := range sampleMessages() {
 		seen[m.Kind] = true
 	}
-	for k := KindQuery; k <= KindHelloResp; k++ {
+	for k := KindQuery; k <= KindMetricsResp; k++ {
 		if k == 15 { // reserved
 			continue
 		}
@@ -317,6 +334,83 @@ func TestBinaryCountOverflow(t *testing.T) {
 	_, _, _, err := ReadFrame(bytes.NewReader(frame))
 	if !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("want ErrCorrupt for absurd count, got %v", err)
+	}
+}
+
+// TestBinaryMetricsCorrupt runs the corruption table for the metrics
+// payload: absurd stat/histogram/pair counts must be refused before any
+// allocation, and a histogram bucket index beyond uint16 is corrupt (it
+// could not have come from a QHist, whose bucket space is under 1000).
+func TestBinaryMetricsCorrupt(t *testing.T) {
+	frame := func(body []byte) []byte {
+		f := []byte{magic0, magic1, BinaryVersion, byte(KindMetricsResp), 0, 0, 0, 0, 1}
+		f = append(f, byte(len(body)>>24), byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+		return append(f, body...)
+	}
+	prefix := func() []byte {
+		b := []byte{}
+		b = appendVarint(b, 3)  // From
+		b = appendBool(b, true) // payload present
+		b = appendVarint(b, 1)  // Schema
+		return b
+	}
+	cases := []struct {
+		name string
+		body func() []byte
+	}{
+		{"absurd stat count", func() []byte {
+			return appendUvarint(prefix(), 1<<40)
+		}},
+		{"absurd hist count", func() []byte {
+			b := appendUvarint(prefix(), 0) // no stats
+			return appendUvarint(b, 1<<40)
+		}},
+		{"absurd pair count", func() []byte {
+			b := appendUvarint(prefix(), 0) // no stats
+			b = appendUvarint(b, 1)         // one hist
+			b = appendString(b, "h")
+			b = append(b, 4)       // SubBits
+			b = appendVarint(b, 1) // Count
+			b = appendVarint(b, 1) // Sum
+			return appendUvarint(b, 1<<40)
+		}},
+		{"bucket index beyond uint16", func() []byte {
+			b := appendUvarint(prefix(), 0) // no stats
+			b = appendUvarint(b, 1)         // one hist
+			b = appendString(b, "h")
+			b = append(b, 4)            // SubBits
+			b = appendVarint(b, 1)      // Count
+			b = appendVarint(b, 1)      // Sum
+			b = appendUvarint(b, 1)     // one pair
+			b = appendUvarint(b, 70000) // idx > 0xffff
+			return appendVarint(b, 1)
+		}},
+		{"truncated after subbits", func() []byte {
+			b := appendUvarint(prefix(), 0) // no stats
+			b = appendUvarint(b, 1)         // one hist
+			b = appendString(b, "h")
+			return append(b, 4, 0, 0) // SubBits + Count + Sum, then missing pair count
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, m, err := ReadFrame(bytes.NewReader(frame(tc.body())))
+			if err == nil {
+				t.Fatalf("decoded %+v from corrupt metrics frame", m)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("want ErrCorrupt, got %v", err)
+			}
+		})
+	}
+	// The encoder refuses a structurally-broken snapshot rather than
+	// emitting a frame no decoder can parse.
+	bad := &Message{Kind: KindMetricsResp, From: 1, MetricsResp: &MetricsResp{
+		Snap: telemetry.MetricsSnapshot{Hists: []telemetry.QHistSnapshot{
+			{Name: "h", Idx: []uint16{1, 2}, N: []int64{5}}}}}}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 0, 0, bad); err == nil {
+		t.Fatal("encoder accepted mismatched Idx/N lengths")
 	}
 }
 

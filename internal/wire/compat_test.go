@@ -9,6 +9,7 @@ import (
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
 	"pgrid/internal/health"
+	"pgrid/internal/telemetry"
 	"pgrid/internal/trace"
 )
 
@@ -190,6 +191,15 @@ func TestKindNumbering(t *testing.T) {
 	if KindHealth.String() != "health" || KindHealthResp.String() != "health-resp" {
 		t.Fatalf("kind names: %v %v", KindHealth, KindHealthResp)
 	}
+	if KindMetrics != 24 || KindMetricsResp != 25 {
+		t.Fatalf("KindMetrics = %d/%d, want 24/25", KindMetrics, KindMetricsResp)
+	}
+	if KindMetrics%2 != 0 {
+		t.Fatal("KindMetrics is odd: requests must stay even")
+	}
+	if KindMetrics.String() != "metrics" || KindMetricsResp.String() != "metrics-resp" {
+		t.Fatalf("kind names: %v %v", KindMetrics, KindMetricsResp)
+	}
 }
 
 // legacyPreHealthMessage replicates the message envelope exactly as it was
@@ -257,6 +267,103 @@ func TestOldDecoderIgnoresHealthFields(t *testing.T) {
 	}
 	if legacy.Kind != KindHealthResp || legacy.From != 6 {
 		t.Fatalf("legacy decode mismatch: %+v", legacy)
+	}
+}
+
+// TestDecodePreMetricsFrame proves frames from peers that predate the
+// metrics kinds still decode (gob leaves the absent payload nil), and a
+// metrics-carrying frame decodes on such a peer.
+func TestDecodePreMetricsFrame(t *testing.T) {
+	// legacyPreHealthMessage also predates metrics — reuse it.
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(&legacyPreHealthMessage{
+		Kind: KindStats, From: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(body.Len()))
+	out.Write(lenb[:])
+	out.Write(body.Bytes())
+	m, err := ReadMessage(&out)
+	if err != nil {
+		t.Fatalf("pre-metrics frame did not decode: %v", err)
+	}
+	if m.MetricsResp != nil {
+		t.Fatalf("absent metrics payload decoded non-nil: %+v", m)
+	}
+
+	// Opposite direction: a snapshot-carrying frame through a pre-metrics
+	// decoder.
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Kind: KindMetricsResp, From: 5,
+		MetricsResp: &MetricsResp{Snap: telemetry.MetricsSnapshot{
+			Schema: telemetry.MetricsSchemaVersion,
+			Stats:  []telemetry.Stat{{Name: "pgrid_rpc_served_total", Value: 12}},
+			Hists: []telemetry.QHistSnapshot{{Name: "lat", SubBits: 4, Count: 1,
+				Sum: 99, Idx: []uint16{5}, N: []int64{1}}}}}}); err != nil {
+		t.Fatal(err)
+	}
+	var legacy legacyPreHealthMessage
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes()[4:])).Decode(&legacy); err != nil {
+		t.Fatalf("pre-metrics decoder rejected a snapshot frame: %v", err)
+	}
+	if legacy.Kind != KindMetricsResp || legacy.From != 5 {
+		t.Fatalf("legacy decode mismatch: %+v", legacy)
+	}
+}
+
+// TestMetricsRoundTrip pins the gob path for the metrics pair, including
+// the payload-less request and an empty (telemetry-disabled) snapshot.
+func TestMetricsRoundTrip(t *testing.T) {
+	var rb bytes.Buffer
+	if err := WriteMessage(&rb, &Message{Kind: KindMetrics, From: 3}); err != nil {
+		t.Fatal(err)
+	}
+	req, err := ReadMessage(&rb)
+	if err != nil || req.Kind != KindMetrics || req.From != 3 {
+		t.Fatalf("metrics request round trip: %+v, %v", req, err)
+	}
+
+	m := &Message{Kind: KindMetricsResp, From: 2, MetricsResp: &MetricsResp{
+		Snap: telemetry.MetricsSnapshot{
+			Schema: telemetry.MetricsSchemaVersion,
+			Stats: []telemetry.Stat{{Name: "pgrid_rpc_served_total", Value: 42},
+				{Name: "pgrid_health_liveness_permille", Value: -1}},
+			Hists: []telemetry.QHistSnapshot{{Name: `pgrid_rpc_kind_latency_ns{kind="query"}`,
+				SubBits: 4, Count: 3, Sum: 3000, Idx: []uint16{16, 200}, N: []int64{2, 1}}}}}}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got.MetricsResp
+	if r == nil || r.Snap.Schema != telemetry.MetricsSchemaVersion || len(r.Snap.Stats) != 2 {
+		t.Fatalf("metrics response did not round-trip: %+v", r)
+	}
+	h := r.Snap.Hists[0]
+	if h.Name != m.MetricsResp.Snap.Hists[0].Name || h.Count != 3 || h.Sum != 3000 ||
+		len(h.Idx) != 2 || h.Idx[1] != 200 || h.N[0] != 2 {
+		t.Fatalf("histogram snapshot did not round-trip: %+v", h)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("round-tripped snapshot invalid: %v", err)
+	}
+
+	// Telemetry disabled: empty, schema-stamped snapshot.
+	var eb bytes.Buffer
+	if err := WriteMessage(&eb, &Message{Kind: KindMetricsResp, From: 2,
+		MetricsResp: &MetricsResp{Snap: telemetry.MetricsSnapshot{
+			Schema: telemetry.MetricsSchemaVersion}}}); err != nil {
+		t.Fatal(err)
+	}
+	empty, err := ReadMessage(&eb)
+	if err != nil || empty.MetricsResp == nil || len(empty.MetricsResp.Snap.Stats) != 0 {
+		t.Fatalf("empty snapshot round trip: %+v, %v", empty.MetricsResp, err)
 	}
 }
 

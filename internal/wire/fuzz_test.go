@@ -9,6 +9,7 @@ import (
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
 	"pgrid/internal/health"
+	"pgrid/internal/telemetry"
 	"pgrid/internal/trace"
 )
 
@@ -67,6 +68,15 @@ func FuzzReadMessage(f *testing.F) {
 	var hq bytes.Buffer
 	WriteMessage(&hq, &Message{Kind: KindHealth, From: 0, Health: &HealthReq{WantLiveness: true}})
 	f.Add(hq.Bytes())
+	// A snapshot-carrying metrics response, so the corpus mutates around
+	// the sparse histogram encoding too.
+	var mr bytes.Buffer
+	WriteMessage(&mr, &Message{Kind: KindMetricsResp, From: 5, MetricsResp: &MetricsResp{
+		Snap: telemetry.MetricsSnapshot{Schema: telemetry.MetricsSchemaVersion,
+			Stats: []telemetry.Stat{{Name: "pgrid_rpc_served_total", Value: 42}},
+			Hists: []telemetry.QHistSnapshot{{Name: `lat{kind="query"}`, SubBits: 4,
+				Count: 3, Sum: 900, Idx: []uint16{9, 77}, N: []int64{2, 1}}}}}})
+	f.Add(mr.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{0, 0, 0, 5, 1, 2, 3})
@@ -174,6 +184,69 @@ func FuzzHealthRoundTrip(f *testing.F) {
 				t.Fatalf("level %d mismatch: %+v vs %+v", i, g, d)
 			}
 		}
+	})
+}
+
+// FuzzMetricsRoundTrip encodes fuzz-shaped metrics snapshots through BOTH
+// codecs and verifies they decode to the same snapshot — the federation
+// twin of FuzzHealthRoundTrip.
+func FuzzMetricsRoundTrip(f *testing.F) {
+	f.Add(int32(0), 0, "", int64(0), uint8(4), uint16(0), int64(1), uint8(0))
+	f.Add(int32(3), 1, "pgrid_rpc_served_total", int64(42), uint8(4), uint16(900), int64(7), uint8(5))
+	f.Add(int32(-1), 9, "x", int64(-8), uint8(7), uint16(0xffff), int64(1)<<40, uint8(20))
+	f.Fuzz(func(t *testing.T, from int32, schema int, name string, value int64, subBits uint8, idx0 uint16, n0 int64, buckets uint8) {
+		if from < -1 {
+			from &= 0x7fffffff // the binary codec (rightly) rejects addresses below addr.Nil
+		}
+		snap := telemetry.MetricsSnapshot{Schema: schema,
+			Stats: []telemetry.Stat{{Name: name, Value: value}}}
+		h := telemetry.QHistSnapshot{Name: name, SubBits: subBits}
+		for i := 0; i < int(buckets%32); i++ {
+			h.Idx = append(h.Idx, idx0+uint16(i))
+			h.N = append(h.N, n0)
+			h.Count += n0
+			h.Sum += n0 * int64(i)
+		}
+		snap.Hists = append(snap.Hists, h)
+		m := &Message{Kind: KindMetricsResp, From: addrOf(from), MetricsResp: &MetricsResp{Snap: snap}}
+
+		check := func(codec string, got *Message, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("%s decode: %v", codec, err)
+			}
+			if got.MetricsResp == nil {
+				t.Fatalf("%s: metrics payload lost", codec)
+			}
+			g := got.MetricsResp.Snap
+			if g.Schema != schema || len(g.Stats) != 1 || g.Stats[0] != snap.Stats[0] {
+				t.Fatalf("%s: stats mismatch: %+v vs %+v", codec, g, snap)
+			}
+			gh := g.Hists[0]
+			if gh.Name != h.Name || gh.SubBits != h.SubBits || gh.Count != h.Count ||
+				gh.Sum != h.Sum || len(gh.Idx) != len(h.Idx) {
+				t.Fatalf("%s: hist mismatch: %+v vs %+v", codec, gh, h)
+			}
+			for i := range h.Idx {
+				if gh.Idx[i] != h.Idx[i] || gh.N[i] != h.N[i] {
+					t.Fatalf("%s: pair %d mismatch: %+v vs %+v", codec, i, gh, h)
+				}
+			}
+		}
+
+		var gb bytes.Buffer
+		if err := WriteMessage(&gb, m); err != nil {
+			t.Fatalf("gob encode: %v", err)
+		}
+		got, err := ReadMessage(&gb)
+		check("gob", got, err)
+
+		var bb bytes.Buffer
+		if err := WriteFrame(&bb, 1, FlagResponse, m); err != nil {
+			t.Fatalf("binary encode: %v", err)
+		}
+		_, _, got, err = ReadFrame(&bb)
+		check("binary", got, err)
 	})
 }
 

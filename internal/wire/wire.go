@@ -17,6 +17,7 @@ import (
 	"pgrid/internal/bitpath"
 	"pgrid/internal/health"
 	"pgrid/internal/store"
+	"pgrid/internal/telemetry"
 	"pgrid/internal/trace"
 )
 
@@ -53,6 +54,8 @@ const (
 	KindBatchResp
 	KindHello
 	KindHelloResp
+	KindMetrics
+	KindMetricsResp
 )
 
 // kindNames is the Kind → label table. Hoisted to package level: String
@@ -62,7 +65,8 @@ var kindNames = [...]string{"query", "query-resp", "exchange", "exchange-resp",
 	"apply", "apply-resp", "get", "get-resp", "info", "info-resp",
 	"scan", "scan-resp", "stats", "stats-resp", "error", "kind(15)",
 	"traces", "traces-resp", "health", "health-resp",
-	"batch", "batch-resp", "hello", "hello-resp"}
+	"batch", "batch-resp", "hello", "hello-resp",
+	"metrics", "metrics-resp"}
 
 // String names the kind for logs.
 func (k Kind) String() string {
@@ -104,6 +108,7 @@ type Message struct {
 	BatchResp    *BatchResp
 	Hello        *HelloReq
 	HelloResp    *HelloResp
+	MetricsResp  *MetricsResp
 	Error        string
 }
 
@@ -229,6 +234,16 @@ type Stat struct {
 type StatsResp struct {
 	Schema int
 	Stats  []Stat
+}
+
+// MetricsResp answers KindMetrics (a payload-less request, like KindStats)
+// with the receiver's full mergeable telemetry snapshot: flattened
+// counters/gauges plus sparse quantile-histogram buckets that a collector
+// can sum across the community. Snap.Schema carries
+// telemetry.MetricsSchemaVersion; a receiver running with telemetry
+// disabled answers with an empty, schema-stamped snapshot.
+type MetricsResp struct {
+	Snap telemetry.MetricsSnapshot
 }
 
 // TracesReq asks the receiver for its flight recorder's most recent
