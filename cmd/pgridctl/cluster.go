@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"strconv"
@@ -17,22 +18,38 @@ import (
 // reachable node's metrics snapshot, and prints the cluster report —
 // merged quantiles, RED rollups, top-K offenders, and SLO verdicts.
 // count == 1 prints one plain frame (script-friendly, the default);
-// count <= 0 refreshes forever at the given interval. A one-shot run
+// count <= 0 refreshes forever at the given interval. jsonOut emits one
+// JSON object per frame instead of the text report. A one-shot run
 // exits nonzero when no peer answered at all.
-func runCluster(client *node.Client, id addr.Addr, objectives []slo.Objective, interval time.Duration, count int) {
+func runCluster(client *node.Client, id addr.Addr, objectives []slo.Objective, interval time.Duration, count int, jsonOut bool) {
+	enc := json.NewEncoder(os.Stdout)
 	for i := 0; count <= 0 || i < count; i++ {
 		if i > 0 {
 			time.Sleep(interval)
 		}
 		res := client.CollectCluster(id)
 		rep := analysis.AnalyzeCluster(res.Snapshots, res.Digests, res.Unreachable, objectives)
-		if count != 1 {
-			fmt.Print("\x1b[H\x1b[2J")
-			fmt.Printf("cluster from node %v · %s\n", id, time.Now().Format("15:04:05"))
+		if jsonOut {
+			err := enc.Encode(map[string]any{
+				"from":     id,
+				"at":       time.Now(),
+				"messages": res.Messages,
+				"digests":  len(res.Digests),
+				"report":   rep,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pgridctl:", err)
+				os.Exit(1)
+			}
+		} else {
+			if count != 1 {
+				fmt.Print("\x1b[H\x1b[2J")
+				fmt.Printf("cluster from node %v · %s\n", id, time.Now().Format("15:04:05"))
+			}
+			fmt.Printf("collected %d peers from node %v (%d messages, %d census digests)\n",
+				rep.Peers, id, res.Messages, len(res.Digests))
+			analysis.RenderClusterReport(os.Stdout, rep)
 		}
-		fmt.Printf("collected %d peers from node %v (%d messages, %d census digests)\n",
-			rep.Peers, id, res.Messages, len(res.Digests))
-		analysis.RenderClusterReport(os.Stdout, rep)
 		if count == 1 && rep.Peers == 0 {
 			os.Exit(1)
 		}

@@ -44,6 +44,7 @@ func main() {
 		codec     = flag.String("codec", "binary", "wire codec: binary (negotiated per peer, gob fallback) or gob")
 		poolSize  = flag.Int("pool-size", 2, "pooled connections per peer (0 = dial per call)")
 		sloSpecs  = flag.String("slo", "query:p99:5ms", "latency objectives for cluster reports: kind:pNN:threshold,... (empty disables)")
+		jsonOut   = flag.Bool("json", false, "machine-readable output: top, cluster, and watch emit one JSON object per frame")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, `usage: pgridctl -peers <endpoints> <command> [args]
@@ -71,6 +72,11 @@ commands:
                                 crawl from node <id>, federate every peer's metrics snapshot, and print
                                 the cluster report: merged latency quantiles, RED rollups, top-K slow and
                                 erroring peers, SLO burn verdicts (default one shot; interval = refresh)
+  watch [-cluster] <id> [interval] [count]
+                                refreshing sparkline trends from the node's history ring: RPC rate, error
+                                rate, served p99, pool wait, drops, anomaly findings, and windowed SLO
+                                verdicts (default 2s forever; count 1 = one plain frame); -cluster
+                                federates every reachable peer's ring via the batched crawl
 `)
 		flag.PrintDefaults()
 	}
@@ -312,7 +318,21 @@ commands:
 			fetch = func() (statMap, error) { return fetchClusterStats(client, id) }
 			scope = fmt.Sprintf("cluster from node %v", id)
 		}
-		runTop(fetch, scope, interval, count)
+		runTop(fetch, scope, interval, count, *jsonOut)
+
+	case "watch":
+		clusterMode := false
+		if len(args) > 0 && args[0] == "-cluster" {
+			clusterMode = true
+			args = args[1:]
+		}
+		id := mustID(args, 0)
+		interval, count := intervalCount(args, 2*time.Second, 0)
+		objectives, err := slo.ParseList(*sloSpecs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runWatch(client, id, clusterMode, objectives, interval, count, *jsonOut)
 
 	case "cluster":
 		id := mustID(args, 0)
@@ -327,7 +347,7 @@ commands:
 		if err != nil {
 			log.Fatal(err)
 		}
-		runCluster(client, id, objectives, interval, count)
+		runCluster(client, id, objectives, interval, count, *jsonOut)
 
 	case "health":
 		id := mustID(args, 0)

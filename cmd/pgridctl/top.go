@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
@@ -11,21 +12,24 @@ import (
 
 	"pgrid/internal/addr"
 	"pgrid/internal/node"
+	"pgrid/internal/telemetry"
 	"pgrid/internal/wire"
 )
 
 // runTop polls a stats source and renders a refreshing terminal summary:
 // request rates, per-kind latency quantiles, pool and breaker state, and
 // event drops. count == 1 prints a single frame without clearing the
-// screen (script-friendly); count <= 0 runs until killed.
+// screen (script-friendly); count <= 0 runs until killed. jsonOut swaps
+// the terminal view for one JSON object per frame.
 //
 // Everything shown is computed from two consecutive snapshots of the same
 // data /metrics exposes — fetch is either one node's KindStats or the
 // cluster-merged view — so top works against any node, with no extra
 // protocol.
-func runTop(fetch func() (statMap, error), scope string, interval time.Duration, count int) {
+func runTop(fetch func() (statMap, error), scope string, interval time.Duration, count int, jsonOut bool) {
 	var prev statMap
 	var prevAt time.Time
+	enc := json.NewEncoder(os.Stdout)
 	for i := 0; count <= 0 || i < count; i++ {
 		if i > 0 {
 			time.Sleep(interval)
@@ -35,12 +39,59 @@ func runTop(fetch func() (statMap, error), scope string, interval time.Duration,
 			log.Fatal(err)
 		}
 		now := time.Now()
-		if count != 1 {
-			fmt.Print("\x1b[H\x1b[2J") // cursor home + clear: redraw in place
+		if jsonOut {
+			if err := enc.Encode(topFrame(scope, now, cur, prev, now.Sub(prevAt))); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			if count != 1 {
+				fmt.Print("\x1b[H\x1b[2J") // cursor home + clear: redraw in place
+			}
+			renderTop(os.Stdout, scope, now, cur, prev, now.Sub(prevAt))
 		}
-		renderTop(os.Stdout, scope, now, cur, prev, now.Sub(prevAt))
 		prev, prevAt = cur, now
 	}
+}
+
+// statsReset reports whether the previous snapshot is a stale baseline
+// for rate math. The primary signal is the start-epoch gauge: it changes
+// exactly when a node restarts (and, in cluster mode where epochs are
+// summed, when the merged peer set changes) — catching even restarts
+// whose new counters overshoot the old values. Snapshots from pre-epoch
+// peers (both epochs zero) fall back to the per-counter rewind check at
+// each use site.
+func statsReset(cur, prev statMap) bool {
+	if prev == nil {
+		return false
+	}
+	ce, pe := cur[telemetry.StatStartEpoch], prev[telemetry.StatStartEpoch]
+	return (ce != 0 || pe != 0) && ce != pe
+}
+
+// topFrame builds the JSON form of one top refresh: the raw stats plus
+// the derived per-second rates for every counter series (quantile and
+// gauge series carry no rate). On a reset frame rates are omitted — the
+// baseline is from another incarnation.
+func topFrame(scope string, now time.Time, cur, prev statMap, dt time.Duration) map[string]any {
+	frame := map[string]any{
+		"scope": scope,
+		"at":    now,
+		"stats": cur,
+	}
+	reset := statsReset(cur, prev)
+	frame["reset"] = reset
+	if prev != nil && dt > 0 && !reset {
+		rates := make(map[string]float64)
+		for name, v := range cur {
+			p, ok := prev[name]
+			if !ok || v < p || !strings.Contains(name, "_total") {
+				continue
+			}
+			rates[name] = float64(v-p) / dt.Seconds()
+		}
+		frame["rates"] = rates
+	}
+	return frame
 }
 
 // statMap is one stats snapshot: flattened series name → value.
@@ -62,14 +113,16 @@ func fetchStats(tr node.Transport, id addr.Addr) (statMap, error) {
 }
 
 func renderTop(w io.Writer, scope string, now time.Time, cur, prev statMap, dt time.Duration) {
+	reset := statsReset(cur, prev)
 	rate := func(name string) string {
 		if prev == nil || dt <= 0 {
 			return "-"
 		}
-		if cur[name] < prev[name] {
-			// The counter went backward: the node restarted (or, in
-			// cluster mode, a peer dropped out of the merge). A delta
-			// against the stale baseline would be a huge negative rate.
+		if reset || cur[name] < prev[name] {
+			// The start epoch changed — the node restarted, or in cluster
+			// mode the merged peer set shifted — or (pre-epoch peers only)
+			// the counter went backward. Either way a delta against the
+			// stale baseline would lie, so say so instead.
 			return "reset"
 		}
 		return fmt.Sprintf("%.1f/s", float64(cur[name]-prev[name])/dt.Seconds())
@@ -88,9 +141,9 @@ func renderTop(w io.Writer, scope string, now time.Time, cur, prev statMap, dt t
 		cur["pgrid_events_dropped_total"], rate("pgrid_events_dropped_total"))
 	fmt.Fprintln(w)
 
-	renderKindTable(w, "client rpc latency", cur, prev, dt,
+	renderKindTable(w, "client rpc latency", cur, prev, dt, reset,
 		"pgrid_rpc_client_kind_total", "pgrid_rpc_kind_latency_ns")
-	renderKindTable(w, "served rpc latency", cur, prev, dt,
+	renderKindTable(w, "served rpc latency", cur, prev, dt, reset,
 		"pgrid_rpc_served_kind_total", "pgrid_rpc_served_latency_ns")
 
 	fmt.Fprintf(w, "pool   open %d  in-flight %d  queue %d  dials %d  reuses %d (%s)  acquire p50 %s p99 %s\n",
@@ -108,7 +161,7 @@ func renderTop(w io.Writer, scope string, now time.Time, cur, prev statMap, dt t
 // renderKindTable prints one quantile table, kinds in wire order so rows
 // keep their position between refreshes. Kinds without traffic are
 // omitted.
-func renderKindTable(w io.Writer, title string, cur, prev statMap, dt time.Duration, countFamily, latFamily string) {
+func renderKindTable(w io.Writer, title string, cur, prev statMap, dt time.Duration, reset bool, countFamily, latFamily string) {
 	type row struct {
 		kind string
 		n    int64
@@ -126,8 +179,8 @@ func renderKindTable(w io.Writer, title string, cur, prev statMap, dt time.Durat
 		}
 		r := row{kind: kind, n: n, rate: "-"}
 		if prev != nil && dt > 0 {
-			if pn := prev[countFamily+`{kind=`+strconv.Quote(kind)+`}`]; n < pn {
-				r.rate = "reset" // counter went backward: restart, not load
+			if pn := prev[countFamily+`{kind=`+strconv.Quote(kind)+`}`]; reset || n < pn {
+				r.rate = "reset" // epoch changed (or counter rewound): restart, not load
 			} else {
 				r.rate = fmt.Sprintf("%.1f", float64(n-pn)/dt.Seconds())
 			}

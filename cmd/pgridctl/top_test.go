@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"pgrid/internal/telemetry"
 )
 
 func TestRenderTop(t *testing.T) {
@@ -83,10 +85,90 @@ func TestRenderTopCounterReset(t *testing.T) {
 	prev := statMap{`pgrid_rpc_client_kind_total{kind="query"}`: 500}
 	cur := statMap{`pgrid_rpc_client_kind_total{kind="query"}`: 20}
 	var b strings.Builder
-	renderKindTable(&b, "client rpc latency", cur, prev, 2*time.Second,
+	renderKindTable(&b, "client rpc latency", cur, prev, 2*time.Second, false,
 		"pgrid_rpc_client_kind_total", "pgrid_rpc_kind_latency_ns")
 	if !strings.Contains(b.String(), "reset") {
 		t.Errorf("kind table missing reset marker:\n%s", b.String())
+	}
+}
+
+// TestRenderTopEpochReset pins the v2 restart signal: a changed start
+// epoch marks every rate as reset even when the post-restart counters
+// overshoot the old values (the case the cur < prev heuristic misses).
+func TestRenderTopEpochReset(t *testing.T) {
+	prev := statMap{
+		telemetry.StatStartEpoch:                    1_000,
+		"pgrid_rpc_served_total":                    100,
+		`pgrid_rpc_client_kind_total{kind="query"}`: 50,
+	}
+	cur := statMap{
+		telemetry.StatStartEpoch:                    2_000, // new incarnation
+		"pgrid_rpc_served_total":                    900,   // overshoots the old value
+		`pgrid_rpc_client_kind_total{kind="query"}`: 700,
+	}
+	var b strings.Builder
+	renderTop(&b, "node 0", time.Unix(0, 0), cur, prev, 2*time.Second)
+	out := b.String()
+	if !strings.Contains(out, "served 900 (reset)") {
+		t.Errorf("overshooting restart not flagged:\n%s", out)
+	}
+	if strings.Contains(out, "/s)") && !strings.Contains(out, "(reset)") {
+		t.Errorf("epoch reset should suppress every headline rate:\n%s", out)
+	}
+
+	// Same epoch on both sides: rates compute normally.
+	cur[telemetry.StatStartEpoch] = 1_000
+	b.Reset()
+	renderTop(&b, "node 0", time.Unix(0, 0), cur, prev, 2*time.Second)
+	if !strings.Contains(b.String(), "served 900 (400.0/s)") {
+		t.Errorf("same-epoch frame should rate normally:\n%s", b.String())
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	cases := []struct {
+		name      string
+		cur, prev statMap
+		want      bool
+	}{
+		{"nil prev", statMap{telemetry.StatStartEpoch: 5}, nil, false},
+		{"same epoch", statMap{telemetry.StatStartEpoch: 5}, statMap{telemetry.StatStartEpoch: 5}, false},
+		{"changed epoch", statMap{telemetry.StatStartEpoch: 6}, statMap{telemetry.StatStartEpoch: 5}, true},
+		{"pre-epoch peers", statMap{"x": 1}, statMap{"x": 2}, false},
+		{"peer gained epoch", statMap{telemetry.StatStartEpoch: 5}, statMap{}, true},
+	}
+	for _, c := range cases {
+		if got := statsReset(c.cur, c.prev); got != c.want {
+			t.Errorf("%s: statsReset = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestTopFrame pins the -json frame shape: raw stats always, derived
+// rates only when a same-epoch baseline exists, and a reset flag that
+// both replaces the rates and explains their absence.
+func TestTopFrame(t *testing.T) {
+	prev := statMap{telemetry.StatStartEpoch: 1, "pgrid_query_total": 10, "pgrid_pool_conns_open": 2}
+	cur := statMap{telemetry.StatStartEpoch: 1, "pgrid_query_total": 30, "pgrid_pool_conns_open": 4}
+	f := topFrame("node 0", time.Unix(0, 0), cur, prev, 2*time.Second)
+	if f["reset"] != false {
+		t.Fatalf("steady frame marked reset: %v", f)
+	}
+	rates, ok := f["rates"].(map[string]float64)
+	if !ok || rates["pgrid_query_total"] != 10 {
+		t.Fatalf("rates = %v, want query 10/s", f["rates"])
+	}
+	if _, gauge := rates["pgrid_pool_conns_open"]; gauge {
+		t.Fatalf("gauges must not be rated: %v", rates)
+	}
+
+	cur[telemetry.StatStartEpoch] = 2
+	f = topFrame("node 0", time.Unix(0, 0), cur, prev, 2*time.Second)
+	if f["reset"] != true {
+		t.Fatalf("epoch change not flagged: %v", f)
+	}
+	if _, has := f["rates"]; has {
+		t.Fatalf("reset frame must omit rates: %v", f)
 	}
 }
 
@@ -107,7 +189,7 @@ func TestRenderKindTableOmitsIdleKinds(t *testing.T) {
 		`pgrid_rpc_client_kind_total{kind="exchange"}`: 7,
 	}
 	var b strings.Builder
-	renderKindTable(&b, "client rpc latency", cur, nil, 0,
+	renderKindTable(&b, "client rpc latency", cur, nil, 0, false,
 		"pgrid_rpc_client_kind_total", "pgrid_rpc_kind_latency_ns")
 	out := b.String()
 	if !strings.Contains(out, "exchange") {

@@ -10,7 +10,10 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"pgrid/internal/addr"
+	"pgrid/internal/analysis"
 	"pgrid/internal/health"
 	"pgrid/internal/node"
 	"pgrid/internal/resilience"
@@ -37,6 +40,10 @@ import (
 //	/debug/slo      the burn-rate engine (-slo): per-objective budget burn
 //	                over the 5m and 1h windows with breach verdicts, JSON
 //	                or ?format=text
+//	/debug/history  the metrics history ring (-history-interval): the raw
+//	                windowed snapshot series as JSON, or ?format=text for
+//	                the sparkline trend rendering; ?window=30s narrows the
+//	                span, ?limit=N caps the points returned
 //	/debug/breakers the per-peer circuit breakers of the outgoing
 //	                transport: JSON by default, ?format=text for a table
 //	/debug/vars     expvar (includes the pgrid counter snapshot)
@@ -47,8 +54,9 @@ import (
 // rt may be nil (a test without the resilient transport); /debug/breakers
 // then reports an empty set. slowRec may be nil (no -slow-rpc threshold);
 // /debug/slow then reports an empty log. eng may be nil (no -slo
-// objectives); /debug/slo then reports an empty report.
-func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool, minLiveness float64, rt *resilience.ResilientTransport, slowRec *trace.Recorder, eng *slo.Engine) *http.ServeMux {
+// objectives); /debug/slo then reports an empty report. hist may be nil
+// (no -history-interval); /debug/history then reports an empty dump.
+func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool, minLiveness float64, rt *resilience.ResilientTransport, slowRec *trace.Recorder, eng *slo.Engine, hist *telemetry.History) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -168,6 +176,37 @@ func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool,
 		json.NewEncoder(w).Encode(struct {
 			Objectives []slo.Status `json:"objectives"`
 		}{report})
+	})
+	mux.HandleFunc("/debug/history", func(w http.ResponseWriter, r *http.Request) {
+		var window time.Duration
+		if s := r.URL.Query().Get("window"); s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil || d < 0 {
+				http.Error(w, "bad window", http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		limit := 0
+		if s := r.URL.Query().Get("limit"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = v
+		}
+		dump := hist.Dump(window, limit) // nil-safe: empty schema-stamped dump
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			analysis.RenderTrendReport(w, analysis.AnalyzeTrends(
+				map[addr.Addr]telemetry.HistoryDump{n.Addr(): dump}, nil))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			History telemetry.HistoryDump `json:"history"`
+		}{dump})
 	})
 	mux.HandleFunc("/debug/breakers", func(w http.ResponseWriter, r *http.Request) {
 		views := []resilience.BreakerView{}

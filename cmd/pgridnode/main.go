@@ -31,6 +31,10 @@
 // /debug/slow; per-kind latency quantiles are live at /debug/lat. With
 // -slo the node tracks latency objectives ("query:p99:5ms,...") through a
 // multi-window burn-rate engine and serves the verdicts at /debug/slo.
+// With -history-interval the node samples its whole metrics snapshot into a
+// fixed-memory ring (-history-window deep), served at /debug/history and to
+// `pgridctl watch` over the wire; -exemplar-quantile links tail latency
+// buckets to flight-recorder traces via trace-id exemplars.
 package main
 
 import (
@@ -93,6 +97,9 @@ func main() {
 		sloEvery  = flag.Duration("slo-interval", 10*time.Second, "sampling interval of the SLO burn-rate engine when -slo is set")
 		traceBuf  = flag.Int("trace-buf", 256, "flight-recorder capacity in traces (0 = tracing off)")
 		traceProb = flag.Float64("trace-sample", 0.01, "probability a locally issued query is sampled for distributed tracing")
+		histInt   = flag.Duration("history-interval", 2*time.Second, "sampling interval of the in-memory metrics history ring served at /debug/history and over KindHistory (0 = history off)")
+		histWin   = flag.Duration("history-window", 5*time.Minute, "retention of the metrics history ring when -history-interval is set")
+		exemplarQ = flag.Float64("exemplar-quantile", 0.99, "latency buckets at/above this tail quantile capture trace-id exemplars linking slow buckets to flight-recorder traces (0 = off)")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logJSON   = flag.Bool("log-json", false, "log in JSON instead of text")
 	)
@@ -131,6 +138,12 @@ func main() {
 	logger.Info("starting", "seed", *seed)
 
 	tel := telemetry.New(*id)
+	if *exemplarQ < 0 || *exemplarQ >= 1 {
+		fatal("configuration", fmt.Errorf("-exemplar-quantile %v out of [0,1)", *exemplarQ))
+	}
+	if *exemplarQ > 0 {
+		tel.EnableExemplars(*exemplarQ)
+	}
 	if *events != "" {
 		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -225,6 +238,15 @@ func main() {
 		}
 	}
 
+	var hist *telemetry.History
+	if *histInt > 0 {
+		if *histWin < *histInt {
+			fatal("configuration", fmt.Errorf("-history-window %v shorter than -history-interval %v", *histWin, *histInt))
+		}
+		hist = telemetry.NewHistory(*histInt, *histWin)
+		n.EnableHistory(hist)
+	}
+
 	var sloEng *slo.Engine
 	if *sloSpecs != "" {
 		objectives, err := slo.ParseList(*sloSpecs)
@@ -254,7 +276,7 @@ func main() {
 			fatal("admin listen", err)
 		}
 		publishExpvar(tel)
-		asrv := &http.Server{Handler: newAdminMux(n, tel, serving, *healthMin, rt, slowRec, sloEng)}
+		asrv := &http.Server{Handler: newAdminMux(n, tel, serving, *healthMin, rt, slowRec, sloEng, hist)}
 		go asrv.Serve(aln)
 		go func() {
 			<-ctx.Done()
@@ -280,6 +302,9 @@ func main() {
 	}
 	if sloEng != nil {
 		go sloLoop(ctx, sloEng, tel, *sloEvery)
+	}
+	if hist != nil {
+		go n.RunHistorySampler(ctx)
 	}
 
 	serving.Store(true)

@@ -140,7 +140,7 @@ func TestAdminMetricsEndpoint(t *testing.T) {
 	n, tel := testNode(t)
 	serving := &atomic.Bool{}
 	serving.Store(true)
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil, nil))
 	defer srv.Close()
 
 	scrape := func() (string, string) {
@@ -255,7 +255,7 @@ func TestAdminHealthz(t *testing.T) {
 			}
 			serving := &atomic.Bool{}
 			serving.Store(tc.serving)
-			srv := httptest.NewServer(newAdminMux(n, tel, serving, tc.minLiveness, nil, nil, nil))
+			srv := httptest.NewServer(newAdminMux(n, tel, serving, tc.minLiveness, nil, nil, nil, nil))
 			defer srv.Close()
 
 			resp, err := http.Get(srv.URL + "/healthz")
@@ -278,7 +278,7 @@ func TestAdminHealthz(t *testing.T) {
 func TestAdminHealthzTransition(t *testing.T) {
 	n, tel := testNode(t)
 	serving := &atomic.Bool{}
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil, nil))
 	defer srv.Close()
 
 	get := func() int {
@@ -312,7 +312,7 @@ func TestAdminDebugHealth(t *testing.T) {
 	n.HealthTracker().RoundDone()
 	serving := &atomic.Bool{}
 	serving.Store(true)
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/health")
@@ -355,7 +355,7 @@ func TestAdminExpvarAndPprof(t *testing.T) {
 	publishExpvar(tel)
 	serving := &atomic.Bool{}
 	serving.Store(true)
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/vars")
@@ -414,7 +414,7 @@ func TestAdminBreakersEndpoint(t *testing.T) {
 		rt.Call(7, &wire.Message{Kind: wire.KindInfo})
 	}
 
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, rt, nil, nil))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, rt, nil, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/breakers")
@@ -446,7 +446,7 @@ func TestAdminBreakersEndpoint(t *testing.T) {
 	}
 
 	// A mux without a resilient transport reports an empty set, not a 500.
-	bare := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil))
+	bare := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil, nil))
 	defer bare.Close()
 	emptyResp, err := http.Get(bare.URL + "/debug/breakers")
 	if err != nil {
@@ -465,7 +465,7 @@ func TestAdminLatencyEndpoint(t *testing.T) {
 	n, tel := testNode(t)
 	serving := &atomic.Bool{}
 	serving.Store(true)
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil, nil))
 	defer srv.Close()
 
 	// Feed both the client and served sides so the report carries two
@@ -540,7 +540,7 @@ func TestAdminSlowEndpoint(t *testing.T) {
 		Found:   true,
 		Spans:   []trace.Span{{ID: 0xabc, Peer: 3, LatencyNS: 7_500_000}},
 	})
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, rec, nil))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, rec, nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/slow")
@@ -570,7 +570,7 @@ func TestAdminSlowEndpoint(t *testing.T) {
 	}
 
 	// Without a recorder the endpoint reports an empty log, not a panic.
-	bare := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil))
+	bare := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil, nil))
 	defer bare.Close()
 	emptyResp, err := http.Get(bare.URL + "/debug/slow")
 	if err != nil {
@@ -599,7 +599,7 @@ func TestAdminSLOEndpoint(t *testing.T) {
 	}
 	clock := time.Unix(1_700_000_000, 0)
 	eng := slo.NewEngine([]slo.Objective{obj}, func() time.Time { return clock })
-	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, eng))
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, eng, nil))
 	defer srv.Close()
 
 	get := func(path string) string {
@@ -657,10 +657,79 @@ func TestAdminSLOEndpoint(t *testing.T) {
 	}
 
 	// Without an engine the endpoint answers an empty report, not a 500.
-	bare := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil))
+	bare := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil, nil))
 	defer bare.Close()
 	if body := get2(t, bare.URL+"/debug/slo"); !strings.Contains(body, `"objectives":[]`) {
 		t.Fatalf("nil-engine /debug/slo = %q", body)
+	}
+}
+
+// TestAdminHistoryEndpoint records a few samples into a history ring and
+// checks /debug/history serves the raw dump as JSON, the sparkline trend
+// rendering as text, honors ?window= and ?limit=, and degrades to an
+// empty dump (not a 500) without a ring.
+func TestAdminHistoryEndpoint(t *testing.T) {
+	n, tel := testNode(t)
+	serving := &atomic.Bool{}
+	serving.Store(true)
+
+	hist := telemetry.NewHistory(time.Second, time.Minute)
+	clock := time.Unix(1_700_000_000, 0)
+	hist.SetNow(func() time.Time { return clock })
+	for i := 0; i < 4; i++ {
+		tel.ServedRPC("query")
+		tel.ServedRPCDone("query", 2*time.Millisecond, false)
+		hist.Record(tel.MetricsSnapshot())
+		clock = clock.Add(time.Second)
+	}
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil, hist))
+	defer srv.Close()
+
+	var out struct {
+		History telemetry.HistoryDump `json:"history"`
+	}
+	if err := json.Unmarshal([]byte(get2(t, srv.URL+"/debug/history")), &out); err != nil {
+		t.Fatal(err)
+	}
+	d := out.History
+	if d.Schema != telemetry.MetricsSchemaVersion || d.IntervalNS != int64(time.Second) || len(d.Points) != 4 {
+		t.Fatalf("dump head: schema %d interval %d points %d", d.Schema, d.IntervalNS, len(d.Points))
+	}
+	if rate, ok := d.Rate(telemetry.StatServedTotal, 0); !ok || rate != 1 {
+		t.Fatalf("served rate over the dump = %v ok=%v, want 1/s", rate, ok)
+	}
+	if p, _ := d.Newest(); p.Snap.StartEpochNS == 0 {
+		t.Fatal("points must carry the incarnation stamp")
+	}
+
+	if err := json.Unmarshal([]byte(get2(t, srv.URL+"/debug/history?limit=2")), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.History.Points) != 2 {
+		t.Fatalf("?limit=2 returned %d points", len(out.History.Points))
+	}
+
+	text := get2(t, srv.URL+"/debug/history?format=text")
+	for _, want := range []string{"trends", "rpc rate", "served p99", "▁"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text rendering lacks %q:\n%s", want, text)
+		}
+	}
+
+	if resp, err := http.Get(srv.URL + "/debug/history?window=nonsense"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad window accepted: %d", resp.StatusCode)
+	}
+
+	// No ring configured: an empty schema-stamped dump, not an error.
+	bare := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil, nil))
+	defer bare.Close()
+	if err := json.Unmarshal([]byte(get2(t, bare.URL+"/debug/history")), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.History.Schema != telemetry.MetricsSchemaVersion || len(out.History.Points) != 0 {
+		t.Fatalf("nil-ring dump = %+v", out.History)
 	}
 }
 

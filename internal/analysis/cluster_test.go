@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -181,7 +182,8 @@ func TestRenderClusterReport(t *testing.T) {
 	RenderClusterReport(&buf, r)
 	out := buf.String()
 	for _, want := range []string{
-		"2 peers collected", "1 unreachable (9)", "schema v1",
+		"2 peers collected", "1 unreachable (9)",
+		fmt.Sprintf("schema v%d", telemetry.MetricsSchemaVersion),
 		"served 3 (errors 1)",
 		"latency", "served  query", "p99",
 		"slo            query:p9:5ms",

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/slo"
+	"pgrid/internal/telemetry"
+)
+
+// trendDump builds a history dump by replaying per-interval served-query
+// observations through one instrument set, snapshotting after each
+// interval. errsAt marks which intervals observe errors.
+func trendDump(t *testing.T, node int, interval time.Duration, perInterval [][]time.Duration, errsAt map[int]int) telemetry.HistoryDump {
+	t.Helper()
+	tel := telemetry.New(node)
+	d := telemetry.HistoryDump{Schema: telemetry.MetricsSchemaVersion, IntervalNS: int64(interval)}
+	at := int64(1_000_000_000)
+	d.Points = append(d.Points, telemetry.HistoryPoint{AtNS: at, Snap: tel.MetricsSnapshot()})
+	for i, durs := range perInterval {
+		nErr := errsAt[i]
+		for j, dur := range durs {
+			tel.ServedRPC("query")
+			tel.ServedRPCDone("query", dur, j < nErr)
+		}
+		at += int64(interval)
+		d.Points = append(d.Points, telemetry.HistoryPoint{AtNS: at, Snap: tel.MetricsSnapshot()})
+	}
+	return d
+}
+
+func TestAnalyzeTrendsSeriesAndRegression(t *testing.T) {
+	const iv = time.Second
+	// Four intervals: fast, fast, slow, slow — a 10x p99 regression
+	// between window halves, at a steady 2 rpc/s.
+	fast := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	slow := []time.Duration{20 * time.Millisecond, 30 * time.Millisecond}
+	dumps := map[addr.Addr]telemetry.HistoryDump{
+		0: trendDump(t, 0, iv, [][]time.Duration{fast, fast, slow, slow}, nil),
+	}
+	r := AnalyzeTrends(dumps, nil)
+	if r.Peers != 1 || r.IntervalNS != int64(iv) || r.Span != 4*iv || r.Resets != 0 {
+		t.Fatalf("header = %+v", r)
+	}
+	byName := map[string]TrendSeries{}
+	for _, s := range r.Series {
+		byName[s.Name] = s
+	}
+	rate := byName["rpc rate"]
+	if len(rate.Points) != 4 {
+		t.Fatalf("rate series = %v", rate.Points)
+	}
+	for i, v := range rate.Points {
+		if v != 2 {
+			t.Errorf("rate[%d] = %v, want 2/s", i, v)
+		}
+	}
+	p99 := byName["served p99"]
+	if len(p99.Points) != 4 || p99.Points[0] <= 0 {
+		t.Fatalf("p99 series = %v", p99.Points)
+	}
+	if p99.Points[3] < 4*p99.Points[0] {
+		t.Fatalf("p99 series did not register the slowdown: %v", p99.Points)
+	}
+	var regression bool
+	for _, f := range r.Findings {
+		if f.Kind == "latency-regression" && f.Peer == addr.Nil {
+			regression = true
+		}
+	}
+	if !regression {
+		t.Fatalf("no latency-regression finding: %+v", r.Findings)
+	}
+}
+
+func TestAnalyzeTrendsErrorSpikeAndSLO(t *testing.T) {
+	const iv = time.Second
+	ok := []time.Duration{time.Millisecond, time.Millisecond}
+	// The last interval turns every reply into a 50ms error.
+	bad := []time.Duration{50 * time.Millisecond, 51 * time.Millisecond}
+	dumps := map[addr.Addr]telemetry.HistoryDump{
+		3: trendDump(t, 3, iv, [][]time.Duration{ok, ok, ok, bad}, map[int]int{3: 2}),
+	}
+	o, err := slo.Parse("query:p75:5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := AnalyzeTrends(dumps, []slo.Objective{o})
+	var spike bool
+	for _, f := range r.Findings {
+		if f.Kind == "error-spike" {
+			spike = true
+		}
+	}
+	if !spike {
+		t.Fatalf("no error-spike finding: %+v", r.Findings)
+	}
+	// 2 of 8 over threshold = bad fraction 0.25, budget 0.25 → burn 1.0:
+	// breached on the real window.
+	if len(r.SLO) != 1 || !r.SLO[0].Breached {
+		t.Fatalf("windowed SLO = %+v, want breached", r.SLO)
+	}
+	wb := r.SLO[0].Windows[0]
+	if wb.Total != 8 || wb.Total-wb.Good != 2 {
+		t.Fatalf("windowed burn counts = %+v, want 2 of 8 slow", wb)
+	}
+}
+
+func TestAnalyzeTrendsResetAndMultiPeerAlignment(t *testing.T) {
+	const iv = time.Second
+	steady := []time.Duration{time.Millisecond}
+	long := trendDump(t, 0, iv, [][]time.Duration{steady, steady, steady, steady}, nil)
+	short := trendDump(t, 1, iv, [][]time.Duration{steady, steady}, nil)
+	// Peer 2 restarts between its two points: new epoch, counters rewound.
+	pre := trendDump(t, 2, iv, [][]time.Duration{{time.Millisecond, time.Millisecond, time.Millisecond}}, nil)
+	post := trendDump(t, 22, iv, [][]time.Duration{steady}, nil)
+	restarted := telemetry.HistoryDump{Schema: telemetry.MetricsSchemaVersion, IntervalNS: int64(iv),
+		Points: []telemetry.HistoryPoint{
+			pre.Points[len(pre.Points)-1],
+			{AtNS: pre.Points[len(pre.Points)-1].AtNS + int64(iv), Snap: post.Points[len(post.Points)-1].Snap},
+		}}
+
+	r := AnalyzeTrends(map[addr.Addr]telemetry.HistoryDump{
+		0: long, 1: short, 2: restarted,
+	}, nil)
+	if r.Resets != 1 {
+		t.Fatalf("resets = %d, want 1 from the restarted peer", r.Resets)
+	}
+	var resetFinding bool
+	for _, f := range r.Findings {
+		if f.Kind == "counter-reset" && f.Peer == 2 {
+			resetFinding = true
+		}
+	}
+	if !resetFinding {
+		t.Fatalf("no counter-reset finding for peer 2: %+v", r.Findings)
+	}
+	var rate TrendSeries
+	for _, s := range r.Series {
+		if s.Name == "rpc rate" {
+			rate = s
+		}
+	}
+	// Alignment on the newest interval: 4 columns from the longest ring;
+	// the short ring contributes to the last 2, the restarted peer to the
+	// last 1 — and its rewound counter adds its post-restart absolute
+	// value, never a negative rate.
+	if len(rate.Points) != 4 {
+		t.Fatalf("aligned rate = %v, want 4 columns", rate.Points)
+	}
+	for i, v := range rate.Points {
+		if v < 0 {
+			t.Fatalf("rate[%d] = %v: a restart must never read negative", i, v)
+		}
+	}
+	if rate.Points[0] != 1 || rate.Points[1] != 1 {
+		t.Errorf("oldest columns = %v, want the long ring alone (1/s)", rate.Points[:2])
+	}
+	if rate.Points[3] <= rate.Points[0] {
+		t.Errorf("newest column %v should stack all three peers (got series %v)", rate.Points[3], rate.Points)
+	}
+}
+
+func TestRenderTrendReportAndSparkline(t *testing.T) {
+	if got := Sparkline([]float64{0, 1, 2, 4}); got != "▁▂▄█" {
+		t.Fatalf("sparkline = %q", got)
+	}
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	if got := Sparkline([]float64{0, 0}); got != "▁▁" {
+		t.Fatalf("flat sparkline = %q", got)
+	}
+
+	const iv = time.Second
+	fast := []time.Duration{time.Millisecond}
+	slow := []time.Duration{40 * time.Millisecond}
+	dumps := map[addr.Addr]telemetry.HistoryDump{
+		0: trendDump(t, 0, iv, [][]time.Duration{fast, fast, slow, slow}, nil),
+	}
+	o, _ := slo.Parse("query:p99:5ms")
+	r := AnalyzeTrends(dumps, []slo.Objective{o})
+	var buf bytes.Buffer
+	RenderTrendReport(&buf, r)
+	out := buf.String()
+	for _, want := range []string{"trends", "1 peers", "rpc rate", "served p99", "drops",
+		"latency-regression", "query:p99:5ms", "▁"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+}

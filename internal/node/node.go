@@ -45,6 +45,8 @@ type Node struct {
 	rec        *trace.Recorder
 	sampleProb float64
 
+	history *telemetry.History
+
 	htr *health.Tracker
 
 	mu  sync.Mutex
@@ -101,17 +103,37 @@ func (n *Node) EnableTracing(rec *trace.Recorder, sampleProb float64) {
 // Recorder returns the attached flight recorder (possibly nil).
 func (n *Node) Recorder() *trace.Recorder { return n.rec }
 
+// EnableHistory attaches a telemetry history ring (nil disables); a
+// sampler (RunHistorySampler) fills it and KindHistory serves it. Call
+// before the node starts serving; the field is not synchronized.
+func (n *Node) EnableHistory(h *telemetry.History) { n.history = h }
+
+// History returns the attached history ring (possibly nil).
+func (n *Node) History() *telemetry.History { return n.history }
+
 // Handle dispatches one incoming request and returns the response message.
 // Transports call this on the receiving side. Handling is timed into the
 // per-kind served-latency histograms; error replies count as served
-// errors.
+// errors. A sampled traced query stamps its trace ID into the latency
+// histogram's tail-bucket exemplar slot, so a slow outlier in
+// /debug/history points straight at a retrievable route in the flight
+// recorder.
 func (n *Node) Handle(m *wire.Message) *wire.Message {
 	kind := m.Kind.String()
 	n.tel.ServedRPC(kind)
 	start := time.Now()
 	resp := n.handle(m)
-	n.tel.ServedRPCDone(kind, time.Since(start), resp.Kind == wire.KindError)
+	n.tel.ServedRPCTraced(kind, time.Since(start), resp.Kind == wire.KindError, traceIDOf(m))
 	return resp
+}
+
+// traceIDOf extracts the sampled trace ID riding on a request, 0 when
+// the message carries none.
+func traceIDOf(m *wire.Message) uint64 {
+	if m.Query != nil && m.Query.Ctx != nil && m.Query.Ctx.Sampled {
+		return m.Query.Ctx.TraceID
+	}
+	return 0
 }
 
 // handle is the untimed dispatch switch behind Handle.
@@ -147,6 +169,8 @@ func (n *Node) handle(m *wire.Message) *wire.Message {
 			TracesResp: &wire.TracesResp{Total: n.rec.Total(), Traces: n.rec.Snapshot(limit)}}
 	case wire.KindHealth:
 		return &wire.Message{Kind: wire.KindHealthResp, From: n.Addr(), HealthResp: n.handleHealth(m.Health)}
+	case wire.KindHistory:
+		return &wire.Message{Kind: wire.KindHistoryResp, From: n.Addr(), HistoryResp: n.handleHistory(m.History)}
 	case wire.KindBatch:
 		return n.handleBatch(m)
 	case wire.KindHello:

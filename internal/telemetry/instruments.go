@@ -54,11 +54,23 @@ const MaxLevels = 32
 // emitting is disabled (and free apart from one atomic load) while no sink
 // is attached. Callers building expensive attribute maps should guard with
 // EventsOn.
+// StatStartEpoch and StatUptime are the incarnation gauges every node
+// publishes: the process start time (unix nanoseconds) and the
+// monotonic time since it. A changed start epoch is the unambiguous
+// counter-reset signal — unlike the "current < previous" heuristic it
+// also catches restarts whose counters overshoot the old values.
+const (
+	StatStartEpoch  = "pgrid_node_start_epoch_ns"
+	StatUptime      = "pgrid_node_uptime_ns"
+	StatServedTotal = "pgrid_rpc_served_total"
+)
+
 type Instruments struct {
 	reg   *Registry
 	node  int
 	clock func() int64
 	sink  atomic.Pointer[Sink]
+	start time.Time
 
 	exchanges     *Counter
 	exchangeCases [ExCaseReplica + 1]*Counter
@@ -117,6 +129,7 @@ type Instruments struct {
 	labeledMu sync.RWMutex
 	labeled   map[string]*Counter
 	labeledQ  map[string]*QHist
+	exTailQ   float64 // >0: capture exemplars on latency QHists (guarded by labeledMu)
 }
 
 type levelPair struct {
@@ -131,10 +144,15 @@ func New(node int) *Instruments {
 		reg:      NewRegistry(),
 		node:     node,
 		clock:    func() int64 { return time.Now().UnixNano() },
+		start:    time.Now(),
 		labeled:  make(map[string]*Counter),
 		labeledQ: make(map[string]*QHist),
 	}
 	r := t.reg
+	r.GaugeFunc(StatStartEpoch, "process start time in unix nanoseconds (changes exactly when counters reset)",
+		func() int64 { return t.start.UnixNano() })
+	r.GaugeFunc(StatUptime, "monotonic nanoseconds since process start",
+		func() int64 { return int64(time.Since(t.start)) })
 	t.exchanges = r.Counter("pgrid_exchange_total", "exchanges executed, including recursive ones (the paper's e)")
 	for c := range t.exchangeCases {
 		t.exchangeCases[c] = r.Counter(Label("pgrid_exchange_case_total", "case", ExchangeCaseName(c)),
@@ -163,7 +181,7 @@ func New(node int) *Instruments {
 	t.resBreakersHalfOpen = r.Gauge("pgrid_resilience_breakers_half_open", "peer circuit breakers currently half-open")
 	t.resBudgetTokens = r.Gauge("pgrid_resilience_retry_budget_tokens_milli", "retry budget balance in millitokens")
 	t.rpcLatency = r.Histogram("pgrid_rpc_latency_ns", "outbound RPC round-trip latency in nanoseconds", LatencyBounds)
-	t.served = r.Counter("pgrid_rpc_served_total", "inbound RPCs handled")
+	t.served = r.Counter(StatServedTotal, "inbound RPCs handled")
 	t.healthPathLen = r.Gauge("pgrid_health_path_len", "length of this peer's responsibility path")
 	t.healthEntries = r.Gauge("pgrid_health_entries", "index entries in this peer's store")
 	t.healthBuddies = r.Gauge("pgrid_health_buddies", "known replicas of this peer's path")
@@ -209,6 +227,42 @@ func (t *Instruments) SetClock(clock func() int64) {
 		return
 	}
 	t.clock = clock
+}
+
+// SetStart overrides the recorded process start time (tests that need a
+// deterministic incarnation epoch). Call before any snapshot is taken;
+// the field is not synchronized.
+func (t *Instruments) SetStart(at time.Time) {
+	if t == nil {
+		return
+	}
+	t.start = at
+}
+
+// Start returns the recorded process start time (zero on nil).
+func (t *Instruments) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// EnableExemplars switches on tail-bucket exemplar capture for every
+// per-kind latency histogram, existing and future: buckets at/above the
+// tailQ quantile carry the most recent trace id observed there, linking
+// a bad p999 to a concrete trace in the flight recorder. Nil-safe.
+func (t *Instruments) EnableExemplars(tailQ float64) {
+	if t == nil {
+		return
+	}
+	t.labeledMu.Lock()
+	defer t.labeledMu.Unlock()
+	t.exTailQ = tailQ
+	if tailQ > 0 {
+		for _, q := range t.labeledQ {
+			q.EnableExemplars(tailQ)
+		}
+	}
 }
 
 // SetSink attaches (or, with nil, detaches) the event sink. Attaching a
@@ -407,10 +461,17 @@ func (t *Instruments) ServedRPC(kind string) {
 // ServedRPCDone records the handling duration and outcome of one inbound
 // RPC (paired with an earlier ServedRPC).
 func (t *Instruments) ServedRPCDone(kind string, d time.Duration, isErr bool) {
+	t.ServedRPCTraced(kind, d, isErr, 0)
+}
+
+// ServedRPCTraced is ServedRPCDone for a request carrying a trace
+// context: when exemplar capture is enabled the landing latency bucket
+// remembers traceID, so tail quantiles point at retrievable traces.
+func (t *Instruments) ServedRPCTraced(kind string, d time.Duration, isErr bool, traceID uint64) {
 	if t == nil {
 		return
 	}
-	t.latencyQ("pgrid_rpc_served_latency_ns", kind, "inbound RPC handling latency by message kind, in nanoseconds").Observe(int64(d))
+	t.latencyQ("pgrid_rpc_served_latency_ns", kind, "inbound RPC handling latency by message kind, in nanoseconds").ObserveTraced(int64(d), traceID)
 	if isErr {
 		t.servedErrors.Inc()
 		t.labeledCounter("pgrid_rpc_served_kind_errors_total", "kind", kind, "inbound RPCs answered with an error reply, by message kind").Inc()
@@ -671,6 +732,9 @@ func (t *Instruments) latencyQ(name, kind, help string) *QHist {
 	defer t.labeledMu.Unlock()
 	if q = t.labeledQ[full]; q == nil {
 		q = t.reg.Quantile(full, help)
+		if t.exTailQ > 0 {
+			q.EnableExemplars(t.exTailQ)
+		}
 		t.labeledQ[full] = q
 	}
 	return q

@@ -24,6 +24,18 @@ type QHist struct {
 	buckets [qBuckets]atomic.Int64
 	count   atomic.Int64
 	sum     atomic.Int64
+	ex      atomic.Pointer[qExemplars]
+}
+
+// qExemplars holds the optional per-bucket exemplar slots: the most
+// recent trace id observed in each bucket. The block is allocated only
+// when exemplars are enabled, so an untraced QHist pays one nil pointer
+// load per ObserveTraced and nothing per Observe. tailQ is the quantile
+// gate applied at snapshot time — only buckets at/above that rank emit
+// their exemplar, keeping snapshots focused on the latency tail.
+type qExemplars struct {
+	tailQ float64
+	ids   [qBuckets]atomic.Uint64
 }
 
 const (
@@ -72,6 +84,50 @@ func (q *QHist) Observe(v int64) {
 	q.count.Add(1)
 	if v > 0 {
 		q.sum.Add(v)
+	}
+}
+
+// EnableExemplars switches on tail-bucket exemplar capture: ObserveTraced
+// calls will stamp their trace id into the bucket they land in, and
+// Snapshot emits the ids of buckets at/above the tailQ quantile (clamped
+// to [0,1]; e.g. 0.99 keeps exemplars for the slowest ~1% of buckets).
+// Idempotent; the first caller's tailQ wins. No-op on a nil receiver.
+func (q *QHist) EnableExemplars(tailQ float64) {
+	if q == nil {
+		return
+	}
+	if tailQ < 0 {
+		tailQ = 0
+	}
+	if tailQ > 1 {
+		tailQ = 1
+	}
+	q.ex.CompareAndSwap(nil, &qExemplars{tailQ: tailQ})
+}
+
+// ExemplarsEnabled reports whether exemplar capture is on.
+func (q *QHist) ExemplarsEnabled() bool {
+	return q != nil && q.ex.Load() != nil
+}
+
+// ObserveTraced records one value and, when exemplar capture is enabled
+// and traceID is non-zero, stamps traceID as the landing bucket's most
+// recent exemplar (one extra atomic store — still lock-free). With
+// exemplars disabled or traceID zero it is exactly Observe.
+func (q *QHist) ObserveTraced(v int64, traceID uint64) {
+	if q == nil {
+		return
+	}
+	i := qIndex(v)
+	q.buckets[i].Add(1)
+	q.count.Add(1)
+	if v > 0 {
+		q.sum.Add(v)
+	}
+	if traceID != 0 {
+		if ex := q.ex.Load(); ex != nil {
+			ex.ids[i].Store(traceID)
+		}
 	}
 }
 

@@ -1,12 +1,25 @@
 package telemetry
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // MetricsSchemaVersion versions the mergeable metrics snapshot carried by
 // wire.KindMetricsResp: the flattened counter/gauge Stats plus the sparse
 // QHistSnapshot encoding below. Bump it when the snapshot layout or the
 // histogram bucket geometry changes incompatibly.
-const MetricsSchemaVersion = 1
+//
+// v1: Stats + Hists (Idx/N sparse buckets).
+// v2: adds StartEpochNS/UptimeNS incarnation stamps on the snapshot and
+// tail-bucket exemplars (ExIdx/ExTrace) on QHistSnapshot. The binary
+// codec keys the extra fields off the Schema value it decodes, so v1
+// bodies from pre-history peers still decode against a v2 reader.
+const MetricsSchemaVersion = 2
+
+// MetricsSchemaV1 is the pre-history snapshot layout, kept as a named
+// constant because the codecs and compat tests must keep decoding it.
+const MetricsSchemaV1 = 1
 
 // QHistSnapshot is a point-in-time, mergeable copy of one QHist in a
 // compact sparse encoding: only occupied buckets are carried, as parallel
@@ -26,12 +39,22 @@ type QHistSnapshot struct {
 	Sum     int64
 	Idx     []uint16
 	N       []int64
+	// ExIdx/ExTrace are parallel tail-bucket exemplars (schema v2): the
+	// most recent trace id observed in bucket ExIdx[i], emitted only for
+	// occupied buckets at/above the histogram's exemplar quantile. They
+	// are informational pointers into the flight recorder, not counts,
+	// so merging keeps either side's id and subtraction keeps the
+	// current side's.
+	ExIdx   []uint16
+	ExTrace []uint64
 }
 
 // Snapshot copies the histogram's occupied buckets into the sparse
 // mergeable form. Count is recomputed from the bucket sweep so Count ==
-// ΣN holds even while writers race. Nil-safe: a nil QHist yields an
-// empty (but geometry-stamped) snapshot.
+// ΣN holds even while writers race. When exemplars are enabled, buckets
+// at/above the configured tail quantile carry their most recent trace
+// id. Nil-safe: a nil QHist yields an empty (but geometry-stamped)
+// snapshot.
 func (q *QHist) Snapshot() QHistSnapshot {
 	s := QHistSnapshot{SubBits: qSubBits}
 	if q == nil {
@@ -47,7 +70,49 @@ func (q *QHist) Snapshot() QHistSnapshot {
 		}
 	}
 	s.Sum = q.sum.Load()
+	if ex := q.ex.Load(); ex != nil && s.Count > 0 {
+		// Rank of the first "tail" observation: buckets whose cumulative
+		// count reaches it are at/above the tail quantile.
+		rank := int64(ex.tailQ * float64(s.Count))
+		if rank < 1 {
+			rank = 1
+		}
+		cum := int64(0)
+		for i, idx := range s.Idx {
+			cum += s.N[i]
+			if cum < rank {
+				continue
+			}
+			if id := ex.ids[idx].Load(); id != 0 {
+				s.ExIdx = append(s.ExIdx, idx)
+				s.ExTrace = append(s.ExTrace, id)
+			}
+		}
+	}
 	return s
+}
+
+// Exemplar returns the trace id recorded for bucket idx (0 if none).
+func (s QHistSnapshot) Exemplar(idx uint16) uint64 {
+	for i, e := range s.ExIdx {
+		if e == idx {
+			return s.ExTrace[i]
+		}
+	}
+	return 0
+}
+
+// TailExemplar returns the exemplar of the highest bucket carrying one —
+// the trace behind the worst latency the histogram has seen recently —
+// along with that bucket's upper value bound. ok is false when the
+// snapshot carries no exemplars.
+func (s QHistSnapshot) TailExemplar() (traceID uint64, atOrBelow int64, ok bool) {
+	if len(s.ExIdx) == 0 {
+		return 0, 0, false
+	}
+	last := len(s.ExIdx) - 1
+	_, hi := qBounds(int(s.ExIdx[last]))
+	return s.ExTrace[last], hi, true
 }
 
 // Empty reports whether the snapshot holds no observations.
@@ -79,6 +144,20 @@ func (s QHistSnapshot) Validate() error {
 	}
 	if total != s.Count {
 		return fmt.Errorf("telemetry: snapshot %q: count %d != bucket sum %d", s.Name, s.Count, total)
+	}
+	if len(s.ExIdx) != len(s.ExTrace) {
+		return fmt.Errorf("telemetry: snapshot %q: %d exemplar indexes vs %d trace ids", s.Name, len(s.ExIdx), len(s.ExTrace))
+	}
+	for i, idx := range s.ExIdx {
+		if int(idx) >= qBuckets {
+			return fmt.Errorf("telemetry: snapshot %q: exemplar bucket index %d out of range", s.Name, idx)
+		}
+		if i > 0 && idx <= s.ExIdx[i-1] {
+			return fmt.Errorf("telemetry: snapshot %q: exemplar indexes not ascending at %d", s.Name, i)
+		}
+		if s.ExTrace[i] == 0 {
+			return fmt.Errorf("telemetry: snapshot %q: zero trace id in exemplar bucket %d", s.Name, idx)
+		}
 	}
 	return nil
 }
@@ -127,7 +206,88 @@ func MergeQHist(a, b QHistSnapshot) (QHistSnapshot, error) {
 			j++
 		}
 	}
+	out.ExIdx, out.ExTrace = mergeExemplars(a, b)
 	return out, nil
+}
+
+// mergeExemplars unions two snapshots' exemplar lists. On a shared
+// bucket b's id wins: crawls merge peers into an accumulator left to
+// right, so the later (more recently fetched) side is kept.
+func mergeExemplars(a, b QHistSnapshot) (idx []uint16, ids []uint64) {
+	i, j := 0, 0
+	for i < len(a.ExIdx) || j < len(b.ExIdx) {
+		switch {
+		case j >= len(b.ExIdx) || (i < len(a.ExIdx) && a.ExIdx[i] < b.ExIdx[j]):
+			idx = append(idx, a.ExIdx[i])
+			ids = append(ids, a.ExTrace[i])
+			i++
+		case i >= len(a.ExIdx) || b.ExIdx[j] < a.ExIdx[i]:
+			idx = append(idx, b.ExIdx[j])
+			ids = append(ids, b.ExTrace[j])
+			j++
+		default:
+			idx = append(idx, b.ExIdx[j])
+			ids = append(ids, b.ExTrace[j])
+			i++
+			j++
+		}
+	}
+	return idx, ids
+}
+
+// SubtractQHist returns the windowed delta cur − base: the snapshot a
+// histogram would have produced had it observed only the interval
+// between base and cur. Exemplars come from cur (they are "most recent"
+// pointers, still valid for the window). reset reports that cur does
+// not extend base — some bucket shrank, which happens exactly when the
+// process restarted between the two samples — in which case cur itself
+// is returned and callers should treat the window as starting at the
+// restart rather than synthesizing a negative rate. Geometry mismatch
+// is an error as in MergeQHist.
+func SubtractQHist(cur, base QHistSnapshot) (delta QHistSnapshot, reset bool, err error) {
+	if base.Empty() && base.SubBits == 0 {
+		base.SubBits = cur.SubBits
+	}
+	if cur.Empty() && cur.SubBits == 0 {
+		cur.SubBits = base.SubBits
+	}
+	if cur.SubBits != base.SubBits {
+		return QHistSnapshot{}, false, fmt.Errorf("telemetry: subtract %q: bucket geometry mismatch (2^%d vs 2^%d subbuckets)", cur.Name, cur.SubBits, base.SubBits)
+	}
+	out := QHistSnapshot{
+		Name:    cur.Name,
+		SubBits: cur.SubBits,
+		ExIdx:   cur.ExIdx,
+		ExTrace: cur.ExTrace,
+	}
+	j := 0
+	for i, idx := range cur.Idx {
+		n := cur.N[i]
+		for j < len(base.Idx) && base.Idx[j] < idx {
+			// base observed a bucket cur no longer has: a reset.
+			return cur, true, nil
+		}
+		if j < len(base.Idx) && base.Idx[j] == idx {
+			n -= base.N[j]
+			j++
+		}
+		if n < 0 {
+			return cur, true, nil
+		}
+		if n > 0 {
+			out.Idx = append(out.Idx, idx)
+			out.N = append(out.N, n)
+			out.Count += n
+		}
+	}
+	if j < len(base.Idx) {
+		return cur, true, nil
+	}
+	out.Sum = cur.Sum - base.Sum
+	if out.Sum < 0 {
+		out.Sum = 0
+	}
+	return out, false, nil
 }
 
 // Quantiles estimates the given quantiles from the snapshot, with the
@@ -192,8 +352,25 @@ func (s QHistSnapshot) CountAtOrBelow(v int64) int64 {
 // every quantile histogram as a sparse QHistSnapshot.
 type MetricsSnapshot struct {
 	Schema int
-	Stats  []Stat
-	Hists  []QHistSnapshot
+	// StartEpochNS identifies the process incarnation (node start time,
+	// unix nanoseconds) and UptimeNS the monotonic time since then
+	// (schema v2; both zero on v1 snapshots and bare-registry captures).
+	// Two snapshots with different epochs must never be delta'd — the
+	// counters restarted from zero in between.
+	StartEpochNS int64
+	UptimeNS     int64
+	Stats        []Stat
+	Hists        []QHistSnapshot
+}
+
+// SameEpoch reports whether two snapshots come from the same process
+// incarnation, i.e. whether computing b−a deltas is meaningful. Unknown
+// epochs (0, from v1 peers) are conservatively treated as same.
+func (m MetricsSnapshot) SameEpoch(b MetricsSnapshot) bool {
+	if m.StartEpochNS == 0 || b.StartEpochNS == 0 {
+		return true
+	}
+	return m.StartEpochNS == b.StartEpochNS
 }
 
 // Hist returns the named histogram snapshot and whether it was present.
@@ -255,11 +432,16 @@ func (r *Registry) MetricsSnapshot() MetricsSnapshot {
 	return m
 }
 
-// MetricsSnapshot captures the instruments' registry for federation.
+// MetricsSnapshot captures the instruments' registry for federation,
+// stamped with the process incarnation (start epoch + monotonic uptime)
+// so downstream delta math can tell restarts from negative rates.
 // Nil-safe.
 func (t *Instruments) MetricsSnapshot() MetricsSnapshot {
 	if t == nil {
 		return MetricsSnapshot{Schema: MetricsSchemaVersion}
 	}
-	return t.reg.MetricsSnapshot()
+	m := t.reg.MetricsSnapshot()
+	m.StartEpochNS = t.start.UnixNano()
+	m.UptimeNS = int64(time.Since(t.start))
+	return m
 }

@@ -488,31 +488,79 @@ func appendMessageBody(b []byte, m *Message) ([]byte, error) {
 	case KindMetricsResp:
 		b = appendBool(b, m.MetricsResp != nil)
 		if r := m.MetricsResp; r != nil {
-			s := r.Snap
-			b = appendVarint(b, int64(s.Schema))
-			b = appendUvarint(b, uint64(len(s.Stats)))
-			for _, st := range s.Stats {
-				b = appendString(b, st.Name)
-				b = appendVarint(b, st.Value)
+			var err error
+			if b, err = appendMetricsSnapshot(b, r.Snap); err != nil {
+				return b, err
 			}
-			b = appendUvarint(b, uint64(len(s.Hists)))
-			for _, h := range s.Hists {
-				if len(h.Idx) != len(h.N) {
-					return b, fmt.Errorf("wire: histogram snapshot %q: %d indexes vs %d counts", h.Name, len(h.Idx), len(h.N))
-				}
-				b = appendString(b, h.Name)
-				b = append(b, h.SubBits)
-				b = appendVarint(b, h.Count)
-				b = appendVarint(b, h.Sum)
-				b = appendUvarint(b, uint64(len(h.Idx)))
-				for i := range h.Idx {
-					b = appendUvarint(b, uint64(h.Idx[i]))
-					b = appendVarint(b, h.N[i])
+		}
+	case KindHistory:
+		b = appendBool(b, m.History != nil)
+		if h := m.History; h != nil {
+			b = appendVarint(b, h.WindowNS)
+			b = appendVarint(b, h.MaxPoints)
+		}
+	case KindHistoryResp:
+		b = appendBool(b, m.HistoryResp != nil)
+		if r := m.HistoryResp; r != nil {
+			dump := r.Dump
+			b = appendVarint(b, int64(dump.Schema))
+			b = appendVarint(b, dump.IntervalNS)
+			b = appendUvarint(b, uint64(len(dump.Points)))
+			for _, p := range dump.Points {
+				b = appendVarint(b, p.AtNS)
+				var err error
+				if b, err = appendMetricsSnapshot(b, p.Snap); err != nil {
+					return b, err
 				}
 			}
 		}
 	default:
 		return b, fmt.Errorf("%w: %v", ErrUnknownKind, m.Kind)
+	}
+	return b, nil
+}
+
+// appendMetricsSnapshot encodes one mergeable metrics snapshot. The
+// layout is keyed off s.Schema — the first field — so it is
+// self-describing: v2 snapshots carry incarnation stamps and per-hist
+// exemplar lists, v1 snapshots (including ones relayed from pre-history
+// peers) re-encode byte-identically to the v1 layout and keep decoding
+// everywhere.
+func appendMetricsSnapshot(b []byte, s telemetry.MetricsSnapshot) ([]byte, error) {
+	b = appendVarint(b, int64(s.Schema))
+	if s.Schema >= 2 {
+		b = appendVarint(b, s.StartEpochNS)
+		b = appendVarint(b, s.UptimeNS)
+	}
+	b = appendUvarint(b, uint64(len(s.Stats)))
+	for _, st := range s.Stats {
+		b = appendString(b, st.Name)
+		b = appendVarint(b, st.Value)
+	}
+	b = appendUvarint(b, uint64(len(s.Hists)))
+	for _, h := range s.Hists {
+		if len(h.Idx) != len(h.N) {
+			return b, fmt.Errorf("wire: histogram snapshot %q: %d indexes vs %d counts", h.Name, len(h.Idx), len(h.N))
+		}
+		b = appendString(b, h.Name)
+		b = append(b, h.SubBits)
+		b = appendVarint(b, h.Count)
+		b = appendVarint(b, h.Sum)
+		b = appendUvarint(b, uint64(len(h.Idx)))
+		for i := range h.Idx {
+			b = appendUvarint(b, uint64(h.Idx[i]))
+			b = appendVarint(b, h.N[i])
+		}
+		if s.Schema >= 2 {
+			if len(h.ExIdx) != len(h.ExTrace) {
+				return b, fmt.Errorf("wire: histogram snapshot %q: %d exemplar indexes vs %d trace ids", h.Name, len(h.ExIdx), len(h.ExTrace))
+			}
+			b = appendUvarint(b, uint64(len(h.ExIdx)))
+			for i := range h.ExIdx {
+				b = appendUvarint(b, uint64(h.ExIdx[i]))
+				b = appendU64(b, h.ExTrace[i])
+			}
+		}
 	}
 	return b, nil
 }
@@ -755,6 +803,63 @@ func (d *bdec) spans() []trace.Span {
 	return out
 }
 
+// metricsSnapshot decodes one mergeable metrics snapshot, the inverse of
+// appendMetricsSnapshot. The decoded Schema field selects the layout:
+// incarnation stamps and exemplar lists exist only at schema ≥ 2, so v1
+// bodies from pre-history peers parse exactly as before.
+func (d *bdec) metricsSnapshot() telemetry.MetricsSnapshot {
+	var s telemetry.MetricsSnapshot
+	s.Schema = d.int()
+	if s.Schema >= 2 {
+		s.StartEpochNS = d.varint()
+		s.UptimeNS = d.varint()
+	}
+	if n := d.uvarint(); d.need(n, 2) && n > 0 {
+		s.Stats = make([]telemetry.Stat, n)
+		for i := range s.Stats {
+			s.Stats[i] = telemetry.Stat{Name: d.string(), Value: d.varint()}
+		}
+	}
+	// A histogram costs at least 5 bytes: name length, subbits, count,
+	// sum, pair count. Each (idx, n) pair at least 2; each exemplar
+	// (idx, trace id) pair at least 9.
+	if n := d.uvarint(); d.need(n, 5) && n > 0 {
+		s.Hists = make([]telemetry.QHistSnapshot, n)
+		for i := range s.Hists {
+			h := telemetry.QHistSnapshot{Name: d.string(), SubBits: d.byte(),
+				Count: d.varint(), Sum: d.varint()}
+			if pairs := d.uvarint(); d.need(pairs, 2) && pairs > 0 {
+				h.Idx = make([]uint16, pairs)
+				h.N = make([]int64, pairs)
+				for j := range h.Idx {
+					idx := d.uvarint()
+					if d.err == nil && idx > 0xffff {
+						d.fail("histogram bucket index out of range")
+					}
+					h.Idx[j] = uint16(idx)
+					h.N[j] = d.varint()
+				}
+			}
+			if s.Schema >= 2 {
+				if ex := d.uvarint(); d.need(ex, 9) && ex > 0 {
+					h.ExIdx = make([]uint16, ex)
+					h.ExTrace = make([]uint64, ex)
+					for j := range h.ExIdx {
+						idx := d.uvarint()
+						if d.err == nil && idx > 0xffff {
+							d.fail("exemplar bucket index out of range")
+						}
+						h.ExIdx[j] = uint16(idx)
+						h.ExTrace[j] = d.u64()
+					}
+				}
+			}
+			s.Hists[i] = h
+		}
+	}
+	return s
+}
+
 // decodeMessageBody decodes one binary payload. Strict: the payload must
 // be consumed exactly, unknown kinds and malformed fields are ErrCorrupt.
 func decodeMessageBody(kind Kind, body []byte) (*Message, error) {
@@ -954,37 +1059,26 @@ func decodeInto(d *bdec, kind Kind, nested bool) (*Message, error) {
 		}
 	case KindMetricsResp:
 		if d.bool() {
-			r := &MetricsResp{}
-			r.Snap.Schema = d.int()
-			if n := d.uvarint(); d.need(n, 2) && n > 0 {
-				r.Snap.Stats = make([]telemetry.Stat, n)
-				for i := range r.Snap.Stats {
-					r.Snap.Stats[i] = telemetry.Stat{Name: d.string(), Value: d.varint()}
+			m.MetricsResp = &MetricsResp{Snap: d.metricsSnapshot()}
+		}
+	case KindHistory:
+		if d.bool() {
+			m.History = &HistoryReq{WindowNS: d.varint(), MaxPoints: d.varint()}
+		}
+	case KindHistoryResp:
+		if d.bool() {
+			r := &HistoryResp{}
+			r.Dump.Schema = d.int()
+			r.Dump.IntervalNS = d.varint()
+			// A point costs at least 4 bytes: its timestamp varint plus
+			// the snapshot's schema and two counts.
+			if n := d.uvarint(); d.need(n, 4) && n > 0 {
+				r.Dump.Points = make([]telemetry.HistoryPoint, n)
+				for i := range r.Dump.Points {
+					r.Dump.Points[i] = telemetry.HistoryPoint{AtNS: d.varint(), Snap: d.metricsSnapshot()}
 				}
 			}
-			// A histogram costs at least 5 bytes: name length, subbits,
-			// count, sum, pair count. Each (idx, n) pair at least 2.
-			if n := d.uvarint(); d.need(n, 5) && n > 0 {
-				r.Snap.Hists = make([]telemetry.QHistSnapshot, n)
-				for i := range r.Snap.Hists {
-					h := telemetry.QHistSnapshot{Name: d.string(), SubBits: d.byte(),
-						Count: d.varint(), Sum: d.varint()}
-					if pairs := d.uvarint(); d.need(pairs, 2) && pairs > 0 {
-						h.Idx = make([]uint16, pairs)
-						h.N = make([]int64, pairs)
-						for j := range h.Idx {
-							idx := d.uvarint()
-							if d.err == nil && idx > 0xffff {
-								d.fail("histogram bucket index out of range")
-							}
-							h.Idx[j] = uint16(idx)
-							h.N[j] = d.varint()
-						}
-					}
-					r.Snap.Hists[i] = h
-				}
-			}
-			m.MetricsResp = r
+			m.HistoryResp = r
 		}
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, uint8(kind))

@@ -25,12 +25,22 @@ func sampleMessages() []*Message {
 	p := bitpath.MustParse
 	entry := store.Entry{Key: p("0110"), Name: "doc-17", Holder: 9, Version: 0x1122334455667788}
 	snap := telemetry.MetricsSnapshot{Schema: telemetry.MetricsSchemaVersion,
+		StartEpochNS: 1700000000123456789, UptimeNS: 98765432100,
 		Stats: []telemetry.Stat{{Name: "pgrid_rpc_served_total", Value: 42},
 			{Name: `pgrid_exchange_case_total{case="2a"}`, Value: -9}},
 		Hists: []telemetry.QHistSnapshot{
 			{Name: `pgrid_rpc_kind_latency_ns{kind="query"}`, SubBits: 4, Count: 7,
-				Sum: 1234567, Idx: []uint16{3, 150, 900}, N: []int64{4, 2, 1}},
+				Sum: 1234567, Idx: []uint16{3, 150, 900}, N: []int64{4, 2, 1},
+				ExIdx: []uint16{150, 900}, ExTrace: []uint64{0xfeedface01, 0xfeedface02}},
 			{Name: "pgrid_pool_acquire_wait_ns", SubBits: 4}}}
+	// A v1 snapshot as a pre-history peer would ship it: no incarnation
+	// stamps, no exemplars. Kept in the corpus so the v2 reader keeps
+	// decoding the old layout forever.
+	snapV1 := telemetry.MetricsSnapshot{Schema: telemetry.MetricsSchemaV1,
+		Stats: []telemetry.Stat{{Name: "pgrid_rpc_served_total", Value: 17}},
+		Hists: []telemetry.QHistSnapshot{
+			{Name: `pgrid_rpc_served_latency_ns{kind="get"}`, SubBits: 4, Count: 2,
+				Sum: 999, Idx: []uint16{40}, N: []int64{2}}}}
 	span := trace.Span{ID: 0xdeadbeef01, Parent: 0xdeadbeef00, Peer: 7, Path: p("01"),
 		Level: 2, Ref: 3, Matched: true, Backtracked: true, LatencyNS: 125000}
 	return []*Message{
@@ -89,9 +99,24 @@ func sampleMessages() []*Message {
 		{Kind: KindHelloResp, From: 25, HelloResp: &HelloResp{Codec: BinaryVersion}},
 		{Kind: KindMetrics, From: 26},
 		{Kind: KindMetricsResp, From: 27, MetricsResp: &MetricsResp{Snap: snap}},
+		{Kind: KindMetricsResp, From: 27, MetricsResp: &MetricsResp{Snap: snapV1}}, // pre-history peer
 		{Kind: KindMetricsResp, From: 27, MetricsResp: &MetricsResp{ // telemetry disabled
 			Snap: telemetry.MetricsSnapshot{Schema: telemetry.MetricsSchemaVersion}}},
 		{Kind: KindMetricsResp, From: 27}, // nil payload
+		{Kind: KindHistory, From: 28, History: &HistoryReq{WindowNS: 300_000_000_000, MaxPoints: 64}},
+		{Kind: KindHistory, From: 28, History: &HistoryReq{}}, // full retention
+		{Kind: KindHistory, From: 28},                         // nil payload
+		{Kind: KindHistoryResp, From: 29, HistoryResp: &HistoryResp{
+			Dump: telemetry.HistoryDump{Schema: telemetry.MetricsSchemaVersion,
+				IntervalNS: 2_000_000_000,
+				Points: []telemetry.HistoryPoint{
+					{AtNS: 1700000000000000000, Snap: snap},
+					{AtNS: 1700000002000000000, Snap: snapV1}, // mixed-schema ring after upgrade
+					{AtNS: 1700000004000000000, Snap: telemetry.MetricsSnapshot{
+						Schema: telemetry.MetricsSchemaVersion}}}}}},
+		{Kind: KindHistoryResp, From: 29, HistoryResp: &HistoryResp{ // history disabled
+			Dump: telemetry.HistoryDump{Schema: telemetry.MetricsSchemaVersion}}},
+		{Kind: KindHistoryResp, From: 29}, // nil payload
 	}
 }
 
@@ -102,7 +127,7 @@ func TestBinaryCoversAllKinds(t *testing.T) {
 	for _, m := range sampleMessages() {
 		seen[m.Kind] = true
 	}
-	for k := KindQuery; k <= KindMetricsResp; k++ {
+	for k := KindQuery; k <= KindHistoryResp; k++ {
 		if k == 15 { // reserved
 			continue
 		}
@@ -411,6 +436,146 @@ func TestBinaryMetricsCorrupt(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteFrame(&buf, 0, 0, bad); err == nil {
 		t.Fatal("encoder accepted mismatched Idx/N lengths")
+	}
+}
+
+// TestBinaryHistoryCorrupt runs the corruption table for the history
+// payload: absurd point/exemplar counts are refused before allocation,
+// exemplar bucket indexes beyond uint16 are corrupt, and the encoder
+// refuses snapshots with mismatched exemplar arrays.
+func TestBinaryHistoryCorrupt(t *testing.T) {
+	frame := func(body []byte) []byte {
+		f := []byte{magic0, magic1, BinaryVersion, byte(KindHistoryResp), 0, 0, 0, 0, 1}
+		f = append(f, byte(len(body)>>24), byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+		return append(f, body...)
+	}
+	prefix := func() []byte {
+		b := []byte{}
+		b = appendVarint(b, 3)   // From
+		b = appendBool(b, true)  // payload present
+		b = appendVarint(b, 2)   // Dump.Schema
+		b = appendVarint(b, 2e9) // IntervalNS
+		return b
+	}
+	// point emits one well-formed empty v2 snapshot point.
+	point := func(b []byte) []byte {
+		b = appendVarint(b, 1700000000000000000) // AtNS
+		b = appendVarint(b, 2)                   // snapshot Schema
+		b = appendVarint(b, 1)                   // StartEpochNS
+		b = appendVarint(b, 1)                   // UptimeNS
+		b = appendUvarint(b, 0)                  // no stats
+		return appendUvarint(b, 0)               // no hists
+	}
+	oneHistPrefix := func() []byte {
+		b := appendUvarint(prefix(), 1)          // one point
+		b = appendVarint(b, 1700000000000000000) // AtNS
+		b = appendVarint(b, 2)                   // snapshot Schema
+		b = appendVarint(b, 1)                   // StartEpochNS
+		b = appendVarint(b, 1)                   // UptimeNS
+		b = appendUvarint(b, 0)                  // no stats
+		b = appendUvarint(b, 1)                  // one hist
+		b = appendString(b, "h")
+		b = append(b, 4)        // SubBits
+		b = appendVarint(b, 1)  // Count
+		b = appendVarint(b, 1)  // Sum
+		b = appendUvarint(b, 1) // one pair
+		b = appendUvarint(b, 5) // idx
+		return appendVarint(b, 1)
+	}
+	cases := []struct {
+		name string
+		body func() []byte
+	}{
+		{"absurd point count", func() []byte {
+			return appendUvarint(prefix(), 1<<40)
+		}},
+		{"point count beyond payload", func() []byte {
+			b := appendUvarint(prefix(), 2) // claims 2 points, carries 1
+			return point(b)
+		}},
+		{"absurd exemplar count", func() []byte {
+			return appendUvarint(oneHistPrefix(), 1<<40)
+		}},
+		{"exemplar index beyond uint16", func() []byte {
+			b := appendUvarint(oneHistPrefix(), 1) // one exemplar
+			b = appendUvarint(b, 70000)            // idx > 0xffff
+			return appendU64(b, 0xfeedface)
+		}},
+		{"truncated exemplar trace id", func() []byte {
+			b := appendUvarint(oneHistPrefix(), 1) // one exemplar
+			b = appendUvarint(b, 5)
+			return append(b, 0xde, 0xad) // 2 of 8 trace-id bytes
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, m, err := ReadFrame(bytes.NewReader(frame(tc.body())))
+			if err == nil {
+				t.Fatalf("decoded %+v from corrupt history frame", m)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("want ErrCorrupt, got %v", err)
+			}
+		})
+	}
+	bad := &Message{Kind: KindHistoryResp, From: 1, HistoryResp: &HistoryResp{
+		Dump: telemetry.HistoryDump{Schema: 2, Points: []telemetry.HistoryPoint{
+			{AtNS: 1, Snap: telemetry.MetricsSnapshot{Schema: 2,
+				Hists: []telemetry.QHistSnapshot{{Name: "h",
+					ExIdx: []uint16{1, 2}, ExTrace: []uint64{5}}}}}}}}}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 0, 0, bad); err == nil {
+		t.Fatal("encoder accepted mismatched ExIdx/ExTrace lengths")
+	}
+}
+
+// TestBinaryMetricsV1Body pins schema evolution on the binary codec: a
+// hand-built v1 metrics body — exactly what a pre-history peer emits,
+// with no incarnation stamps and no exemplar lists — must decode
+// against this (v2) reader, and a v1 snapshot re-encoded by this build
+// must produce that same v1 layout.
+func TestBinaryMetricsV1Body(t *testing.T) {
+	b := []byte{}
+	b = appendVarint(b, 3)  // From
+	b = appendBool(b, true) // payload present
+	b = appendVarint(b, 1)  // Schema: v1 — no epoch/uptime follow
+	b = appendUvarint(b, 1) // one stat
+	b = appendString(b, "pgrid_rpc_served_total")
+	b = appendVarint(b, 42)
+	b = appendUvarint(b, 1) // one hist
+	b = appendString(b, "h")
+	b = append(b, 4)        // SubBits
+	b = appendVarint(b, 2)  // Count
+	b = appendVarint(b, 30) // Sum
+	b = appendUvarint(b, 1) // one pair — and no exemplar list after it
+	b = appendUvarint(b, 7)
+	b = appendVarint(b, 2)
+	frame := []byte{magic0, magic1, BinaryVersion, byte(KindMetricsResp), 0, 0, 0, 0, 1}
+	frame = append(frame, byte(len(b)>>24), byte(len(b)>>16), byte(len(b)>>8), byte(len(b)))
+	frame = append(frame, b...)
+
+	_, _, m, err := ReadFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("v2 reader rejected v1 body: %v", err)
+	}
+	snap := m.MetricsResp.Snap
+	if snap.Schema != 1 || snap.StartEpochNS != 0 || snap.UptimeNS != 0 {
+		t.Fatalf("v1 snapshot decoded wrong: %+v", snap)
+	}
+	if v, ok := snap.Stat("pgrid_rpc_served_total"); !ok || v != 42 {
+		t.Fatalf("v1 stat lost: %v %v", v, ok)
+	}
+	h, ok := snap.Hist("h")
+	if !ok || h.Count != 2 || len(h.ExIdx) != 0 {
+		t.Fatalf("v1 hist decoded wrong: %+v", h)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 0, 0, m); err != nil {
+		t.Fatalf("re-encode v1 snapshot: %v", err)
+	}
+	if got := buf.Bytes()[HeaderSize:]; !bytes.Equal(got, b) {
+		t.Fatalf("v1 snapshot did not re-encode to the v1 layout:\n got %x\nwant %x", got, b)
 	}
 }
 

@@ -200,6 +200,15 @@ func TestKindNumbering(t *testing.T) {
 	if KindMetrics.String() != "metrics" || KindMetricsResp.String() != "metrics-resp" {
 		t.Fatalf("kind names: %v %v", KindMetrics, KindMetricsResp)
 	}
+	if KindHistory != 26 || KindHistoryResp != 27 {
+		t.Fatalf("KindHistory = %d/%d, want 26/27", KindHistory, KindHistoryResp)
+	}
+	if KindHistory%2 != 0 {
+		t.Fatal("KindHistory is odd: requests must stay even")
+	}
+	if KindHistory.String() != "history" || KindHistoryResp.String() != "history-resp" {
+		t.Fatalf("kind names: %v %v", KindHistory, KindHistoryResp)
+	}
 }
 
 // legacyPreHealthMessage replicates the message envelope exactly as it was
@@ -364,6 +373,188 @@ func TestMetricsRoundTrip(t *testing.T) {
 	empty, err := ReadMessage(&eb)
 	if err != nil || empty.MetricsResp == nil || len(empty.MetricsResp.Snap.Stats) != 0 {
 		t.Fatalf("empty snapshot round trip: %+v, %v", empty.MetricsResp, err)
+	}
+}
+
+// The legacyV1* types replicate the telemetry snapshot exactly as schema
+// v1 encoded it: no incarnation stamp on the snapshot, no exemplars on
+// the histograms. Gob matches fields by name, so v1 frames decode
+// through the v2 reader with the new fields zero — which the v2 reader
+// treats as "unknown epoch" — and v2 frames decode on a v1 receiver
+// with the new fields skipped.
+type legacyV1QHistSnapshot struct {
+	Name    string
+	SubBits uint8
+	Count   int64
+	Sum     int64
+	Idx     []uint16
+	N       []int64
+}
+
+type legacyV1MetricsSnapshot struct {
+	Schema int
+	Stats  []telemetry.Stat
+	Hists  []legacyV1QHistSnapshot
+}
+
+type legacyV1MetricsResp struct {
+	Snap legacyV1MetricsSnapshot
+}
+
+type legacyPreHistoryMessage struct {
+	Kind        Kind
+	From        addr.Addr
+	Query       *legacyQueryReq
+	QueryResp   *legacyQueryResp
+	MetricsResp *legacyV1MetricsResp
+	Error       string
+}
+
+// TestDecodeV1SnapshotFrame proves a schema-v1 snapshot frame — produced
+// by a peer that predates incarnation stamps and exemplars — decodes
+// against the current reader with the absent fields zero.
+func TestDecodeV1SnapshotFrame(t *testing.T) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(&legacyPreHistoryMessage{
+		Kind: KindMetricsResp, From: 7,
+		MetricsResp: &legacyV1MetricsResp{Snap: legacyV1MetricsSnapshot{
+			Schema: telemetry.MetricsSchemaV1,
+			Stats:  []telemetry.Stat{{Name: "pgrid_rpc_served_total", Value: 33}},
+			Hists: []legacyV1QHistSnapshot{{Name: "lat", SubBits: 4, Count: 2,
+				Sum: 700, Idx: []uint16{16, 40}, N: []int64{1, 1}}},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(body.Len()))
+	out.Write(lenb[:])
+	out.Write(body.Bytes())
+
+	m, err := ReadMessage(&out)
+	if err != nil {
+		t.Fatalf("v1 snapshot frame did not decode: %v", err)
+	}
+	s := m.MetricsResp.Snap
+	if s.Schema != telemetry.MetricsSchemaV1 || len(s.Stats) != 1 || len(s.Hists) != 1 {
+		t.Fatalf("v1 snapshot mismatch: %+v", s)
+	}
+	if s.StartEpochNS != 0 || s.UptimeNS != 0 {
+		t.Fatalf("absent incarnation stamp decoded non-zero: %+v", s)
+	}
+	if s.Hists[0].ExIdx != nil || s.Hists[0].ExTrace != nil {
+		t.Fatalf("absent exemplars decoded non-nil: %+v", s.Hists[0])
+	}
+	if !s.SameEpoch(telemetry.MetricsSnapshot{StartEpochNS: 12345}) {
+		t.Fatal("zero epoch must compare as unknown-same")
+	}
+}
+
+// TestOldDecoderIgnoresV2SnapshotFields covers the opposite direction: a
+// v2 snapshot with incarnation stamps and exemplars must still decode on
+// a v1 receiver, and a history frame must not wedge a pre-history peer.
+func TestOldDecoderIgnoresV2SnapshotFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Kind: KindMetricsResp, From: 4,
+		MetricsResp: &MetricsResp{Snap: telemetry.MetricsSnapshot{
+			Schema:       telemetry.MetricsSchemaVersion,
+			StartEpochNS: 1700000000123456789, UptimeNS: 5e9,
+			Stats: []telemetry.Stat{{Name: "pgrid_rpc_served_total", Value: 8}},
+			Hists: []telemetry.QHistSnapshot{{Name: "lat", SubBits: 4, Count: 1,
+				Sum: 10, Idx: []uint16{9}, N: []int64{1},
+				ExIdx: []uint16{9}, ExTrace: []uint64{0xabcdef}}},
+		}}}); err != nil {
+		t.Fatal(err)
+	}
+	var legacy legacyPreHistoryMessage
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes()[4:])).Decode(&legacy); err != nil {
+		t.Fatalf("v1 decoder rejected a v2 snapshot frame: %v", err)
+	}
+	if legacy.MetricsResp == nil || legacy.MetricsResp.Snap.Hists[0].Count != 1 {
+		t.Fatalf("legacy decode mismatch: %+v", legacy.MetricsResp)
+	}
+
+	// A history response through a pre-history decoder: the unknown
+	// payload field is skipped, the envelope survives.
+	var hb bytes.Buffer
+	if err := WriteMessage(&hb, &Message{Kind: KindHistoryResp, From: 9,
+		HistoryResp: &HistoryResp{Dump: telemetry.HistoryDump{
+			Schema: telemetry.MetricsSchemaVersion, IntervalNS: 2e9,
+			Points: []telemetry.HistoryPoint{{AtNS: 100, Snap: telemetry.MetricsSnapshot{
+				Schema: telemetry.MetricsSchemaVersion}}},
+		}}}); err != nil {
+		t.Fatal(err)
+	}
+	var legacy2 legacyPreHistoryMessage
+	if err := gob.NewDecoder(bytes.NewReader(hb.Bytes()[4:])).Decode(&legacy2); err != nil {
+		t.Fatalf("pre-history decoder rejected a history frame: %v", err)
+	}
+	if legacy2.Kind != KindHistoryResp || legacy2.From != 9 {
+		t.Fatalf("legacy decode mismatch: %+v", legacy2)
+	}
+}
+
+// TestHistoryRoundTrip pins the gob path for the history pair, including
+// the windowed request and the empty history-disabled dump.
+func TestHistoryRoundTrip(t *testing.T) {
+	var rb bytes.Buffer
+	if err := WriteMessage(&rb, &Message{Kind: KindHistory, From: 3,
+		History: &HistoryReq{WindowNS: 300e9, MaxPoints: 64}}); err != nil {
+		t.Fatal(err)
+	}
+	req, err := ReadMessage(&rb)
+	if err != nil || req.History == nil || req.History.WindowNS != 300e9 || req.History.MaxPoints != 64 {
+		t.Fatalf("history request round trip: %+v, %v", req, err)
+	}
+
+	m := &Message{Kind: KindHistoryResp, From: 2, HistoryResp: &HistoryResp{
+		Dump: telemetry.HistoryDump{
+			Schema: telemetry.MetricsSchemaVersion, IntervalNS: 2e9,
+			Points: []telemetry.HistoryPoint{
+				{AtNS: 1e9, Snap: telemetry.MetricsSnapshot{
+					Schema:       telemetry.MetricsSchemaVersion,
+					StartEpochNS: 500, UptimeNS: 100,
+					Stats: []telemetry.Stat{{Name: "pgrid_rpc_served_total", Value: 1}}}},
+				{AtNS: 3e9, Snap: telemetry.MetricsSnapshot{
+					Schema:       telemetry.MetricsSchemaVersion,
+					StartEpochNS: 500, UptimeNS: 2100,
+					Stats: []telemetry.Stat{{Name: "pgrid_rpc_served_total", Value: 5}},
+					Hists: []telemetry.QHistSnapshot{{Name: "lat", SubBits: 4, Count: 1,
+						Sum: 42, Idx: []uint16{7}, N: []int64{1},
+						ExIdx: []uint16{7}, ExTrace: []uint64{0xbeef}}}}},
+			},
+		}}}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := got.HistoryResp.Dump
+	if d.Schema != telemetry.MetricsSchemaVersion || d.IntervalNS != 2e9 || len(d.Points) != 2 {
+		t.Fatalf("history dump did not round-trip: %+v", d)
+	}
+	if d.Points[1].Snap.Hists[0].ExTrace[0] != 0xbeef {
+		t.Fatalf("exemplar did not round-trip: %+v", d.Points[1].Snap.Hists[0])
+	}
+	if rate, ok := d.Rate("pgrid_rpc_served_total", 0); !ok || rate != 2 {
+		t.Fatalf("round-tripped dump rate = %v, %v; want 2, true", rate, ok)
+	}
+
+	// History disabled: empty, schema-stamped dump — distinguishable from
+	// a pre-history peer, which answers KindError instead.
+	var eb bytes.Buffer
+	if err := WriteMessage(&eb, &Message{Kind: KindHistoryResp, From: 2,
+		HistoryResp: &HistoryResp{Dump: telemetry.HistoryDump{
+			Schema: telemetry.MetricsSchemaVersion}}}); err != nil {
+		t.Fatal(err)
+	}
+	empty, err := ReadMessage(&eb)
+	if err != nil || empty.HistoryResp == nil || len(empty.HistoryResp.Dump.Points) != 0 {
+		t.Fatalf("empty dump round trip: %+v, %v", empty.HistoryResp, err)
 	}
 }
 

@@ -250,4 +250,88 @@ func FuzzMetricsRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzHistoryRoundTrip encodes fuzz-shaped history dumps — mixed-schema
+// points, incarnation stamps, tail exemplars — through BOTH codecs and
+// verifies they decode to the same dump. The history twin of
+// FuzzMetricsRoundTrip.
+func FuzzHistoryRoundTrip(f *testing.F) {
+	f.Add(int32(0), int64(0), uint8(0), "", int64(0), uint16(0), uint64(0), int64(0))
+	f.Add(int32(3), int64(2_000_000_000), uint8(4), "pgrid_rpc_served_total", int64(42), uint16(900), uint64(0xfeedface), int64(1700000000123456789))
+	f.Add(int32(-1), int64(1)<<40, uint8(9), `lat{kind="query"}`, int64(-8), uint16(0xffff), ^uint64(0), int64(-5))
+	f.Fuzz(func(t *testing.T, from int32, interval int64, points uint8, name string, value int64, exIdx uint16, exTrace uint64, epoch int64) {
+		if from < -1 {
+			from &= 0x7fffffff // the binary codec (rightly) rejects addresses below addr.Nil
+		}
+		dump := telemetry.HistoryDump{Schema: telemetry.MetricsSchemaVersion, IntervalNS: interval}
+		for i := 0; i < int(points%9); i++ {
+			snap := telemetry.MetricsSnapshot{
+				// Odd points ship the v1 layout, as a ring that survived a
+				// rolling upgrade would.
+				Schema:       telemetry.MetricsSchemaVersion - i%2,
+				StartEpochNS: epoch + int64(i%3),
+				UptimeNS:     int64(i) * interval,
+				Stats:        []telemetry.Stat{{Name: name, Value: value + int64(i)}},
+			}
+			if snap.Schema < 2 {
+				snap.StartEpochNS, snap.UptimeNS = 0, 0
+			}
+			h := telemetry.QHistSnapshot{Name: name, SubBits: 4,
+				Idx: []uint16{exIdx}, N: []int64{1 + int64(i)}, Count: 1 + int64(i), Sum: value}
+			if snap.Schema >= 2 && exTrace != 0 {
+				h.ExIdx = []uint16{exIdx}
+				h.ExTrace = []uint64{exTrace}
+			}
+			snap.Hists = []telemetry.QHistSnapshot{h}
+			dump.Points = append(dump.Points, telemetry.HistoryPoint{
+				AtNS: epoch + int64(i)*interval, Snap: snap})
+		}
+		m := &Message{Kind: KindHistoryResp, From: addrOf(from), HistoryResp: &HistoryResp{Dump: dump}}
+
+		check := func(codec string, got *Message, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("%s decode: %v", codec, err)
+			}
+			if got.HistoryResp == nil {
+				t.Fatalf("%s: history payload lost", codec)
+			}
+			g := got.HistoryResp.Dump
+			if g.Schema != dump.Schema || g.IntervalNS != dump.IntervalNS || len(g.Points) != len(dump.Points) {
+				t.Fatalf("%s: dump mismatch: %+v vs %+v", codec, g, dump)
+			}
+			for i, want := range dump.Points {
+				gp := g.Points[i]
+				if gp.AtNS != want.AtNS || gp.Snap.Schema != want.Snap.Schema ||
+					gp.Snap.StartEpochNS != want.Snap.StartEpochNS ||
+					gp.Snap.UptimeNS != want.Snap.UptimeNS {
+					t.Fatalf("%s: point %d mismatch: %+v vs %+v", codec, i, gp, want)
+				}
+				gh, wh := gp.Snap.Hists[0], want.Snap.Hists[0]
+				if gh.Name != wh.Name || len(gh.Idx) != len(wh.Idx) || len(gh.ExIdx) != len(wh.ExIdx) {
+					t.Fatalf("%s: point %d hist mismatch: %+v vs %+v", codec, i, gh, wh)
+				}
+				for j := range wh.ExIdx {
+					if gh.ExIdx[j] != wh.ExIdx[j] || gh.ExTrace[j] != wh.ExTrace[j] {
+						t.Fatalf("%s: point %d exemplar %d mismatch: %+v vs %+v", codec, i, j, gh, wh)
+					}
+				}
+			}
+		}
+
+		var gb bytes.Buffer
+		if err := WriteMessage(&gb, m); err != nil {
+			t.Fatalf("gob encode: %v", err)
+		}
+		got, err := ReadMessage(&gb)
+		check("gob", got, err)
+
+		var bb bytes.Buffer
+		if err := WriteFrame(&bb, 1, FlagResponse, m); err != nil {
+			t.Fatalf("binary encode: %v", err)
+		}
+		_, _, got, err = ReadFrame(&bb)
+		check("binary", got, err)
+	})
+}
+
 func addrOf(v int32) addr.Addr { return addr.Addr(v) }

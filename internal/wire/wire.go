@@ -56,6 +56,8 @@ const (
 	KindHelloResp
 	KindMetrics
 	KindMetricsResp
+	KindHistory
+	KindHistoryResp
 )
 
 // kindNames is the Kind → label table. Hoisted to package level: String
@@ -66,7 +68,7 @@ var kindNames = [...]string{"query", "query-resp", "exchange", "exchange-resp",
 	"scan", "scan-resp", "stats", "stats-resp", "error", "kind(15)",
 	"traces", "traces-resp", "health", "health-resp",
 	"batch", "batch-resp", "hello", "hello-resp",
-	"metrics", "metrics-resp"}
+	"metrics", "metrics-resp", "history", "history-resp"}
 
 // String names the kind for logs.
 func (k Kind) String() string {
@@ -109,6 +111,8 @@ type Message struct {
 	Hello        *HelloReq
 	HelloResp    *HelloResp
 	MetricsResp  *MetricsResp
+	History      *HistoryReq
+	HistoryResp  *HistoryResp
 	Error        string
 }
 
@@ -244,6 +248,24 @@ type StatsResp struct {
 // disabled answers with an empty, schema-stamped snapshot.
 type MetricsResp struct {
 	Snap telemetry.MetricsSnapshot
+}
+
+// HistoryReq asks the receiver for its telemetry flight-data recorder:
+// the ring of periodic metrics samples. WindowNS bounds how far back
+// (0 = full retention); MaxPoints caps the newest points returned
+// (0 = all held). Pre-history peers answer with KindError and callers
+// degrade to the one-shot KindMetrics snapshot (see node.FetchHistory).
+type HistoryReq struct {
+	WindowNS  int64
+	MaxPoints int64
+}
+
+// HistoryResp returns the receiver's sampled metrics history. A node
+// running without a history ring answers with an empty, schema-stamped
+// dump (zero points) rather than an error, so "feature off" and
+// "feature unknown" stay distinguishable on the wire.
+type HistoryResp struct {
+	Dump telemetry.HistoryDump
 }
 
 // TracesReq asks the receiver for its flight recorder's most recent
