@@ -67,6 +67,9 @@ commands:
                                 -cluster merges every reachable peer's metrics into one view
   audit                         fetch every node's state and verify the reference invariant
   health <id>                   print a node's replica digest and per-level reference liveness
+  repair <id> [now]             print a node's self-healing repair status: rounds, per-class fault
+                                and heal tallies, healthy/repairing/stuck verdict; "now" first runs
+                                one repair round on the node and reports the updated status
   crawl <id>                    walk the whole community from node <id> and print the structural report
   cluster <id> [interval] [count]
                                 crawl from node <id>, federate every peer's metrics snapshot, and print
@@ -361,6 +364,16 @@ commands:
 			fmt.Printf("  level %2d liveness %.2f (%d live / %d dead)\n", lp.Level, r, lp.Live, lp.Dead)
 		}
 
+	case "repair":
+		id := mustID(args, 0)
+		trigger := len(args) > 1 && args[1] == "now"
+		st, err := client.FetchRepair(id, trigger)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("node %v repair\n", id)
+		analysis.RenderRepairStatus(os.Stdout, st)
+
 	case "crawl":
 		id := mustID(args, 0)
 		res := client.Crawl(id)
@@ -368,7 +381,9 @@ commands:
 		for _, a := range res.Unreachable {
 			fmt.Printf("  unreachable: %v\n", a)
 		}
-		analysis.RenderGridReport(os.Stdout, analysis.AnalyzeGrid(res.Digests))
+		rep := analysis.AnalyzeGrid(res.Digests)
+		rep.AttachRepair(res.Repairs)
+		analysis.RenderGridReport(os.Stdout, rep)
 		if len(res.Unreachable) > 0 {
 			os.Exit(1)
 		}

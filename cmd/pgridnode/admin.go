@@ -16,6 +16,7 @@ import (
 	"pgrid/internal/analysis"
 	"pgrid/internal/health"
 	"pgrid/internal/node"
+	"pgrid/internal/repair"
 	"pgrid/internal/resilience"
 	"pgrid/internal/slo"
 	"pgrid/internal/telemetry"
@@ -33,6 +34,10 @@ import (
 //	/debug/traces   the flight recorder: recent sampled query routes,
 //	                JSON by default, ?format=text for the arrow rendering,
 //	                ?limit=N to cap the count
+//	/debug/repair   the self-healing repairer (-repair-interval): rounds,
+//	                per-class fault and heal tallies, and the healthy/
+//	                repairing/stuck verdict; JSON by default, ?format=text
+//	                for the table ("repair disabled" without a repairer)
 //	/debug/lat      per-kind RPC latency quantiles (p50/p95/p99/p999):
 //	                JSON by default, ?format=text for a table
 //	/debug/slow     the slow-op log (-slow-rpc): over-threshold RPCs with
@@ -122,6 +127,18 @@ func newAdminMux(n *node.Node, tel *telemetry.Instruments, serving *atomic.Bool,
 			Total  uint64        `json:"total"`
 			Traces []trace.Trace `json:"traces"`
 		}{rec.Total(), traces})
+	})
+	mux.HandleFunc("/debug/repair", func(w http.ResponseWriter, r *http.Request) {
+		st := n.Repairer().Status()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			analysis.RenderRepairStatus(w, st)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Repair repair.Status `json:"repair"`
+		}{st})
 	})
 	mux.HandleFunc("/debug/lat", func(w http.ResponseWriter, r *http.Request) {
 		report := tel.LatencyReport()

@@ -21,7 +21,12 @@
 // circuit breakers (-breaker-fails, -breaker-cooldown).
 // With -probe-interval the node samples its references for liveness in the
 // background, which feeds the health digest, the pgrid_health_* gauges,
-// and the -health-min-liveness readiness check. With -events the
+// and the -health-min-liveness readiness check. With -repair-interval the
+// node runs the self-healing repair protocol: every round detects
+// structural faults (invariant-violating or dead references, path drift,
+// diverged or orphaned replicas, orphaned entries) and heals them within
+// -repair-budget messages, reporting through the pgrid_repair_* series,
+// /debug/repair, and `pgridctl repair`. With -events the
 // node appends one JSON line per exchange/query/RPC to a file, in the same
 // schema pgridsim -events writes; emission goes through an asynchronous
 // in-memory pipeline so the serving hot path never blocks on the file
@@ -89,6 +94,8 @@ func main() {
 		brkCool   = flag.Duration("breaker-cooldown", 2*time.Second, "how long an open breaker waits before probing the peer again")
 		probeInt  = flag.Duration("probe-interval", 0, "interval between reference-liveness probe rounds, jittered ±25% (0 = off)")
 		probeBud  = flag.Int("probe-budget", 16, "max probe messages per round when -probe-interval is set")
+		repairInt = flag.Duration("repair-interval", 0, "interval between self-healing repair rounds, jittered ±25% (0 = off)")
+		repairBud = flag.Int("repair-budget", 64, "max repair messages per round when -repair-interval is set")
 		healthMin = flag.Float64("health-min-liveness", 0, "/healthz reports 503 while the worst per-level reference liveness is below this (0 = disabled)")
 		admin     = flag.String("admin", "", "admin HTTP listen address (/metrics, /healthz, /debug/{vars,pprof}); empty = off")
 		events    = flag.String("events", "", "append structured JSONL telemetry events to this file")
@@ -227,6 +234,16 @@ func main() {
 	if *healthMin < 0 || *healthMin > 1 {
 		fatal("configuration", fmt.Errorf("-health-min-liveness %v out of [0,1]", *healthMin))
 	}
+	// The repairer must attach before the node starts serving (the field
+	// is read by the wire handler unsynchronized); its loop starts with
+	// the other background loops below.
+	var repairer *node.Repairer
+	if *repairInt > 0 {
+		if *repairBud <= 0 {
+			fatal("configuration", fmt.Errorf("-repair-budget %d must be positive", *repairBud))
+		}
+		repairer = node.NewRepairer(n, *repairInt, node.RepairConfig{Budget: *repairBud}, *seed+3)
+	}
 
 	if *stateFile != "" {
 		loaded, err := n.LoadStateFile(*stateFile)
@@ -299,6 +316,9 @@ func main() {
 	}
 	if *probeInt > 0 {
 		go node.NewProber(n, *probeInt, *probeBud, *seed+2).Run(ctx)
+	}
+	if *repairInt > 0 {
+		go repairer.Run(ctx)
 	}
 	if sloEng != nil {
 		go sloLoop(ctx, sloEng, tel, *sloEvery)

@@ -16,6 +16,7 @@ import (
 	"pgrid/internal/core"
 	"pgrid/internal/health"
 	"pgrid/internal/node"
+	"pgrid/internal/repair"
 	"pgrid/internal/resilience"
 	"pgrid/internal/slo"
 	"pgrid/internal/telemetry"
@@ -344,6 +345,58 @@ func TestAdminDebugHealth(t *testing.T) {
 	defer text.Body.Close()
 	body, _ := io.ReadAll(text.Body)
 	for _, want := range []string{"rounds=1", "level  1 liveness 0.67", "2 live / 1 dead"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("text body %q missing %q", body, want)
+		}
+	}
+}
+
+func TestAdminRepairEndpoint(t *testing.T) {
+	n, tel := testNode(t)
+	serving := &atomic.Bool{}
+	serving.Store(true)
+	srv := httptest.NewServer(newAdminMux(n, tel, serving, 0, nil, nil, nil, nil))
+	defer srv.Close()
+
+	// Without a repairer the endpoint stays up and reports disabled.
+	resp, err := http.Get(srv.URL + "/debug/repair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Repair repair.Status `json:"repair"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Repair.Enabled {
+		t.Errorf("repair enabled without a repairer: %+v", out.Repair)
+	}
+
+	// With a repairer that has run a round, the JSON carries the totals
+	// and the text rendering names the verdict.
+	rp := node.NewRepairer(n, time.Second, node.RepairConfig{Budget: 8}, 1)
+	rp.Tick()
+	resp2, err := http.Get(srv.URL + "/debug/repair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Repair.Enabled || out.Repair.Rounds != 1 {
+		t.Errorf("debug/repair = %+v", out.Repair)
+	}
+
+	text, err := http.Get(srv.URL + "/debug/repair?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer text.Body.Close()
+	body, _ := io.ReadAll(text.Body)
+	for _, want := range []string{"state    healthy", "rounds   1"} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("text body %q missing %q", body, want)
 		}

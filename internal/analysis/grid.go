@@ -10,6 +10,7 @@ import (
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
 	"pgrid/internal/health"
+	"pgrid/internal/repair"
 )
 
 // PathCensus is one replica group of a crawled community: every peer
@@ -76,6 +77,11 @@ type GridReport struct {
 	// data.
 	MeasuredAvailability  float64
 	PredictedAvailability float64
+
+	// Repair aggregates the community's self-healing state when repair
+	// statuses were attached (AttachRepair); Repair.Reporting is 0 when
+	// the crawl found no repairer anywhere.
+	Repair RepairSummary
 
 	// Eq3RefMax, Eq3Depth and Eq3Availability state the closed-form
 	// equation (3) at the community's typical shape: refmax = the mean
@@ -209,6 +215,45 @@ func AnalyzeGrid(digests []health.Digest) GridReport {
 	return r
 }
 
+// RepairSummary aggregates per-peer repair statuses into one community
+// verdict, so a grid report distinguishes a community that is structurally
+// sound ("healthy"), one actively converging back ("repairing"), and one
+// that detects faults it cannot heal ("stuck").
+type RepairSummary struct {
+	// Reporting counts peers that answered with repair enabled.
+	Reporting int
+	// Rounds, Faults and Heals are cumulative across reporting peers.
+	Rounds int64
+	Faults int64
+	Heals  int64
+	// Unhealed sums the faults the reporting peers' last rounds left
+	// standing — the community's current structural debt.
+	Unhealed int64
+	// State is "healthy", "repairing" or "stuck" ("" with no reporters),
+	// per repair.State over the aggregated last-round tallies.
+	State string
+}
+
+// AttachRepair folds per-peer repair statuses (as crawled alongside the
+// health digests) into the report. Disabled statuses count as absent.
+func (r *GridReport) AttachRepair(statuses []repair.Status) {
+	var s RepairSummary
+	var lastHeals int64
+	for _, st := range statuses {
+		if !st.Enabled {
+			continue
+		}
+		s.Reporting++
+		s.Rounds += st.Rounds
+		s.Faults += st.TotalFaults()
+		s.Heals += st.TotalHeals()
+		s.Unhealed += st.LastUnhealed
+		lastHeals += st.LastHeals
+	}
+	s.State = repair.State(s.Reporting > 0, lastHeals, s.Unhealed)
+	r.Repair = s
+}
+
 // AvailabilityAgrees reports whether the measured availability stays
 // within tol of the structural equation-(3) prediction. It fails when no
 // probe data exists.
@@ -238,6 +283,10 @@ func RenderGridReport(w io.Writer, r GridReport) {
 	}
 	fmt.Fprintf(w, "divergence     %d of %d paths have replicas with differing indexes\n",
 		r.DivergentPaths, len(r.Census))
+	if r.Repair.Reporting > 0 {
+		fmt.Fprintf(w, "repair         %s: %d peers reporting, %d rounds, %d faults / %d heals, %d unhealed\n",
+			r.Repair.State, r.Repair.Reporting, r.Repair.Rounds, r.Repair.Faults, r.Repair.Heals, r.Repair.Unhealed)
+	}
 	fmt.Fprintf(w, "census         %-10s %-24s %8s %8s %7s\n", "path", "replicas", "entries", "maxver", "hashes")
 	for _, pc := range r.Census {
 		path := pc.Path.String()
@@ -246,6 +295,25 @@ func RenderGridReport(w io.Writer, r GridReport) {
 		}
 		fmt.Fprintf(w, "               %-10s %-24s %8d %8d %7d\n",
 			path, addrList(pc.Replicas), pc.Entries, pc.MaxVersion, pc.DistinctHashes)
+	}
+}
+
+// RenderRepairStatus writes one peer's repair status as the text block
+// /debug/repair?format=text and `pgridctl repair` print.
+func RenderRepairStatus(w io.Writer, st repair.Status) {
+	if !st.Enabled {
+		fmt.Fprintln(w, "repair disabled")
+		return
+	}
+	fmt.Fprintf(w, "state    %s\n", repair.State(true, st.LastHeals, st.LastUnhealed))
+	fmt.Fprintf(w, "rounds   %d (%d messages)\n", st.Rounds, st.Messages)
+	fmt.Fprintf(w, "last     %d faults / %d heals / %d unhealed\n",
+		st.LastFaults, st.LastHeals, st.LastUnhealed)
+	for _, t := range st.Faults {
+		fmt.Fprintf(w, "fault    %-18s %6d\n", t.Name, t.N)
+	}
+	for _, t := range st.Heals {
+		fmt.Fprintf(w, "heal     %-18s %6d\n", t.Name, t.N)
 	}
 }
 

@@ -54,7 +54,7 @@ func Maintain(d *directory.Directory, cfg Config, a *peer.Peer, opts MaintainOpt
 	for level := 1; level <= path.Len(); level++ {
 		refs := a.RefsAt(level)
 		live := addr.Set{}
-		var deadCount int
+		dead := addr.Set{}
 		for _, r := range refs.Slice() {
 			res.Probed++
 			res.Messages++ // the probe itself
@@ -64,56 +64,70 @@ func Maintain(d *directory.Directory, cfg Config, a *peer.Peer, opts MaintainOpt
 			if Probe(d, path, level, r) {
 				live.Add(r)
 			} else {
-				deadCount++
+				dead.Add(r)
 			}
 		}
 
 		kept := refs
+		excluded := addr.Set{}
 		if opts.DropOffline {
 			kept = live.Clone()
-			res.Dropped += deadCount
+			res.Dropped += dead.Len()
+			// References dropped as dead this round must not sneak back in
+			// via refill below: a fetched buddy set is a stale snapshot,
+			// and readmitting an address we just probed dead would undo the
+			// drop with information older than the probe.
+			excluded = dead
 		}
 
-		// Refill: fetch reference sets from live references at this level.
-		// Their level-`level` references point to peers on THEIR opposite
-		// side — which is our own side, so they are NOT valid for us. What
-		// IS valid: their references at any deeper level are useless too
-		// (deeper prefixes differ). The correct refill source is their
-		// *buddies* and themselves: any peer with the same first `level`
-		// bits as the live reference is a valid level-`level` reference
-		// for us. So we fetch buddies of live references.
 		if opts.Fetch > 0 && kept.Len() < cfg.RefMax {
-			fetched := 0
-			for _, r := range live.Shuffled(rng) {
-				if fetched >= opts.Fetch || kept.Len() >= cfg.RefMax {
-					break
-				}
-				q := d.Peer(r)
-				if q == nil {
-					continue
-				}
-				res.Messages++ // the fetch round trip
-				fetched++
-				for _, b := range q.Buddies().Slice() {
-					if kept.Len() >= cfg.RefMax {
-						break
-					}
-					if b == a.Addr() || kept.Contains(b) || !Probe(d, path, level, b) {
-						continue
-					}
-					// A live buddy of a valid level reference shares its
-					// full path, hence its first `level` bits: valid for us.
-					if kept.Add(b) {
-						res.Added++
-					}
-				}
-			}
+			refillLevel(d, cfg, a, level, &kept, live, excluded, opts.Fetch, rng, &res)
 		}
 		if kept.Len() > 0 || opts.DropOffline {
 			setRefsClamped(a, level, kept, cfg.RefMax, rng)
 		}
 	}
 	return res
+}
+
+// refillLevel refills one level toward cfg.RefMax by merging reference
+// sets fetched from live same-level references, mutating kept in place.
+// Their level-`level` references point to peers on THEIR opposite side —
+// which is our own side, so they are NOT valid for us; their references
+// at any deeper level are useless too (deeper prefixes differ). The
+// correct refill source is their *buddies*: any peer with the same first
+// `level` bits as the live reference is a valid level-`level` reference
+// for us. Addresses in excluded are never added, no matter what the
+// fetched sets claim — Maintain passes the set it dropped as dead this
+// round, so a stale buddy list cannot resurrect a dead reference in the
+// same round that buried it.
+func refillLevel(d *directory.Directory, cfg Config, a *peer.Peer, level int, kept *addr.Set, live, excluded addr.Set, fetchMax int, rng *rand.Rand, res *MaintainResult) {
+	fetched := 0
+	path := a.Path()
+	for _, r := range live.Shuffled(rng) {
+		if fetched >= fetchMax || kept.Len() >= cfg.RefMax {
+			break
+		}
+		q := d.Peer(r)
+		if q == nil {
+			continue
+		}
+		res.Messages++ // the fetch round trip
+		fetched++
+		for _, b := range q.Buddies().Slice() {
+			if kept.Len() >= cfg.RefMax {
+				break
+			}
+			if b == a.Addr() || kept.Contains(b) || excluded.Contains(b) || !Probe(d, path, level, b) {
+				continue
+			}
+			// A live buddy of a valid level reference shares its
+			// full path, hence its first `level` bits: valid for us.
+			if kept.Add(b) {
+				res.Added++
+			}
+		}
+	}
 }
 
 func setRefsClamped(a *peer.Peer, level int, s addr.Set, refmax int, rng *rand.Rand) {

@@ -1,0 +1,153 @@
+package node
+
+import (
+	"math/rand"
+
+	"pgrid/internal/addr"
+	"pgrid/internal/peer"
+	"pgrid/internal/repair"
+)
+
+// CorruptConfig selects how many of each structural fault ChaosCorrupt
+// injects. Counts are targets; the injector skips a corruption when no
+// eligible victim remains (a flip needs a peer with enough replicas to
+// out-vote it, a wipe needs a non-empty store) and reports what it
+// actually did.
+type CorruptConfig struct {
+	// FlipPaths flips one path bit on that many peers — the arbitrary-state
+	// corruption of arXiv 1809.04923. Victims are chosen among peers with
+	// at least two buddies, so a strict replica majority can vote the
+	// original path back.
+	FlipPaths int
+	// StaleRefs replaces that many directory references with addresses
+	// that violate the Section 2 prefix invariant (a same-side peer).
+	StaleRefs int
+	// OrphanBuddies adds that many cross-partition buddy links.
+	OrphanBuddies int
+	// WipeStores clears that many peers' data stores.
+	WipeStores int
+	// DropEntries deletes that many individual index entries.
+	DropEntries int
+	Seed        int64
+}
+
+// CorruptReport counts the corruptions actually injected.
+type CorruptReport struct {
+	FlippedPaths    int
+	StaledRefs      int
+	OrphanedBuddies int
+	WipedStores     int
+	DroppedEntries  int
+}
+
+// ChaosCorrupt drives the cluster into an arbitrary corrupted state — the
+// adversary the self-healing repair protocol must converge from. Only
+// online peers are corrupted (offline ones are churn, already covered by
+// the chaos transport), and every choice draws from the seeded rng, so a
+// corruption run is reproducible.
+func ChaosCorrupt(c *Cluster, cfg CorruptConfig) CorruptReport {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var rep CorruptReport
+
+	online := make([]*Node, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		if n.Online() {
+			online = append(online, n)
+		}
+	}
+	if len(online) == 0 {
+		return rep
+	}
+	pick := func() *Node { return online[rng.Intn(len(online))] }
+
+	// Path flips: rewrite the peer's state under a path with one random
+	// bit flipped. The reference sets are kept as-is — under the flipped
+	// path some of them even look valid, which is exactly what makes the
+	// fault undetectable locally: only the replica group's vote exposes it.
+	flipped := map[addr.Addr]bool{}
+	for try, done := 0, 0; done < cfg.FlipPaths && try < 20*cfg.FlipPaths+20; try++ {
+		n := pick()
+		s := n.Peer().Snapshot()
+		if flipped[n.Addr()] || s.Path.Len() == 0 || s.Buddies.Len() < 2 {
+			continue
+		}
+		bit := 1 + rng.Intn(s.Path.Len())
+		bad := s.Path.Prefix(bit-1).AppendFlip(s.Path.Bit(bit)) + s.Path.Suffix(bit)
+		if err := n.Peer().Restore(peer.Snapshot{
+			Addr: s.Addr, Path: bad, Refs: s.Refs, Buddies: s.Buddies, Online: true,
+		}); err == nil {
+			flipped[n.Addr()] = true
+			rep.FlippedPaths++
+			done++
+		}
+	}
+
+	// Stale references: swap a reference for a same-side peer — an address
+	// that answers Info perfectly well but sits on the wrong side of the
+	// level's bit, so only invariant validation catches it.
+	for try, done := 0, 0; done < cfg.StaleRefs && try < 20*cfg.StaleRefs+20; try++ {
+		n := pick()
+		path := n.Path()
+		if path.Len() == 0 {
+			continue
+		}
+		level := 1 + rng.Intn(path.Len())
+		refs := n.Peer().RefsAt(level)
+		if refs.Len() == 0 {
+			continue
+		}
+		var bad addr.Addr = addr.Nil
+		for _, cand := range online {
+			if cand.Addr() != n.Addr() && !refs.Contains(cand.Addr()) &&
+				!repair.ValidRef(path, level, cand.Path()) {
+				bad = cand.Addr()
+				break
+			}
+		}
+		if bad == addr.Nil {
+			continue
+		}
+		victim := refs.Slice()[rng.Intn(refs.Len())]
+		refs.Remove(victim)
+		refs.Add(bad)
+		n.Peer().SetRefsAt(level, refs)
+		rep.StaledRefs++
+		done++
+	}
+
+	// Orphan buddies: link replicas across partitions.
+	for try, done := 0, 0; done < cfg.OrphanBuddies && try < 20*cfg.OrphanBuddies+20; try++ {
+		n := pick()
+		other := pick()
+		if other.Addr() == n.Addr() || other.Path() == n.Path() {
+			continue
+		}
+		n.Peer().AddBuddy(other.Addr())
+		rep.OrphanedBuddies++
+		done++
+	}
+
+	// Wipes and drops: data-layer corruption for the anti-entropy path.
+	for try, done := 0, 0; done < cfg.WipeStores && try < 20*cfg.WipeStores+20; try++ {
+		n := pick()
+		if n.Store().Len() == 0 {
+			continue
+		}
+		n.Store().Clear()
+		rep.WipedStores++
+		done++
+	}
+	for try, done := 0, 0; done < cfg.DropEntries && try < 20*cfg.DropEntries+20; try++ {
+		n := pick()
+		entries := n.Store().Entries()
+		if len(entries) == 0 {
+			continue
+		}
+		e := entries[rng.Intn(len(entries))]
+		if n.Store().Delete(e.Key, e.Name) {
+			rep.DroppedEntries++
+			done++
+		}
+	}
+	return rep
+}

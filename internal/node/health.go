@@ -10,6 +10,7 @@ import (
 
 	"pgrid/internal/addr"
 	"pgrid/internal/health"
+	"pgrid/internal/repair"
 	"pgrid/internal/resilience"
 	"pgrid/internal/wire"
 )
@@ -187,57 +188,66 @@ func (c *Client) FetchHealth(a addr.Addr, wantLiveness bool) (health.Digest, int
 	return resp.HealthResp.Digest, resp.HealthResp.Rounds, nil
 }
 
-// crawlPeer fetches one peer's routing state and health digest — as a
-// single batched frame when the peer serves batches, the sequential
-// info+health pair otherwise. Returns nil info when the peer is
-// unreachable; haveDigest=false means the caller must synthesize the
+// crawlPeer fetches one peer's routing state, health digest, and repair
+// status — as a single batched frame when the peer serves batches, the
+// sequential info+health pair otherwise (a pre-batch peer is pre-repair
+// too, so its status comes back disabled). Returns nil info when the peer
+// is unreachable; haveDigest=false means the caller must synthesize the
 // structural fallback digest. messages counts logical requests (an
-// info+health batch bills two), so the crawl's cost metric stays
+// info+health+repair batch bills three), so the crawl's cost metric stays
 // comparable with pre-batch crawls — batching removes round trips, not
 // messages.
-func (c *Client) crawlPeer(a addr.Addr, messages *int) (info *wire.InfoResp, d health.Digest, haveDigest bool) {
+func (c *Client) crawlPeer(a addr.Addr, messages *int) (info *wire.InfoResp, d health.Digest, haveDigest bool, rs repair.Status) {
 	batch := []wire.Message{
 		{Kind: wire.KindInfo, From: addr.Nil},
 		{Kind: wire.KindHealth, From: addr.Nil, Health: &wire.HealthReq{WantLiveness: true}},
+		{Kind: wire.KindRepair, From: addr.Nil, Repair: &wire.RepairReq{}},
 	}
 	resps, err := callBatch(c.tr, a, addr.Nil, batch)
 	if err == nil {
 		*messages += len(batch)
 		if resps[0].InfoResp == nil {
 			c.tel.MalformedResponse("info")
-			return nil, health.Digest{}, false
+			return nil, health.Digest{}, false, rs
+		}
+		if resps[2].RepairResp != nil {
+			rs = resps[2].RepairResp.Status
 		}
 		if resps[1].HealthResp == nil {
 			// The peer serves batches but not health — structural fallback.
-			return resps[0].InfoResp, health.Digest{}, false
+			return resps[0].InfoResp, health.Digest{}, false, rs
 		}
-		return resps[0].InfoResp, resps[1].HealthResp.Digest, true
+		return resps[0].InfoResp, resps[1].HealthResp.Digest, true, rs
 	}
 	if Classify(err) == resilience.Transient {
 		// Unreachable: bill the one contact attempt, like the failed
 		// info fetch of the sequential path.
 		*messages++
-		return nil, health.Digest{}, false
+		return nil, health.Digest{}, false, rs
 	}
 	// The peer answered but refused the batch envelope (pre-batch peer):
 	// the sequential pair it does understand.
 	i, err := c.nodeInfo(a)
 	*messages++
 	if err != nil {
-		return nil, health.Digest{}, false
+		return nil, health.Digest{}, false, rs
 	}
 	d, _, err = c.FetchHealth(a, true)
 	*messages++
 	if err != nil {
-		return i, health.Digest{}, false
+		return i, health.Digest{}, false, rs
 	}
-	return i, d, true
+	return i, d, true, rs
 }
 
 // CrawlResult is one community crawl: the digests collected, the peers
 // that were referenced but never answered, and the message cost.
 type CrawlResult struct {
 	Digests []health.Digest
+	// Repairs holds the repair statuses of the reachable peers that run a
+	// repairer (disabled statuses are dropped) — feed it to
+	// analysis.GridReport.AttachRepair for the community verdict.
+	Repairs []repair.Status
 	// Unreachable lists peers some reachable peer referenced that did not
 	// answer the crawl (offline, crashed, or unknown to the transport).
 	Unreachable []addr.Addr
@@ -259,10 +269,13 @@ func (c *Client) Crawl(start addr.Addr) CrawlResult {
 	for len(queue) > 0 {
 		a := queue[0]
 		queue = queue[1:]
-		info, d, haveDigest := c.crawlPeer(a, &res.Messages)
+		info, d, haveDigest, rs := c.crawlPeer(a, &res.Messages)
 		if info == nil {
 			res.Unreachable = append(res.Unreachable, a)
 			continue
+		}
+		if rs.Enabled {
+			res.Repairs = append(res.Repairs, rs)
 		}
 		enqueue := func(r addr.Addr) {
 			if !visited[r] {

@@ -154,9 +154,9 @@ func TestCrawlCensus(t *testing.T) {
 			t.Errorf("census: %v has path %s, want %s", d.Addr, d.Path, want[d.Addr])
 		}
 	}
-	// Two messages per reachable peer: one Info, one Health.
-	if res.Messages != 6 {
-		t.Errorf("messages = %d, want 6", res.Messages)
+	// Three messages per reachable peer: one Info, one Health, one Repair.
+	if res.Messages != 9 {
+		t.Errorf("messages = %d, want 9", res.Messages)
 	}
 
 	// An offline peer is reported unreachable, not silently dropped.

@@ -53,6 +53,7 @@ func (n *Node) Maintain(fetch int) MaintainResult {
 	for level := 1; level <= path.Len(); level++ {
 		refs := n.self.RefsAt(level)
 		kept := addr.Set{}
+		dropped := addr.Set{}
 		var liveInfos []*wire.InfoResp
 		for _, r := range refs.Slice() {
 			res.Probed++
@@ -63,12 +64,19 @@ func (n *Node) Maintain(fetch int) MaintainResult {
 				kept.Add(r)
 				liveInfos = append(liveInfos, info)
 			} else {
+				dropped.Add(r)
 				res.Dropped++
 			}
 		}
 
 		// Refill from live references' buddies: a valid buddy shares the
-		// full path of the reference, hence its first `level` bits.
+		// full path of the reference, hence its first `level` bits. A
+		// reference dropped as dead above is excluded for the rest of the
+		// round, even if a fresh fetch would now validate it — with
+		// sessionful churn a peer can return between the probe and the
+		// refill, and readmitting it here would mean the round's Dropped
+		// and the final set disagree about what was just evicted. It can
+		// be re-learned cleanly next round.
 		fetched := 0
 		for _, info := range liveInfos {
 			if kept.Len() >= n.cfg.RefMax || fetched >= fetch {
@@ -79,7 +87,7 @@ func (n *Node) Maintain(fetch int) MaintainResult {
 				if kept.Len() >= n.cfg.RefMax {
 					break
 				}
-				if b == n.Addr() || kept.Contains(b) {
+				if b == n.Addr() || kept.Contains(b) || dropped.Contains(b) {
 					continue
 				}
 				if bi, err := fetchInfo(b); err == nil && valid(level, bi) {

@@ -6,6 +6,7 @@ import (
 
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
+	"pgrid/internal/wire"
 )
 
 func TestNodeMaintainDropsUnreachableRefs(t *testing.T) {
@@ -84,6 +85,74 @@ func TestNodeMaintainRefillsFromBuddies(t *testing.T) {
 	}
 	if refs.Len() > cfg.RefMax {
 		t.Errorf("refmax exceeded: %d", refs.Len())
+	}
+}
+
+// flapTransport fails the first `fails` calls to each address in down,
+// then passes everything through — a peer whose session ends just before
+// the probe and restarts right after (sessionful churn inside one
+// maintenance round).
+type flapTransport struct {
+	inner Transport
+	down  map[addr.Addr]int
+}
+
+func (f *flapTransport) Call(to addr.Addr, msg *wire.Message) (*wire.Message, error) {
+	if n := f.down[to]; n > 0 {
+		f.down[to] = n - 1
+		return nil, ErrOffline
+	}
+	return f.inner.Call(to, msg)
+}
+
+func TestNodeMaintainNoSameRoundReadd(t *testing.T) {
+	// Regression for the refill-resurrection bug: node 0 references peer 4,
+	// whose session flaps — the probe fails, but by the time refill fetches
+	// reference sets the peer answers again, and it appears in a live
+	// reference's buddy list. The round must still evict it (Dropped and
+	// the final set must agree); the NEXT round may re-learn it.
+	cfg := smallCfg()
+	cfg.MaxL = 1
+	c := NewCluster(6, cfg, 24)
+	for i, n := range c.Nodes {
+		bit := byte(0)
+		if i >= 3 {
+			bit = 1
+		}
+		if !n.Peer().ExtendFrom(bitpath.Empty, bit, addr.NewSet()) {
+			t.Fatal("fixture extend failed")
+		}
+	}
+	for i, n := range c.Nodes {
+		for j := range c.Nodes {
+			if (i < 3) == (j < 3) && i != j {
+				n.Peer().AddBuddy(addr.Addr(j))
+			}
+		}
+	}
+	n0 := c.Nodes[0]
+	n0.Peer().SetRefsAt(1, addr.NewSet(3, 4))
+	n0.tr = &flapTransport{inner: c.Transport, down: map[addr.Addr]int{4: 1}}
+
+	res := n0.Maintain(2)
+	if res.Dropped != 1 {
+		t.Fatalf("flapping peer not dropped: %+v", res)
+	}
+	refs := n0.Peer().RefsAt(1)
+	if refs.Contains(4) {
+		t.Fatalf("dropped reference 4 re-added in the same round: %v", refs.String())
+	}
+	if !refs.Contains(5) {
+		t.Errorf("refill skipped the legitimate candidate 5: %v", refs.String())
+	}
+
+	// Next round the peer is stably back: re-learning it is correct.
+	res = n0.Maintain(2)
+	if res.Dropped != 0 {
+		t.Fatalf("stable round dropped something: %+v", res)
+	}
+	if !n0.Peer().RefsAt(1).Contains(4) {
+		t.Errorf("returned peer 4 not re-learned next round: %v", n0.Peer().RefsAt(1).String())
 	}
 }
 

@@ -49,6 +49,8 @@ type Node struct {
 
 	htr *health.Tracker
 
+	repairer *Repairer
+
 	mu  sync.Mutex
 	rng *rand.Rand
 }
@@ -102,6 +104,11 @@ func (n *Node) EnableTracing(rec *trace.Recorder, sampleProb float64) {
 
 // Recorder returns the attached flight recorder (possibly nil).
 func (n *Node) Recorder() *trace.Recorder { return n.rec }
+
+// Repairer returns the self-healing repairer NewRepairer attached (nil
+// when repair is off). Repairer.Status is nil-safe, so callers may chain
+// n.Repairer().Status() unconditionally.
+func (n *Node) Repairer() *Repairer { return n.repairer }
 
 // EnableHistory attaches a telemetry history ring (nil disables); a
 // sampler (RunHistorySampler) fills it and KindHistory serves it. Call
@@ -173,6 +180,8 @@ func (n *Node) handle(m *wire.Message) *wire.Message {
 		return &wire.Message{Kind: wire.KindHistoryResp, From: n.Addr(), HistoryResp: n.handleHistory(m.History)}
 	case wire.KindBatch:
 		return n.handleBatch(m)
+	case wire.KindRepair:
+		return &wire.Message{Kind: wire.KindRepairResp, From: n.Addr(), RepairResp: n.handleRepair(m.Repair)}
 	case wire.KindHello:
 		// Codec negotiation: accept the highest version both sides speak.
 		// A hello only ever arrives on a binary-framed connection (gob-only

@@ -222,6 +222,22 @@ func (s *Store) Evict(keep bitpath.Path) []Entry {
 	return out
 }
 
+// CountOutside reports how many entries do NOT lie under keep — the
+// entries Evict(keep) would remove — without mutating the store. The
+// repair detector uses it to count orphaned entries (data a peer is no
+// longer responsible for) before deciding whether to rehome them.
+func (s *Store) CountOutside(keep bitpath.Path) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for key, byName := range s.index {
+		if !key.HasPrefix(keep) {
+			n += len(byName)
+		}
+	}
+	return n
+}
+
 // Clear removes all index entries (not hosted items).
 func (s *Store) Clear() {
 	s.mu.Lock()

@@ -126,6 +126,10 @@ type Instruments struct {
 	rpcSlow       *Counter
 	servedErrors  *Counter
 
+	repairRounds   *Counter
+	repairMessages *Counter
+	repairUnhealed *Gauge
+
 	labeledMu sync.RWMutex
 	labeled   map[string]*Counter
 	labeledQ  map[string]*QHist
@@ -200,6 +204,9 @@ func New(node int) *Instruments {
 	t.eventsDropped = r.Counter("pgrid_events_dropped_total", "telemetry events discarded because a pipeline ring was full")
 	t.rpcSlow = r.Counter("pgrid_rpc_slow_total", "outbound RPCs slower than the slow-op threshold")
 	t.servedErrors = r.Counter("pgrid_rpc_served_errors_total", "inbound RPCs answered with an error reply")
+	t.repairRounds = r.Counter("pgrid_repair_rounds_total", "self-healing repair rounds completed")
+	t.repairMessages = r.Counter("pgrid_repair_messages_total", "wire messages spent by repair rounds")
+	t.repairUnhealed = r.Gauge("pgrid_repair_unhealed", "faults the last repair round detected but could not heal (0 = structurally healthy)")
 	RegisterRuntimeMetrics(r)
 	return t
 }
@@ -506,6 +513,36 @@ func (t *Instruments) MalformedResponse(kind string) {
 	}
 	t.rpcMalformed.Inc()
 	t.labeledCounter("pgrid_rpc_malformed_kind_total", "kind", kind, "malformed responses by request kind").Inc()
+}
+
+// RepairFault records one structural fault detected by the repair
+// protocol, labeled by fault class (wrong-side-ref, dead-ref, …).
+func (t *Instruments) RepairFault(class string) {
+	if t == nil {
+		return
+	}
+	t.labeledCounter("pgrid_repair_fault_total", "class", class, "structural faults detected by the repair protocol, by class").Inc()
+}
+
+// RepairHeal records one healing action taken by the repair protocol,
+// labeled by action (evict-ref, sync-pull, adopt-path, …).
+func (t *Instruments) RepairHeal(action string) {
+	if t == nil {
+		return
+	}
+	t.labeledCounter("pgrid_repair_heal_total", "action", action, "healing actions taken by the repair protocol, by action").Inc()
+}
+
+// RepairRound records one completed repair round: the wire messages it
+// spent and how many detected faults it left unhealed (the gauge an
+// operator alerts on — nonzero for many rounds means the peer is stuck).
+func (t *Instruments) RepairRound(messages, unhealed int) {
+	if t == nil {
+		return
+	}
+	t.repairRounds.Inc()
+	t.repairMessages.Add(int64(messages))
+	t.repairUnhealed.Set(int64(unhealed))
 }
 
 // ResilienceCall records one logical call entering the resilient

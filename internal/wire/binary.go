@@ -47,6 +47,7 @@ import (
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
 	"pgrid/internal/health"
+	"pgrid/internal/repair"
 	"pgrid/internal/store"
 	"pgrid/internal/telemetry"
 	"pgrid/internal/trace"
@@ -514,10 +515,38 @@ func appendMessageBody(b []byte, m *Message) ([]byte, error) {
 				}
 			}
 		}
+	case KindRepair:
+		b = appendBool(b, m.Repair != nil)
+		if r := m.Repair; r != nil {
+			b = appendBool(b, r.Trigger)
+		}
+	case KindRepairResp:
+		b = appendBool(b, m.RepairResp != nil)
+		if r := m.RepairResp; r != nil {
+			s := r.Status
+			b = appendBool(b, s.Enabled)
+			b = appendVarint(b, s.Rounds)
+			b = appendVarint(b, s.Messages)
+			b = appendVarint(b, s.LastFaults)
+			b = appendVarint(b, s.LastHeals)
+			b = appendVarint(b, s.LastUnhealed)
+			b = appendTallies(b, s.Faults)
+			b = appendTallies(b, s.Heals)
+		}
 	default:
 		return b, fmt.Errorf("%w: %v", ErrUnknownKind, m.Kind)
 	}
 	return b, nil
+}
+
+// appendTallies encodes a repair tally list (name, count pairs).
+func appendTallies(b []byte, ts []repair.Tally) []byte {
+	b = appendUvarint(b, uint64(len(ts)))
+	for _, t := range ts {
+		b = appendString(b, t.Name)
+		b = appendVarint(b, t.N)
+	}
+	return b
 }
 
 // appendMetricsSnapshot encodes one mergeable metrics snapshot. The
@@ -803,6 +832,20 @@ func (d *bdec) spans() []trace.Span {
 	return out
 }
 
+// tallies decodes a repair tally list, the inverse of appendTallies. A
+// tally costs at least 2 bytes: the name length and the count varint.
+func (d *bdec) tallies() []repair.Tally {
+	n := d.uvarint()
+	if !d.need(n, 2) || n == 0 {
+		return nil
+	}
+	out := make([]repair.Tally, n)
+	for i := range out {
+		out[i] = repair.Tally{Name: d.string(), N: d.varint()}
+	}
+	return out
+}
+
 // metricsSnapshot decodes one mergeable metrics snapshot, the inverse of
 // appendMetricsSnapshot. The decoded Schema field selects the layout:
 // incarnation stamps and exemplar lists exist only at schema ≥ 2, so v1
@@ -1079,6 +1122,23 @@ func decodeInto(d *bdec, kind Kind, nested bool) (*Message, error) {
 				}
 			}
 			m.HistoryResp = r
+		}
+	case KindRepair:
+		if d.bool() {
+			m.Repair = &RepairReq{Trigger: d.bool()}
+		}
+	case KindRepairResp:
+		if d.bool() {
+			r := &RepairResp{}
+			r.Status.Enabled = d.bool()
+			r.Status.Rounds = d.varint()
+			r.Status.Messages = d.varint()
+			r.Status.LastFaults = d.varint()
+			r.Status.LastHeals = d.varint()
+			r.Status.LastUnhealed = d.varint()
+			r.Status.Faults = d.tallies()
+			r.Status.Heals = d.tallies()
+			m.RepairResp = r
 		}
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, uint8(kind))

@@ -12,6 +12,7 @@ import (
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
 	"pgrid/internal/health"
+	"pgrid/internal/repair"
 	"pgrid/internal/store"
 	"pgrid/internal/telemetry"
 	"pgrid/internal/trace"
@@ -117,6 +118,18 @@ func sampleMessages() []*Message {
 		{Kind: KindHistoryResp, From: 29, HistoryResp: &HistoryResp{ // history disabled
 			Dump: telemetry.HistoryDump{Schema: telemetry.MetricsSchemaVersion}}},
 		{Kind: KindHistoryResp, From: 29}, // nil payload
+		{Kind: KindRepair, From: 30, Repair: &RepairReq{Trigger: true}},
+		{Kind: KindRepair, From: 30, Repair: &RepairReq{}}, // status-only
+		{Kind: KindRepair, From: 30},                       // nil payload
+		{Kind: KindRepairResp, From: 31, RepairResp: &RepairResp{
+			Status: repair.Status{Enabled: true, Rounds: 12, Messages: 480,
+				LastFaults: 3, LastHeals: 2, LastUnhealed: 1,
+				Faults: []repair.Tally{{Name: repair.FaultDeadRef, N: 9},
+					{Name: repair.FaultWrongSide, N: 4}},
+				Heals: []repair.Tally{{Name: repair.ActionEvictRef, N: 11},
+					{Name: repair.ActionSyncPull, N: 2}}}}},
+		{Kind: KindRepairResp, From: 31, RepairResp: &RepairResp{}}, // repair disabled
+		{Kind: KindRepairResp, From: 31},                            // nil payload
 	}
 }
 
@@ -127,7 +140,7 @@ func TestBinaryCoversAllKinds(t *testing.T) {
 	for _, m := range sampleMessages() {
 		seen[m.Kind] = true
 	}
-	for k := KindQuery; k <= KindHistoryResp; k++ {
+	for k := KindQuery; k <= KindRepairResp; k++ {
 		if k == 15 { // reserved
 			continue
 		}
@@ -526,6 +539,62 @@ func TestBinaryHistoryCorrupt(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteFrame(&buf, 0, 0, bad); err == nil {
 		t.Fatal("encoder accepted mismatched ExIdx/ExTrace lengths")
+	}
+}
+
+// TestBinaryRepairCorrupt runs the corruption table for the repair
+// payload: absurd tally counts are refused before allocation, and
+// truncated tally lists surface ErrCorrupt rather than partial decodes.
+func TestBinaryRepairCorrupt(t *testing.T) {
+	frame := func(body []byte) []byte {
+		f := []byte{magic0, magic1, BinaryVersion, byte(KindRepairResp), 0, 0, 0, 0, 1}
+		f = append(f, byte(len(body)>>24), byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+		return append(f, body...)
+	}
+	prefix := func() []byte {
+		b := []byte{}
+		b = appendVarint(b, 3)  // From
+		b = appendBool(b, true) // payload present
+		b = appendBool(b, true) // Enabled
+		b = appendVarint(b, 4)  // Rounds
+		b = appendVarint(b, 80) // Messages
+		b = appendVarint(b, 2)  // LastFaults
+		b = appendVarint(b, 2)  // LastHeals
+		b = appendVarint(b, 0)  // LastUnhealed
+		return b
+	}
+	cases := []struct {
+		name string
+		body func() []byte
+	}{
+		{"absurd fault tally count", func() []byte {
+			return appendUvarint(prefix(), 1<<40)
+		}},
+		{"tally count beyond payload", func() []byte {
+			b := appendUvarint(prefix(), 2) // claims 2 tallies, carries 1
+			b = appendString(b, "dead-ref")
+			return appendVarint(b, 5)
+		}},
+		{"truncated tally name", func() []byte {
+			b := appendUvarint(prefix(), 1)
+			b = appendUvarint(b, 12)   // name claims 12 bytes
+			return append(b, 'd', 'e') // carries 2
+		}},
+		{"missing heal tallies", func() []byte {
+			b := appendUvarint(prefix(), 0) // zero fault tallies
+			return b                        // heal tally count absent entirely
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, m, err := ReadFrame(bytes.NewReader(frame(tc.body())))
+			if err == nil {
+				t.Fatalf("decoded %+v from corrupt repair frame", m)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("want ErrCorrupt, got %v", err)
+			}
+		})
 	}
 }
 

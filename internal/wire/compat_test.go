@@ -209,6 +209,15 @@ func TestKindNumbering(t *testing.T) {
 	if KindHistory.String() != "history" || KindHistoryResp.String() != "history-resp" {
 		t.Fatalf("kind names: %v %v", KindHistory, KindHistoryResp)
 	}
+	if KindRepair != 28 || KindRepairResp != 29 {
+		t.Fatalf("KindRepair = %d/%d, want 28/29", KindRepair, KindRepairResp)
+	}
+	if KindRepair%2 != 0 {
+		t.Fatal("KindRepair is odd: requests must stay even")
+	}
+	if KindRepair.String() != "repair" || KindRepairResp.String() != "repair-resp" {
+		t.Fatalf("kind names: %v %v", KindRepair, KindRepairResp)
+	}
 }
 
 // legacyPreHealthMessage replicates the message envelope exactly as it was

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"fmt"
 	"testing"
 
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
 	"pgrid/internal/health"
+	"pgrid/internal/repair"
 	"pgrid/internal/telemetry"
 	"pgrid/internal/trace"
 )
@@ -314,6 +316,62 @@ func FuzzHistoryRoundTrip(f *testing.F) {
 					if gh.ExIdx[j] != wh.ExIdx[j] || gh.ExTrace[j] != wh.ExTrace[j] {
 						t.Fatalf("%s: point %d exemplar %d mismatch: %+v vs %+v", codec, i, j, gh, wh)
 					}
+				}
+			}
+		}
+
+		var gb bytes.Buffer
+		if err := WriteMessage(&gb, m); err != nil {
+			t.Fatalf("gob encode: %v", err)
+		}
+		got, err := ReadMessage(&gb)
+		check("gob", got, err)
+
+		var bb bytes.Buffer
+		if err := WriteFrame(&bb, 1, FlagResponse, m); err != nil {
+			t.Fatalf("binary encode: %v", err)
+		}
+		_, _, got, err = ReadFrame(&bb)
+		check("binary", got, err)
+	})
+}
+
+// FuzzRepairRoundTrip encodes fuzz-shaped repair statuses — arbitrary
+// tally labels and counts, enabled or not — through BOTH codecs and
+// verifies they decode to the same status.
+func FuzzRepairRoundTrip(f *testing.F) {
+	f.Add(int32(0), false, int64(0), int64(0), "", int64(0), uint8(0))
+	f.Add(int32(3), true, int64(12), int64(480), "wrong-side-ref", int64(9), uint8(3))
+	f.Add(int32(-1), true, int64(1)<<40, int64(-7), "evict-ref", int64(-2), uint8(40))
+	f.Fuzz(func(t *testing.T, from int32, enabled bool, rounds, messages int64, label string, n0 int64, tallies uint8) {
+		if from < -1 {
+			from &= 0x7fffffff // the binary codec (rightly) rejects addresses below addr.Nil
+		}
+		st := repair.Status{Enabled: enabled, Rounds: rounds, Messages: messages,
+			LastFaults: n0, LastHeals: rounds, LastUnhealed: messages}
+		for i := 0; i < int(tallies%8); i++ {
+			st.Faults = append(st.Faults, repair.Tally{Name: fmt.Sprintf("%s-%d", label, i), N: n0 + int64(i)})
+			st.Heals = append(st.Heals, repair.Tally{Name: fmt.Sprintf("h-%s-%d", label, i), N: n0 - int64(i)})
+		}
+		m := &Message{Kind: KindRepairResp, From: addrOf(from), RepairResp: &RepairResp{Status: st}}
+
+		check := func(codec string, got *Message, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("%s decode: %v", codec, err)
+			}
+			if got.RepairResp == nil {
+				t.Fatalf("%s: repair payload lost", codec)
+			}
+			g := got.RepairResp.Status
+			if g.Enabled != st.Enabled || g.Rounds != st.Rounds || g.Messages != st.Messages ||
+				g.LastFaults != st.LastFaults || g.LastHeals != st.LastHeals || g.LastUnhealed != st.LastUnhealed ||
+				len(g.Faults) != len(st.Faults) || len(g.Heals) != len(st.Heals) {
+				t.Fatalf("%s: status mismatch: %+v vs %+v", codec, g, st)
+			}
+			for i := range st.Faults {
+				if g.Faults[i] != st.Faults[i] || g.Heals[i] != st.Heals[i] {
+					t.Fatalf("%s: tally %d mismatch: %+v vs %+v", codec, i, g, st)
 				}
 			}
 		}

@@ -16,6 +16,7 @@ import (
 	"pgrid/internal/addr"
 	"pgrid/internal/bitpath"
 	"pgrid/internal/health"
+	"pgrid/internal/repair"
 	"pgrid/internal/store"
 	"pgrid/internal/telemetry"
 	"pgrid/internal/trace"
@@ -58,6 +59,8 @@ const (
 	KindMetricsResp
 	KindHistory
 	KindHistoryResp
+	KindRepair
+	KindRepairResp
 )
 
 // kindNames is the Kind → label table. Hoisted to package level: String
@@ -68,7 +71,8 @@ var kindNames = [...]string{"query", "query-resp", "exchange", "exchange-resp",
 	"scan", "scan-resp", "stats", "stats-resp", "error", "kind(15)",
 	"traces", "traces-resp", "health", "health-resp",
 	"batch", "batch-resp", "hello", "hello-resp",
-	"metrics", "metrics-resp", "history", "history-resp"}
+	"metrics", "metrics-resp", "history", "history-resp",
+	"repair", "repair-resp"}
 
 // String names the kind for logs.
 func (k Kind) String() string {
@@ -113,6 +117,8 @@ type Message struct {
 	MetricsResp  *MetricsResp
 	History      *HistoryReq
 	HistoryResp  *HistoryResp
+	Repair       *RepairReq
+	RepairResp   *RepairResp
 	Error        string
 }
 
@@ -266,6 +272,22 @@ type HistoryReq struct {
 // "feature unknown" stay distinguishable on the wire.
 type HistoryResp struct {
 	Dump telemetry.HistoryDump
+}
+
+// RepairReq asks the receiver for its self-healing repair status.
+// Trigger additionally runs one synchronous repair round first, so
+// `pgridctl repair -run` can force healing on demand; peers running
+// without a repairer ignore Trigger and answer Enabled=false.
+type RepairReq struct {
+	Trigger bool
+}
+
+// RepairResp returns the receiver's repair status. A node running
+// without a repairer answers an Enabled=false status rather than an
+// error, so "repair off" and "repair unknown" stay distinguishable on
+// the wire.
+type RepairResp struct {
+	Status repair.Status
 }
 
 // TracesReq asks the receiver for its flight recorder's most recent
